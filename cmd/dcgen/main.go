@@ -1,0 +1,80 @@
+// Command dcgen generates a synthetic datacenter field dataset — the
+// machine inventory, one year of problem tickets and the incident log —
+// calibrated to the populations of the DSN'14 study, and writes it as
+// JSON Lines.
+//
+// Usage:
+//
+//	dcgen [-seed N] [-scale small|paper] [-o dataset.jsonl] [-monitor monitor.jsonl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"failscope"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dcgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed    = flag.Uint64("seed", 0, "generator seed (0 keeps the calibrated default)")
+		scale   = flag.String("scale", "paper", "dataset scale: paper (~10K machines) or small (~1.2K)")
+		out     = flag.String("o", "dataset.jsonl", "output path (- for stdout)")
+		monitor = flag.String("monitor", "", "also write the monitoring database to this path")
+	)
+	flag.Parse()
+
+	var study failscope.Study
+	switch *scale {
+	case "paper":
+		study = failscope.PaperStudy()
+	case "small":
+		study = failscope.SmallStudy()
+	default:
+		return fmt.Errorf("unknown scale %q (want paper or small)", *scale)
+	}
+	if *seed != 0 {
+		study.Generator.Seed = *seed
+	}
+
+	field, err := failscope.Generate(study.Generator)
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := failscope.WriteDataset(w, field.Data); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dcgen: wrote %d machines, %d tickets, %d incidents to %s\n",
+		len(field.Data.Machines), len(field.Data.Tickets), len(field.Data.Incidents), *out)
+
+	if *monitor != "" {
+		f, err := os.Create(*monitor)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := failscope.WriteMonitor(f, field.Monitor); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dcgen: wrote monitoring database to %s\n", *monitor)
+	}
+	return nil
+}

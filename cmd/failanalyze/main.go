@@ -1,0 +1,234 @@
+// Command failanalyze runs the complete study — generate field data, mine
+// the tickets, analyze — and prints every table and figure of the paper.
+//
+// Usage:
+//
+//	failanalyze [-seed N] [-scale small|paper] [-classify] [-section NAME]
+//	failanalyze -input dataset.jsonl [-monitor monitor.jsonl] [-csv outdir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"failscope"
+	"failscope/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "failanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed      = flag.Uint64("seed", 0, "generator seed (0 keeps the calibrated default)")
+		scale     = flag.String("scale", "paper", "dataset scale: paper or small")
+		classify  = flag.Bool("classify", false, "also run the k-means ticket classification (slower)")
+		section   = flag.String("section", "", "print only one section: tableII|fig1|fig2|fig3|tableIII|fig4|tableIV|fig5|tableV|tableVI|tableVII|fig6|hazard")
+		inputPath = flag.String("input", "", "analyze an existing dataset (JSONL from dcgen) instead of generating")
+		monPath   = flag.String("monitor", "", "monitoring database (JSONL) to join when -input is used")
+		csvDir    = flag.String("csv", "", "also export every figure panel as CSV into this directory")
+		profile   = flag.Int("profile", 0, "print the operator profile of one subsystem (1-5) instead of the report")
+	)
+	flag.Parse()
+
+	var study failscope.Study
+	switch *scale {
+	case "paper":
+		study = failscope.PaperStudy()
+	case "small":
+		study = failscope.SmallStudy()
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	if *seed != 0 {
+		study.Generator.Seed = *seed
+	}
+	study.Collect.SkipClassification = !*classify
+
+	var res *failscope.Result
+	var err error
+	if *inputPath != "" {
+		res, err = runOnFiles(study, *inputPath, *monPath)
+	} else {
+		res, err = study.Run()
+	}
+	if err != nil {
+		return err
+	}
+
+	if *classify && res.Collection.Classifier != nil {
+		c := res.Collection.Classifier
+		fmt.Printf("§III.A k-means ticket classification: accuracy=%.1f%% crash-class accuracy=%.1f%% crash recall=%.1f%% precision=%.1f%% (train %d / test %d)\n\n",
+			100*c.Accuracy, 100*c.CrashClassAccuracy, 100*c.CrashRecall, 100*c.CrashPrecision, c.TrainDocs, c.TestDocs)
+	}
+
+	if *csvDir != "" {
+		if err := exportCSV(*csvDir, res.Report); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "failanalyze: wrote CSV panels to %s\n", *csvDir)
+	}
+
+	if *profile != 0 {
+		if *profile < 1 || *profile > 5 {
+			return fmt.Errorf("profile must be 1-5, got %d", *profile)
+		}
+		in := failscope.AnalysisInput{Data: res.Collection.Data, Attrs: res.Collection.Attrs}
+		p := failscope.ProfileSystem(in, failscope.System(*profile), 5)
+		fmt.Print(report.Profile(p))
+		return nil
+	}
+
+	if *section == "" {
+		fmt.Print(res.RenderReport())
+		return nil
+	}
+	r := res.Report
+	switch *section {
+	case "tableII":
+		fmt.Print(report.DatasetStats(r.DatasetStats))
+	case "fig1":
+		fmt.Print(report.ClassDistribution(r.ClassDistribution))
+	case "fig2":
+		fmt.Print(report.WeeklyRates(r.WeeklyRates))
+	case "fig3":
+		fmt.Print(report.InterFailure(r.InterFailurePM), report.InterFailure(r.InterFailureVM))
+	case "tableIII":
+		fmt.Print(report.InterFailureByClass(r.InterFailureClass))
+	case "fig4":
+		fmt.Print(report.Repair(r.RepairPM), report.Repair(r.RepairVM))
+	case "tableIV":
+		fmt.Print(report.RepairByClass(r.RepairClass))
+	case "fig5":
+		fmt.Print(report.Recurrence(r.RecurrencePM, r.RecurrenceVM))
+	case "tableV":
+		fmt.Print(report.RandomVsRecurrent(r.RandomRecurrent))
+	case "tableVI":
+		fmt.Print(report.Spatial(r.Spatial))
+	case "tableVII":
+		fmt.Print(report.SpatialByClass(r.SpatialClass))
+	case "fig6":
+		fmt.Print(report.Age(r.Age))
+	case "hazard":
+		fmt.Print(report.Hazard(r.AgeHazard))
+	default:
+		return fmt.Errorf("unknown section %q", *section)
+	}
+	return nil
+}
+
+// exportCSV writes every figure panel, CDF and hazard series as CSV files.
+func exportCSV(dir string, r *failscope.AnalysisReport) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, fn func(w *os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return fn(f)
+	}
+	for key, br := range r.Capacity {
+		br := br
+		if err := write("fig7_"+key+".csv", func(w *os.File) error {
+			return report.WriteBinnedRatesCSV(w, br)
+		}); err != nil {
+			return err
+		}
+	}
+	for key, br := range r.Usage {
+		br := br
+		if err := write("fig8_"+key+".csv", func(w *os.File) error {
+			return report.WriteBinnedRatesCSV(w, br)
+		}); err != nil {
+			return err
+		}
+	}
+	if err := write("fig9_consolidation.csv", func(w *os.File) error {
+		return report.WriteBinnedRatesCSV(w, r.ConsolidationFig)
+	}); err != nil {
+		return err
+	}
+	if err := write("fig10_onoff.csv", func(w *os.File) error {
+		return report.WriteBinnedRatesCSV(w, r.OnOffFig)
+	}); err != nil {
+		return err
+	}
+	if r.InterFailurePM.ECDF != nil {
+		if err := write("fig3_pm_cdf.csv", func(w *os.File) error {
+			return report.WriteCDFCSV(w, r.InterFailurePM.ECDF.Points(200))
+		}); err != nil {
+			return err
+		}
+	}
+	if r.InterFailureVM.ECDF != nil {
+		if err := write("fig3_vm_cdf.csv", func(w *os.File) error {
+			return report.WriteCDFCSV(w, r.InterFailureVM.ECDF.Points(200))
+		}); err != nil {
+			return err
+		}
+	}
+	if r.RepairPM.ECDF != nil {
+		if err := write("fig4_pm_cdf.csv", func(w *os.File) error {
+			return report.WriteCDFCSV(w, r.RepairPM.ECDF.Points(200))
+		}); err != nil {
+			return err
+		}
+	}
+	if r.RepairVM.ECDF != nil {
+		if err := write("fig4_vm_cdf.csv", func(w *os.File) error {
+			return report.WriteCDFCSV(w, r.RepairVM.ECDF.Points(200))
+		}); err != nil {
+			return err
+		}
+	}
+	return write("fig6_age_hazard.csv", func(w *os.File) error {
+		return report.WriteHazardCSV(w, r.AgeHazard)
+	})
+}
+
+// runOnFiles analyzes a persisted dataset (and, optionally, a persisted
+// monitoring database) instead of generating fresh field data.
+func runOnFiles(study failscope.Study, dataPath, monitorPath string) (*failscope.Result, error) {
+	df, err := os.Open(dataPath)
+	if err != nil {
+		return nil, err
+	}
+	defer df.Close()
+	data, err := failscope.ReadDataset(df)
+	if err != nil {
+		return nil, err
+	}
+
+	monitor := failscope.NewEmptyMonitor(study.Generator.MonitorEpoch, study.Generator.MonitorRetention)
+	if monitorPath != "" {
+		mf, err := os.Open(monitorPath)
+		if err != nil {
+			return nil, err
+		}
+		defer mf.Close()
+		if monitor, err = failscope.ReadMonitor(mf); err != nil {
+			return nil, err
+		}
+	}
+
+	opts := study.Collect
+	opts.Observation = data.Observation
+	col, err := failscope.CollectDataset(data, data.Tickets, monitor, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := failscope.Analyze(failscope.AnalysisInput{Data: col.Data, Attrs: col.Attrs})
+	if err != nil {
+		return nil, err
+	}
+	return &failscope.Result{Collection: col, Report: rep}, nil
+}

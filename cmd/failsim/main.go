@@ -1,0 +1,92 @@
+// Command failsim is the what-if tool built on the study: it fits the
+// failure and repair models from a (generated or supplied) field dataset
+// and then drives the discrete-event fault-tolerance simulator to answer
+// "how available is a k-replica service under this fleet's failure
+// behavior, per placement policy?".
+//
+// Usage:
+//
+//	failsim [-seed N] [-replicas K] [-hosts H] [-years Y] [-runs R] [-independent]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"failscope"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "failsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed        = flag.Uint64("seed", 0, "generator seed (0 keeps the calibrated default)")
+		replicas    = flag.Int("replicas", 3, "service replica count")
+		hosts       = flag.Int("hosts", 8, "hosts available for placement")
+		years       = flag.Float64("years", 5, "simulated horizon in years")
+		runs        = flag.Int("runs", 200, "independent simulation runs")
+		independent = flag.Bool("independent", false, "disable host-correlated failures (the naive model)")
+	)
+	flag.Parse()
+
+	study := failscope.PaperStudy()
+	if *seed != 0 {
+		study.Generator.Seed = *seed
+	}
+	study.Collect.SkipClassification = true
+	res, err := study.Run()
+	if err != nil {
+		return err
+	}
+	vmFit, ok := res.Report.InterFailureVM.Fits.Best()
+	if !ok {
+		return fmt.Errorf("no inter-failure fit")
+	}
+	repairFit, ok := res.Report.RepairVM.Fits.Best()
+	if !ok {
+		return fmt.Errorf("no repair fit")
+	}
+	failHours, err := failscope.ScaleDistribution(vmFit.Dist, 24)
+	if err != nil {
+		return err
+	}
+
+	cfg := failscope.FTConfig{
+		Replicas:     *replicas,
+		Hosts:        *hosts,
+		VMFail:       failHours,
+		VMRepair:     repairFit.Dist,
+		HorizonHours: *years * 365 * 24,
+		Runs:         *runs,
+		Seed:         study.Generator.Seed,
+	}
+	if !*independent {
+		cfg.HostFail = failHours
+		cfg.HostRepair = repairFit.Dist
+	}
+
+	fmt.Printf("fitted: failures %v (days), repairs %v (hours)\n", vmFit.Dist, repairFit.Dist)
+	if *independent {
+		fmt.Println("host-correlated failures: DISABLED (independence assumption)")
+	}
+	fmt.Printf("service: %d replicas over %d hosts, %.1f simulated years x %d runs\n\n",
+		*replicas, *hosts, *years, *runs)
+
+	results, err := failscope.ComparePlacements(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %14s %16s %10s %14s\n", "policy", "availability", "downtime [h]", "outages", "mean outage[h]")
+	for _, p := range []failscope.FTPlacement{failscope.PlacementSpread, failscope.PlacementPack} {
+		r := results[p]
+		fmt.Printf("%-8s %13.5f%% %16.1f %10.1f %14.1f\n",
+			p, 100*r.Availability, r.DowntimeHoursPerRun, r.Outages, r.MeanOutageHours)
+	}
+	return nil
+}

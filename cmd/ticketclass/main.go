@@ -1,0 +1,85 @@
+// Command ticketclass runs the §III.A ticket classification in isolation:
+// it generates (or loads) a ticket population, trains the two-stage
+// k-means classifier, and prints the confusion matrix and accuracy — the
+// paper reports 87% for this step.
+//
+// Usage:
+//
+//	ticketclass [-seed N] [-scale small|paper] [-train-frac F] [-clusters K]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"failscope"
+	"failscope/internal/model"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ticketclass:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed      = flag.Uint64("seed", 0, "generator seed (0 keeps the calibrated default)")
+		scale     = flag.String("scale", "paper", "dataset scale: paper or small")
+		trainFrac = flag.Float64("train-frac", 0.30, "background labeling fraction")
+		clusters  = flag.Int("clusters", 0, "k-means clusters for crash identification (0 = default)")
+	)
+	flag.Parse()
+
+	var study failscope.Study
+	switch *scale {
+	case "paper":
+		study = failscope.PaperStudy()
+	case "small":
+		study = failscope.SmallStudy()
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	if *seed != 0 {
+		study.Generator.Seed = *seed
+	}
+	study.Collect.TrainFraction = *trainFrac
+	study.Collect.Clusters = *clusters
+
+	field, err := failscope.Generate(study.Generator)
+	if err != nil {
+		return err
+	}
+	col, err := failscope.Collect(field, study.Collect)
+	if err != nil {
+		return err
+	}
+	c := col.Classifier
+	fmt.Printf("tickets: %d (train %d, test %d)\n", c.TrainDocs+c.TestDocs, c.TrainDocs, c.TestDocs)
+	fmt.Printf("overall accuracy:        %.1f%%\n", 100*c.Accuracy)
+	fmt.Printf("crash-class accuracy:    %.1f%%  (paper: 87%%)\n", 100*c.CrashClassAccuracy)
+	fmt.Printf("crash recall/precision:  %.1f%% / %.1f%%\n", 100*c.CrashRecall, 100*c.CrashPrecision)
+	fmt.Println("\nconfusion matrix (rows = truth, cols = predicted; 0 = background):")
+	fmt.Printf("%-12s", "")
+	for _, col := range c.Confusion.Labels {
+		fmt.Printf("%10s", labelName(col))
+	}
+	fmt.Println()
+	for _, row := range c.Confusion.Labels {
+		fmt.Printf("%-12s", labelName(row))
+		for _, cl := range c.Confusion.Labels {
+			fmt.Printf("%10d", c.Confusion.Counts[[2]int{row, cl}])
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func labelName(l int) string {
+	if l == 0 {
+		return "background"
+	}
+	return model.FailureClass(l).String()
+}

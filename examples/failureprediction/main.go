@@ -1,0 +1,68 @@
+// Failure prediction: the forward-looking extension of the study. The
+// paper identifies the factors that correlate with server failures
+// (capacity, usage, management, and above all failure history); this
+// example uses them to predict — at mid-year — which machines will fail in
+// the second half, and compares the learned model against the operator's
+// "watch the machines that failed before" heuristic.
+//
+//	go run ./examples/failureprediction
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"failscope"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "failureprediction:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	study := failscope.PaperStudy()
+	study.Collect.SkipClassification = true
+	res, err := study.Run()
+	if err != nil {
+		return err
+	}
+	in := failscope.AnalysisInput{Data: res.Collection.Data, Attrs: res.Collection.Attrs}
+
+	obs := res.Collection.Data.Observation
+	split := obs.Start.Add(obs.Duration() / 2)
+	ds, err := failscope.BuildPredictionDataset(in, split, 0.6)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("task: features up to %s, predict failures in the following 6 months\n", split.Format("2006-01-02"))
+	fmt.Printf("machines: %d train / %d test\n\n", len(ds.Train), len(ds.Test))
+
+	model, err := failscope.TrainPredictor(ds.Train)
+	if err != nil {
+		return err
+	}
+
+	learned := failscope.EvaluatePredictor(model, ds.Test)
+	history := failscope.EvaluatePredictor(failscope.HistoryBaseline(), ds.Test)
+
+	fmt.Printf("%-22s %8s %14s %8s %10s\n", "scorer", "AUC", "precision@10%", "lift", "recall@10%")
+	fmt.Printf("%-22s %8.3f %14.3f %7.1fx %10.3f\n", "logistic (all factors)",
+		learned.AUC, learned.PrecisionAt10, learned.Lift10, learned.RecallAt10)
+	fmt.Printf("%-22s %8.3f %14.3f %7.1fx %10.3f\n", "history only",
+		history.AUC, history.PrecisionAt10, history.Lift10, history.RecallAt10)
+	fmt.Printf("%-22s %8.3f\n\n", "random", 0.5)
+
+	fmt.Println("most informative factors (by standardized weight):")
+	for i, name := range model.TopFactors(failscope.PredictionFeatureNames()) {
+		if i == 6 {
+			break
+		}
+		fmt.Printf("  %d. %s\n", i+1, name)
+	}
+	fmt.Println("\nthe paper's §IV.D finding — failures repeat — is why 'past_failures'")
+	fmt.Println("ranks at the top; the capacity/usage factors of §V add the rest.")
+	return nil
+}

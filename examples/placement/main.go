@@ -1,0 +1,80 @@
+// Replica placement under correlated failures: the paper's spatial-
+// dependency finding (§IV.E — a dying host takes its co-hosted VMs down
+// together) turned into a design experiment. We fit the failure and repair
+// models from the generated field data, then drive a discrete-event
+// simulation of a 3-replica service under two placement policies:
+//
+//	spread — every replica on a distinct host (anti-affinity)
+//	pack   — all replicas on one host (naive consolidation)
+//
+//	go run ./examples/placement
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"failscope"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "placement:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Stage 1: field study — fit the models the simulator will use.
+	study := failscope.PaperStudy()
+	study.Collect.SkipClassification = true
+	res, err := study.Run()
+	if err != nil {
+		return err
+	}
+	vmFit, ok := res.Report.InterFailureVM.Fits.Best()
+	if !ok {
+		return fmt.Errorf("no VM inter-failure fit")
+	}
+	repairFit, ok := res.Report.RepairVM.Fits.Best()
+	if !ok {
+		return fmt.Errorf("no VM repair fit")
+	}
+	fmt.Printf("fitted from field data: failures %v (days), repairs %v (hours)\n\n", vmFit.Dist, repairFit.Dist)
+
+	// Stage 2: design experiment. VM gaps were fitted in days; the
+	// simulator runs in hours, so rescale the fitted model.
+	vmFailHours, err := failscope.ScaleDistribution(vmFit.Dist, 24)
+	if err != nil {
+		return err
+	}
+	cfg := failscope.FTConfig{
+		Replicas:     3,
+		Hosts:        8,
+		VMFail:       vmFailHours,
+		VMRepair:     repairFit.Dist,
+		HostFail:     vmFailHours, // hosts fail on the same clock here
+		HostRepair:   repairFit.Dist,
+		HorizonHours: 5 * 365 * 24,
+		Runs:         200,
+		Seed:         7,
+	}
+	results, err := failscope.ComparePlacements(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%-8s %14s %18s %10s %14s\n", "policy", "availability", "downtime h/5yr", "outages", "mean outage h")
+	for _, p := range []failscope.FTPlacement{failscope.PlacementSpread, failscope.PlacementPack} {
+		r := results[p]
+		fmt.Printf("%-8s %13.5f%% %18.1f %10.1f %14.1f\n",
+			p, 100*r.Availability, r.DowntimeHoursPerRun, r.Outages, r.MeanOutageHours)
+	}
+	spread, pack := results[failscope.PlacementSpread], results[failscope.PlacementPack]
+	if pack.DowntimeHoursPerRun > 0 {
+		fmt.Printf("\nanti-affinity cuts downtime by %.1f%% — the engineering value of\n",
+			100*(1-spread.DowntimeHoursPerRun/pack.DowntimeHoursPerRun))
+		fmt.Println("knowing that VM failures are spatially dependent (Table VI).")
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+// Quickstart: generate a scaled-down datacenter field dataset, run the
+// collection pipeline and print the headline findings of the study.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"failscope"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A Study bundles the generator configuration (the "datacenter") and
+	// the collection options (the "ticket mining"). SmallStudy is ~1/8 of
+	// the paper's populations so this example runs in well under a second.
+	study := failscope.SmallStudy()
+	study.Collect.SkipClassification = true // see examples for the k-means step
+
+	res, err := study.Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("machines: %d   tickets: %d   incidents: %d\n\n",
+		len(res.Field.Data.Machines), len(res.Field.Data.Tickets), len(res.Field.Data.Incidents))
+
+	// Finding 1: VMs have lower failure rates than PMs.
+	var pm, vm float64
+	for _, r := range res.Report.WeeklyRates {
+		if r.System == 0 && r.Kind == failscope.PM {
+			pm = r.Summary.Mean
+		}
+		if r.System == 0 && r.Kind == failscope.VM {
+			vm = r.Summary.Mean
+		}
+	}
+	fmt.Printf("weekly failure rate:  PM %.4f  vs  VM %.4f  (PM %.0f%% higher)\n",
+		pm, vm, 100*(pm/vm-1))
+
+	// Finding 2: inter-failure times are Gamma, not exponential — failures
+	// are not memoryless.
+	if best, ok := res.Report.InterFailureVM.Fits.Best(); ok {
+		fmt.Printf("VM inter-failure times: best fit %v (mean %.1f days)\n",
+			best.Dist, res.Report.InterFailureVM.Summary.Mean)
+	}
+
+	// Finding 3: repair is ~2x faster for VMs, Log-normal distributed.
+	fmt.Printf("mean repair: PM %.1f h vs VM %.1f h (best fit: %s)\n",
+		res.Report.RepairPM.Summary.Mean, res.Report.RepairVM.Summary.Mean,
+		res.Report.RepairVM.Fits.BestName())
+
+	// Finding 4: recurrent failures dwarf random ones.
+	for _, r := range res.Report.RandomRecurrent {
+		if r.System == 0 {
+			fmt.Printf("%s: P(fail in a week) %.4f, but P(fail again within a week | just failed) %.3f — %.0fx\n",
+				r.Kind, r.Random, r.Recurrent, r.Ratio)
+		}
+	}
+
+	// The full paper-order report is one call away:
+	fmt.Println("\nrun `go run ./cmd/failanalyze` for every table and figure")
+	return nil
+}

@@ -1,0 +1,340 @@
+// Package failscope reproduces "Failure Analysis of Virtual and Physical
+// Machines: Patterns, Causes and Characteristics" (Birke et al., DSN 2014)
+// end to end: a calibrated datacenter field-data simulator standing in for
+// the five commercial subsystems the paper measured, the ticket-mining
+// collection pipeline of §III, and the failure-analysis library of §IV–§VI
+// that regenerates every table and figure of the paper.
+//
+// The typical flow is three calls:
+//
+//	study := failscope.PaperStudy()            // calibrated configuration
+//	res, err := study.Run()                    // generate → collect → analyze
+//	fmt.Print(res.RenderReport())              // all tables and figures
+//
+// Power users can drive the stages separately through Generate, Collect
+// and Analyze, e.g. to persist a generated dataset, swap in their own
+// field data, or run a single analysis on a custom fleet.
+package failscope
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"failscope/internal/core"
+	"failscope/internal/dcsim"
+	"failscope/internal/dist"
+	"failscope/internal/ftsim"
+	"failscope/internal/ingest"
+	"failscope/internal/model"
+	"failscope/internal/monitordb"
+	"failscope/internal/predict"
+	"failscope/internal/report"
+	"failscope/internal/ticketdb"
+	"failscope/internal/xrand"
+)
+
+// Re-exported domain types, so that library users never need to import
+// internal packages.
+type (
+	// Dataset is the assembled field data (machines, tickets, incidents).
+	Dataset = model.Dataset
+	// Machine is one server in the study.
+	Machine = model.Machine
+	// Ticket is one problem-ticket record.
+	Ticket = model.Ticket
+	// Incident is one (possibly multi-server) failure event.
+	Incident = model.Incident
+	// Attributes are the per-machine measurements of interest.
+	Attributes = model.Attributes
+	// MachineID identifies a machine.
+	MachineID = model.MachineID
+	// MachineKind distinguishes PMs, VMs and hosting boxes.
+	MachineKind = model.MachineKind
+	// System identifies a datacenter subsystem.
+	System = model.System
+	// FailureClass is the six-way crash classification.
+	FailureClass = model.FailureClass
+	// Window is an observation interval.
+	Window = model.Window
+
+	// GeneratorConfig is the full simulator configuration.
+	GeneratorConfig = dcsim.Config
+	// CollectOptions configures the ticket-mining pipeline.
+	CollectOptions = ingest.Options
+	// Collection is the pipeline output (dataset + attributes + report).
+	Collection = ingest.Collection
+	// ClassifierReport scores the k-means ticket classification.
+	ClassifierReport = ingest.ClassifierReport
+	// AnalysisInput feeds the analysis library.
+	AnalysisInput = core.Input
+	// AnalysisReport bundles every table and figure of the paper.
+	AnalysisReport = core.Report
+	// FieldData is the raw generated databases.
+	FieldData = dcsim.Output
+
+	// Per-analysis result types (one per table/figure).
+	SystemStats        = core.SystemStats        // Table II
+	ClassShare         = core.ClassShare         // Fig. 1
+	RateSummary        = core.RateSummary        // Fig. 2
+	InterFailureResult = core.InterFailureResult // Fig. 3
+	ClassGapStats      = core.ClassGapStats      // Table III
+	RepairResult       = core.RepairResult       // Fig. 4
+	ClassRepairStats   = core.ClassRepairStats   // Table IV
+	RecurrenceResult   = core.RecurrenceResult   // Fig. 5
+	RandomVsRecurrent  = core.RandomVsRecurrent  // Table V
+	SpatialResult      = core.SpatialResult      // Table VI
+	ClassSpatialStats  = core.ClassSpatialStats  // Table VII
+	AgeResult          = core.AgeResult          // Fig. 6
+	BinnedRates        = core.BinnedRates        // Figs. 7-10
+	AttrBin            = core.AttrBin
+
+	// Failure-prediction extension: learn which servers will fail next
+	// from the paper's factor set.
+	PredictionDataset    = predict.Dataset
+	PredictionExample    = predict.Example
+	PredictionModel      = predict.Model
+	PredictionEvaluation = predict.Evaluation
+	PredictionScorer     = predict.Scorer
+
+	// Fault-tolerance simulation extension: evaluate replica-placement
+	// policies under the fitted failure models.
+	FTConfig    = ftsim.Config
+	FTResult    = ftsim.Result
+	FTPlacement = ftsim.Placement
+)
+
+// Replica-placement policies for the fault-tolerance simulator.
+const (
+	PlacementSpread = ftsim.Spread
+	PlacementPack   = ftsim.Pack
+)
+
+// Distribution is a fitted continuous distribution (Gamma, Weibull,
+// Lognormal, Exponential or a scaled wrapper); obtained from the analysis
+// report's fit selections.
+type Distribution = dist.Distribution
+
+// ScaleDistribution returns the distribution of factor·X — the unit-change
+// wrapper (e.g. drive an hour-clock simulator with a gap model fitted in
+// days using factor 24).
+func ScaleDistribution(d Distribution, factor float64) (Distribution, error) {
+	s, err := dist.NewScaled(d, factor)
+	if err != nil {
+		return nil, fmt.Errorf("failscope: scale distribution: %w", err)
+	}
+	return s, nil
+}
+
+// SimulateService runs the discrete-event fault-tolerance simulation.
+func SimulateService(cfg FTConfig) (FTResult, error) {
+	res, err := ftsim.Run(cfg)
+	if err != nil {
+		return FTResult{}, fmt.Errorf("failscope: simulate service: %w", err)
+	}
+	return res, nil
+}
+
+// ComparePlacements runs the same service under spread and pack placement.
+func ComparePlacements(cfg FTConfig) (map[FTPlacement]FTResult, error) {
+	out, err := ftsim.Compare(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("failscope: compare placements: %w", err)
+	}
+	return out, nil
+}
+
+// SystemProfile is the per-subsystem operator one-pager.
+type SystemProfile = core.SystemProfile
+
+// ProfileSystem assembles the per-system deep dive: populations, rates by
+// kind, class mix, repair picture, recurrence and the worst offenders.
+func ProfileSystem(in AnalysisInput, sys System, topN int) SystemProfile {
+	return core.Profile(in, sys, topN)
+}
+
+// PredictionFeatureNames lists the model inputs, in feature-vector order.
+func PredictionFeatureNames() []string {
+	return append([]string(nil), predict.FeatureNames...)
+}
+
+// BuildPredictionDataset derives a train/test failure-prediction dataset
+// from an analysis input: features up to the split time, labels from the
+// crash history after it.
+func BuildPredictionDataset(in AnalysisInput, split time.Time, trainShare float64) (*PredictionDataset, error) {
+	ds, err := predict.BuildDataset(in, split, trainShare)
+	if err != nil {
+		return nil, fmt.Errorf("failscope: build prediction dataset: %w", err)
+	}
+	return ds, nil
+}
+
+// TrainPredictor fits the logistic failure predictor.
+func TrainPredictor(train []PredictionExample) (*PredictionModel, error) {
+	m, err := predict.TrainLogistic(train, predict.DefaultTrainOptions())
+	if err != nil {
+		return nil, fmt.Errorf("failscope: train predictor: %w", err)
+	}
+	return m, nil
+}
+
+// EvaluatePredictor scores a predictor (or baseline) on test examples.
+func EvaluatePredictor(s PredictionScorer, test []PredictionExample) PredictionEvaluation {
+	return predict.Evaluate(s, test)
+}
+
+// HistoryBaseline is the past-failures-only scorer the learned model is
+// compared against.
+func HistoryBaseline() PredictionScorer { return predict.HistoryBaseline() }
+
+// Machine kinds and failure classes, re-exported.
+const (
+	PM  = model.PM
+	VM  = model.VM
+	Box = model.Box
+
+	ClassHardware = model.ClassHardware
+	ClassNetwork  = model.ClassNetwork
+	ClassSoftware = model.ClassSoftware
+	ClassPower    = model.ClassPower
+	ClassReboot   = model.ClassReboot
+	ClassOther    = model.ClassOther
+)
+
+// Study is a reproducible experiment: a generator configuration plus
+// collection options.
+type Study struct {
+	Generator GeneratorConfig
+	Collect   CollectOptions
+}
+
+// PaperStudy returns the study calibrated to the paper's published
+// statistics: five subsystems, ~10K machines, one year of tickets.
+func PaperStudy() Study {
+	gen := dcsim.PaperConfig()
+	return Study{
+		Generator: gen,
+		Collect:   ingest.DefaultOptions(gen.Observation, gen.FineWindow),
+	}
+}
+
+// SmallStudy returns a scaled-down study (~1/8 of the populations) for
+// quick experiments and tests.
+func SmallStudy() Study {
+	gen := dcsim.SmallConfig()
+	return Study{
+		Generator: gen,
+		Collect:   ingest.DefaultOptions(gen.Observation, gen.FineWindow),
+	}
+}
+
+// Result is a completed study run.
+type Result struct {
+	Field      *FieldData
+	Collection *Collection
+	Report     *AnalysisReport
+}
+
+// Run executes the full pipeline: generate field data, run the collection
+// pipeline, and analyze.
+func (s Study) Run() (*Result, error) {
+	field, err := Generate(s.Generator)
+	if err != nil {
+		return nil, err
+	}
+	col, err := Collect(field, s.Collect)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := Analyze(AnalysisInput{Data: col.Data, Attrs: col.Attrs})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Field: field, Collection: col, Report: rep}, nil
+}
+
+// Generate runs the datacenter simulator, producing raw field data.
+func Generate(cfg GeneratorConfig) (*FieldData, error) {
+	out, err := dcsim.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("failscope: generate: %w", err)
+	}
+	return out, nil
+}
+
+// Collect runs the §III data-collection pipeline over field data.
+func Collect(field *FieldData, opts CollectOptions) (*Collection, error) {
+	col, err := ingest.Collect(field.Data, field.Tickets, field.Monitor, opts)
+	if err != nil {
+		return nil, fmt.Errorf("failscope: collect: %w", err)
+	}
+	return col, nil
+}
+
+// CollectDataset runs the pipeline over an externally supplied dataset and
+// monitoring database (e.g. real field data decoded from disk).
+func CollectDataset(data *Dataset, tickets []Ticket, monitor *monitordb.DB, opts CollectOptions) (*Collection, error) {
+	store := ticketdb.NewStore()
+	for _, t := range tickets {
+		store.Append(t)
+	}
+	col, err := ingest.Collect(data, store, monitor, opts)
+	if err != nil {
+		return nil, fmt.Errorf("failscope: collect dataset: %w", err)
+	}
+	return col, nil
+}
+
+// Analyze runs the complete §IV–§VI analysis.
+func Analyze(in AnalysisInput) (*AnalysisReport, error) {
+	rep, err := core.Analyze(in)
+	if err != nil {
+		return nil, fmt.Errorf("failscope: analyze: %w", err)
+	}
+	return rep, nil
+}
+
+// RenderReport renders every table and figure of the paper as text.
+func (r *Result) RenderReport() string {
+	return report.Full(r.Report)
+}
+
+// WriteDataset persists the generated dataset as JSON Lines.
+func WriteDataset(w io.Writer, d *Dataset) error { return d.Encode(w) }
+
+// ReadDataset loads a dataset written with WriteDataset.
+func ReadDataset(r io.Reader) (*Dataset, error) { return model.Decode(r) }
+
+// MonitorDB is the resource-monitoring database (usage series, placements,
+// power events).
+type MonitorDB = monitordb.DB
+
+// WriteMonitor persists a monitoring database as JSON Lines.
+func WriteMonitor(w io.Writer, db *MonitorDB) error { return db.Encode(w) }
+
+// ReadMonitor loads a monitoring database written with WriteMonitor (or an
+// external telemetry export in the same format).
+func ReadMonitor(r io.Reader) (*MonitorDB, error) { return monitordb.Decode(r) }
+
+// NewEmptyMonitor returns an empty monitoring database (analyses needing
+// usage/consolidation attributes will be restricted accordingly).
+func NewEmptyMonitor(epoch time.Time, retention time.Duration) *MonitorDB {
+	return monitordb.New(epoch, retention)
+}
+
+// RNG is the deterministic random number generator used across the
+// library; exposed so callers can sample from fitted distributions (e.g.
+// in reliability models built on top of the analysis).
+type RNG = xrand.RNG
+
+// NewRNG returns a seeded deterministic generator.
+func NewRNG(seed uint64) *RNG { return xrand.New(seed) }
+
+// PaperConfig exposes the calibrated generator configuration for callers
+// who want to tweak individual knobs (seeds, populations, curves).
+func PaperConfig() GeneratorConfig { return dcsim.PaperConfig() }
+
+// DefaultCollectOptions returns pipeline defaults for the given windows.
+func DefaultCollectOptions(obs, fine Window) CollectOptions {
+	return ingest.DefaultOptions(obs, fine)
+}

@@ -1,0 +1,3 @@
+module failscope
+
+go 1.22

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math"
+
+	"failscope/internal/model"
+	"failscope/internal/stats"
+)
+
+// AgeResult is the VM-age analysis of §IV.F (Fig. 6): the distribution of
+// failure counts over VM age at failure, restricted to VMs whose creation
+// date is observable (§III.B).
+type AgeResult struct {
+	// AgesDays is the VM age in days at each failure.
+	AgesDays []float64
+	ECDF     *stats.ECDF
+	// Histogram is the failure-count PDF over age bins.
+	Histogram *stats.Histogram
+	// KSUniform is the Kolmogorov–Smirnov distance between the age CDF
+	// and the uniform distribution on [0, MaxAgeDays]; small values mean
+	// "CDF close to the diagonal".
+	KSUniform  float64
+	MaxAgeDays float64
+	// TrendSlope is the least-squares slope of bin density over age
+	// (per bin); positive = failures increase with age.
+	TrendSlope float64
+	// EligibleVMs / TotalVMs tracks the population covered by the age
+	// filter (the paper keeps ~75%).
+	EligibleVMs int
+	TotalVMs    int
+	// BathtubScore compares edge-bin density to middle-bin density; a
+	// bathtub curve scores well above 1, a uniform/weakly increasing
+	// profile near 1.
+	BathtubScore float64
+}
+
+// AgeAnalysis reproduces Fig. 6.
+func AgeAnalysis(in Input, bins int) AgeResult {
+	if bins <= 0 {
+		bins = 24
+	}
+	res := AgeResult{}
+	eligible := make(map[model.MachineID]bool)
+	for _, m := range in.Data.Machines {
+		if m.Kind != model.VM {
+			continue
+		}
+		res.TotalVMs++
+		if in.attrsOf(m.ID).AgeKnown {
+			eligible[m.ID] = true
+			res.EligibleVMs++
+		}
+	}
+	for _, t := range in.Data.Tickets {
+		if !t.IsCrash || !eligible[t.ServerID] {
+			continue
+		}
+		created := in.attrsOf(t.ServerID).Created
+		age := days(t.Opened.Sub(created))
+		if age >= 0 {
+			res.AgesDays = append(res.AgesDays, age)
+		}
+	}
+	if len(res.AgesDays) == 0 {
+		return res
+	}
+	for _, a := range res.AgesDays {
+		if a > res.MaxAgeDays {
+			res.MaxAgeDays = a
+		}
+	}
+	if ecdf, err := stats.NewECDF(res.AgesDays); err == nil {
+		res.ECDF = ecdf
+		maxAge := res.MaxAgeDays
+		res.KSUniform = ecdf.KSDistance(func(x float64) float64 {
+			if x <= 0 {
+				return 0
+			}
+			if x >= maxAge {
+				return 1
+			}
+			return x / maxAge
+		})
+	}
+	edges := stats.LinearEdges(0, res.MaxAgeDays+1e-9, bins)
+	if h, err := stats.NewHistogram(res.AgesDays, edges); err == nil {
+		res.Histogram = h
+		dens := h.Densities()
+		res.TrendSlope = slope(dens)
+		res.BathtubScore = bathtub(dens)
+	}
+	return res
+}
+
+// slope returns the least-squares slope of y over index.
+func slope(y []float64) float64 {
+	n := float64(len(y))
+	if n < 2 {
+		return math.NaN()
+	}
+	var sx, sy, sxy, sxx float64
+	for i, v := range y {
+		x := float64(i)
+		sx += x
+		sy += v
+		sxy += x * v
+		sxx += x * x
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN()
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// bathtub compares the mean density of the outer quarter bins to the
+// middle half.
+func bathtub(dens []float64) float64 {
+	n := len(dens)
+	if n < 4 {
+		return math.NaN()
+	}
+	q := n / 4
+	var edge, mid float64
+	var ne, nm int
+	for i, v := range dens {
+		if i < q || i >= n-q {
+			edge += v
+			ne++
+		} else {
+			mid += v
+			nm++
+		}
+	}
+	if nm == 0 || ne == 0 || mid == 0 {
+		return math.NaN()
+	}
+	return (edge / float64(ne)) / (mid / float64(nm))
+}

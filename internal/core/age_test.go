@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"failscope/internal/model"
+)
+
+func TestAgeAnalysisFiltersUnknownCreation(t *testing.T) {
+	b := newBuilder().
+		machine("vmKnown", model.VM, model.SysI, model.Capacity{}).
+		machine("vmUnknown", model.VM, model.SysI, model.Capacity{})
+	created := t0.AddDate(0, -6, 0)
+	b.attr("vmKnown", model.Attributes{Created: created, AgeKnown: true})
+	b.attr("vmUnknown", model.Attributes{Created: t0.AddDate(-1, 0, 0), AgeKnown: false})
+	b.crash("vmKnown", model.SysI, 30, model.ClassSoftware, 1)
+	b.crash("vmUnknown", model.SysI, 40, model.ClassSoftware, 1)
+	in := b.input()
+
+	res := AgeAnalysis(in, 12)
+	if res.TotalVMs != 2 || res.EligibleVMs != 1 {
+		t.Fatalf("eligibility: %+v", res)
+	}
+	if len(res.AgesDays) != 1 {
+		t.Fatalf("ages = %v", res.AgesDays)
+	}
+	wantAge := t0.Add(30*24*time.Hour).Sub(created).Hours() / 24
+	if math.Abs(res.AgesDays[0]-wantAge) > 1e-9 {
+		t.Fatalf("age %v, want %v", res.AgesDays[0], wantAge)
+	}
+}
+
+func TestAgeAnalysisEmpty(t *testing.T) {
+	in := newBuilder().machine("pm", model.PM, model.SysI, model.Capacity{}).input()
+	res := AgeAnalysis(in, 10)
+	if len(res.AgesDays) != 0 || res.ECDF != nil || res.Histogram != nil {
+		t.Fatalf("empty age analysis: %+v", res)
+	}
+}
+
+func TestAgeAnalysisUniformAges(t *testing.T) {
+	b := newBuilder()
+	created := t0 // ages then span [0, ~1 year], matching the KS reference
+	b.machine("vm", model.VM, model.SysI, model.Capacity{})
+	b.attr("vm", model.Attributes{Created: created, AgeKnown: true})
+	// Failures spread evenly across the year: CDF close to the diagonal.
+	for day := 5; day < 360; day += 10 {
+		b.crash("vm", model.SysI, day, model.ClassSoftware, 1)
+	}
+	in := b.input()
+	res := AgeAnalysis(in, 12)
+	if res.KSUniform > 0.1 {
+		t.Fatalf("uniform ages yielded KS %v", res.KSUniform)
+	}
+	if math.Abs(res.TrendSlope) > 0.01 {
+		t.Fatalf("uniform ages yielded trend %v", res.TrendSlope)
+	}
+}
+
+func TestSlope(t *testing.T) {
+	if got := slope([]float64{1, 2, 3, 4}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("slope = %v, want 1", got)
+	}
+	if got := slope([]float64{5, 5, 5}); math.Abs(got) > 1e-12 {
+		t.Fatalf("flat slope = %v", got)
+	}
+	if !math.IsNaN(slope([]float64{1})) {
+		t.Fatal("slope of single point should be NaN")
+	}
+}
+
+func TestBathtubScore(t *testing.T) {
+	// A clear bathtub: heavy edges, light middle.
+	tub := []float64{4, 3, 1, 1, 1, 1, 3, 4}
+	if got := bathtub(tub); got < 2 {
+		t.Fatalf("bathtub score %v for a bathtub shape", got)
+	}
+	flat := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	if got := bathtub(flat); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("flat score %v, want 1", got)
+	}
+	if !math.IsNaN(bathtub([]float64{1, 2})) {
+		t.Fatal("too-few bins should score NaN")
+	}
+}
+
+func TestAnalyzeRunsOnTinyDataset(t *testing.T) {
+	b := newBuilder().
+		machine("pm", model.PM, model.SysI, model.Capacity{CPUs: 4, MemoryGB: 8}).
+		machine("vm", model.VM, model.SysI, model.Capacity{CPUs: 2, MemoryGB: 2, DiskGB: 64, Disks: 1})
+	b.attr("vm", model.Attributes{
+		CPUUtil: 10, MemUtil: 20, DiskUtil: 30, NetKbps: 64, HasUsage: true,
+		AvgConsolidation: 8, HasConsolidation: true,
+		OnOffPerMonth: 1, HasOnOff: true,
+		Created: t0.AddDate(0, -3, 0), AgeKnown: true,
+	})
+	b.crash("pm", model.SysI, 1, model.ClassHardware, 12)
+	b.crash("vm", model.SysI, 2, model.ClassReboot, 2)
+	b.incident("i1", model.ClassReboot, "vm")
+	in := b.input()
+
+	rep, err := Analyze(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DatasetStats[len(rep.DatasetStats)-1].CrashTickets != 2 {
+		t.Fatalf("total crash tickets: %+v", rep.DatasetStats)
+	}
+	if rep.Spatial.Incidents != 1 {
+		t.Fatalf("incidents: %+v", rep.Spatial)
+	}
+	if len(rep.Capacity) != 6 || len(rep.Usage) != 6 {
+		t.Fatalf("panels: %d capacity, %d usage", len(rep.Capacity), len(rep.Usage))
+	}
+}
+
+func TestAnalyzeNilDataset(t *testing.T) {
+	if _, err := Analyze(Input{}); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+}
+
+func TestAgeHazardExposureNormalization(t *testing.T) {
+	// Two VMs: one created at window start (observable ages 0..12mo), one
+	// created 1 year earlier (observable ages 12..24mo). One failure each
+	// at a mid-window moment. With equal exposure per covered bucket, the
+	// hazard must be flat across both age regions, not declining.
+	b := newBuilder().
+		machine("young", model.VM, model.SysI, model.Capacity{}).
+		machine("old", model.VM, model.SysI, model.Capacity{})
+	b.attr("young", model.Attributes{Created: t0, AgeKnown: true})
+	b.attr("old", model.Attributes{Created: t0.AddDate(-1, 0, 0), AgeKnown: true})
+	b.crash("young", model.SysI, 100, model.ClassSoftware, 1) // age ~100 d
+	b.crash("old", model.SysI, 100, model.ClassSoftware, 1)   // age ~465 d
+	in := b.input()
+
+	res := AgeHazard(in, 365, 730)
+	if len(res.Bins) != 2 {
+		t.Fatalf("bins = %d", len(res.Bins))
+	}
+	if res.EligibleVMs != 2 {
+		t.Fatalf("eligible = %d", res.EligibleVMs)
+	}
+	// Each VM contributes ~1 year of exposure to exactly one bucket, and
+	// one failure lands in each bucket: equal rates.
+	if res.Bins[0].Failures != 1 || res.Bins[1].Failures != 1 {
+		t.Fatalf("failures: %+v", res.Bins)
+	}
+	if math.Abs(res.Bins[0].Rate-res.Bins[1].Rate) > 0.05*res.Bins[0].Rate {
+		t.Fatalf("hazard not exposure-normalized: %v vs %v", res.Bins[0].Rate, res.Bins[1].Rate)
+	}
+}
+
+func TestAgeHazardOnGeneratedData(t *testing.T) {
+	in := generatedInput(t)
+	res := AgeHazard(in, 60, 730)
+	if res.EligibleVMs == 0 {
+		t.Fatal("no eligible VMs")
+	}
+	totalFailures := 0
+	totalExposure := 0.0
+	for _, bin := range res.Bins {
+		if bin.Rate < 0 || bin.ExposureYears < 0 {
+			t.Fatalf("negative bin: %+v", bin)
+		}
+		totalFailures += bin.Failures
+		totalExposure += bin.ExposureYears
+	}
+	if totalFailures == 0 || totalExposure <= 0 {
+		t.Fatalf("degenerate hazard: %d failures, %.1f exposure-years", totalFailures, totalExposure)
+	}
+	// The overall hazard should be in the ballpark of the VM yearly
+	// failure rate (weekly ≈ 0.004 → ≈ 0.2/yr).
+	overall := float64(totalFailures) / totalExposure
+	if overall < 0.02 || overall > 2 {
+		t.Errorf("overall hazard %.3f failures/VM-year implausible", overall)
+	}
+}
+
+func TestAgeHazardDefaults(t *testing.T) {
+	in := newBuilder().machine("vm", model.VM, model.SysI, model.Capacity{}).input()
+	res := AgeHazard(in, 0, 0)
+	if len(res.Bins) != 24 { // 730/30 rounded down
+		t.Fatalf("default bins = %d", len(res.Bins))
+	}
+}

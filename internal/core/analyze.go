@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"failscope/internal/model"
+)
+
+// Report bundles every analysis of the paper, one field per table/figure.
+type Report struct {
+	DatasetStats      []SystemStats       // Table II
+	ClassDistribution []ClassShare        // Fig. 1
+	WeeklyRates       []RateSummary       // Fig. 2
+	InterFailurePM    InterFailureResult  // Fig. 3
+	InterFailureVM    InterFailureResult  // Fig. 3
+	InterFailureClass []ClassGapStats     // Table III
+	RepairPM          RepairResult        // Fig. 4
+	RepairVM          RepairResult        // Fig. 4
+	RepairClass       []ClassRepairStats  // Table IV
+	RecurrencePM      RecurrenceResult    // Fig. 5
+	RecurrenceVM      RecurrenceResult    // Fig. 5
+	RandomRecurrent   []RandomVsRecurrent // Table V
+	Spatial           SpatialResult       // Table VI
+	SpatialClass      []ClassSpatialStats // Table VII
+	Age               AgeResult           // Fig. 6
+	AgeHazard         HazardResult        // Fig. 6 extension: exposure-normalized
+	FleetSeries       WeeklySeries        // extension: fleet-level burstiness
+	ClassRecurrences  []ClassRecurrence   // extension: per-class recurrence
+	Capacity          map[string]BinnedRates
+	Usage             map[string]BinnedRates
+	ConsolidationFig  BinnedRates // Fig. 9
+	OnOffFig          BinnedRates // Fig. 10
+}
+
+// Analyze runs the complete study.
+func Analyze(in Input) (*Report, error) {
+	if in.Data == nil {
+		return nil, fmt.Errorf("core: nil dataset")
+	}
+	r := &Report{
+		DatasetStats:      DatasetStats(in),
+		ClassDistribution: ClassDistribution(in),
+		WeeklyRates:       WeeklyFailureRates(in),
+		InterFailurePM:    InterFailure(in, model.PM),
+		InterFailureVM:    InterFailure(in, model.VM),
+		InterFailureClass: InterFailureByClass(in),
+		RepairPM:          RepairTimes(in, model.PM),
+		RepairVM:          RepairTimes(in, model.VM),
+		RepairClass:       RepairByClass(in),
+		RecurrencePM:      Recurrence(in, model.PM, 0),
+		RecurrenceVM:      Recurrence(in, model.VM, 0),
+		RandomRecurrent:   RandomVsRecurrentTable(in),
+		Spatial:           Spatial(in),
+		SpatialClass:      ServersPerIncidentByClass(in),
+		Age:               AgeAnalysis(in, 24),
+		AgeHazard:         AgeHazard(in, 60, 730),
+		FleetSeries:       WeeklyFailureSeries(in, 0),
+		ClassRecurrences:  RecurrenceByClass(in, 0),
+	}
+	var err error
+	if r.Capacity, err = CapacityStudy(in); err != nil {
+		return nil, err
+	}
+	if r.Usage, err = UsageStudy(in); err != nil {
+		return nil, err
+	}
+	if r.ConsolidationFig, err = Consolidation(in); err != nil {
+		return nil, err
+	}
+	if r.OnOffFig, err = OnOff(in); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

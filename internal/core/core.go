@@ -1,0 +1,86 @@
+// Package core is the paper's primary contribution as a reusable library:
+// the failure-analysis methodology of §IV–§VI. Every metric reported in
+// the paper's tables and figures — failure rates, random and recurrent
+// failure probabilities, inter-failure and repair time distributions with
+// model selection, spatial dependency, age effects, and the correlation of
+// failure rates with resource capacity, usage and VM management — is
+// computed here from an assembled dataset plus per-machine attributes.
+package core
+
+import (
+	"sort"
+	"time"
+
+	"failscope/internal/model"
+)
+
+// Input is the analysis input: the dataset (machines + tickets +
+// incidents, restricted to the observation window) and the per-machine
+// measurements of interest joined by the collection pipeline.
+type Input struct {
+	Data  *model.Dataset
+	Attrs map[model.MachineID]model.Attributes
+}
+
+// attrsOf returns the machine's attributes (zero value if absent).
+func (in Input) attrsOf(id model.MachineID) model.Attributes {
+	if in.Attrs == nil {
+		return model.Attributes{}
+	}
+	return in.Attrs[id]
+}
+
+// crashBy returns crash tickets grouped per server, each group time-sorted.
+func crashBy(data *model.Dataset) map[model.MachineID][]model.Ticket {
+	by := make(map[model.MachineID][]model.Ticket)
+	for _, t := range data.Tickets {
+		if t.IsCrash {
+			by[t.ServerID] = append(by[t.ServerID], t)
+		}
+	}
+	for id := range by {
+		ts := by[id]
+		sort.Slice(ts, func(i, j int) bool { return ts[i].Opened.Before(ts[j].Opened) })
+		by[id] = ts
+	}
+	return by
+}
+
+// crashOf returns the crash tickets on machines of the given kind
+// (system <= 0 means all systems), time-sorted.
+func crashOf(data *model.Dataset, kind model.MachineKind, system model.System) []model.Ticket {
+	var out []model.Ticket
+	for _, t := range data.Tickets {
+		if !t.IsCrash {
+			continue
+		}
+		m := data.Machine(t.ServerID)
+		if m == nil || m.Kind != kind {
+			continue
+		}
+		if system > 0 && m.System != system {
+			continue
+		}
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Opened.Before(out[j].Opened) })
+	return out
+}
+
+// weeklyCounts buckets ticket open times into the observation window's
+// week bins.
+func weeklyCounts(w model.Window, tickets []model.Ticket) []int {
+	counts := make([]int, w.NumWeeks())
+	for _, t := range tickets {
+		if idx := w.WeekIndex(t.Opened); idx >= 0 {
+			counts[idx]++
+		}
+	}
+	return counts
+}
+
+// days converts a duration to fractional days.
+func days(d time.Duration) float64 { return d.Hours() / 24 }
+
+// hours converts a duration to fractional hours.
+func hours(d time.Duration) float64 { return d.Hours() }

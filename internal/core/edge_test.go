@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"failscope/internal/model"
+)
+
+// Edge cases: analyses must degrade gracefully on empty or degenerate
+// populations (a machine with no failures, a class with no tickets, a
+// kind with no machines).
+
+func TestInterFailureEmptyPopulation(t *testing.T) {
+	in := newBuilder().machine("pm", model.PM, model.SysI, model.Capacity{}).input()
+	res := InterFailure(in, model.VM)
+	if res.FailingServers != 0 || len(res.GapsDays) != 0 {
+		t.Fatalf("empty population: %+v", res)
+	}
+	if res.ECDF != nil {
+		t.Fatal("ECDF built from nothing")
+	}
+	if _, ok := res.Fits.Best(); ok {
+		t.Fatal("fit reported on empty sample")
+	}
+	if res.KS.N != 0 {
+		t.Fatal("KS populated on empty sample")
+	}
+}
+
+func TestRepairTimesEmptyPopulation(t *testing.T) {
+	in := newBuilder().machine("pm", model.PM, model.SysI, model.Capacity{}).input()
+	res := RepairTimes(in, model.VM)
+	if res.Summary.N != 0 || res.RebootShare != 0 {
+		t.Fatalf("empty repair analysis: %+v", res.Summary)
+	}
+}
+
+func TestRecurrenceNoFailures(t *testing.T) {
+	in := newBuilder().machine("pm", model.PM, model.SysI, model.Capacity{}).input()
+	res := Recurrence(in, model.PM, 0)
+	if res.Failures != 0 || res.WithinWeek != 0 {
+		t.Fatalf("no-failure recurrence: %+v", res)
+	}
+}
+
+func TestRecurrencePerSystemFilter(t *testing.T) {
+	b := newBuilder().
+		machine("pm1", model.PM, model.SysI, model.Capacity{}).
+		machine("pm2", model.PM, model.SysII, model.Capacity{})
+	b.crash("pm1", model.SysI, 0, model.ClassSoftware, 1)
+	b.crash("pm1", model.SysI, 2, model.ClassSoftware, 1)
+	b.crash("pm2", model.SysII, 0, model.ClassSoftware, 1)
+	in := b.input()
+
+	sysI := Recurrence(in, model.PM, model.SysI)
+	if sysI.Failures != 2 {
+		t.Fatalf("Sys I failures = %d", sysI.Failures)
+	}
+	sysII := Recurrence(in, model.PM, model.SysII)
+	if sysII.Failures != 1 || sysII.WithinWeek != 0 {
+		t.Fatalf("Sys II recurrence: %+v", sysII)
+	}
+}
+
+func TestDatasetStatsNoTickets(t *testing.T) {
+	in := newBuilder().machine("pm", model.PM, model.SysI, model.Capacity{}).input()
+	rows := DatasetStats(in)
+	if rows[0].CrashShare != 0 || rows[0].PMShare != 0 {
+		t.Fatalf("empty shares: %+v", rows[0])
+	}
+}
+
+func TestClassDistributionNoCrashes(t *testing.T) {
+	in := newBuilder().machine("pm", model.PM, model.SysI, model.Capacity{}).input()
+	rows := ClassDistribution(in)
+	for _, r := range rows {
+		if r.Share != 0 || r.Count != 0 {
+			t.Fatalf("non-zero share without crashes: %+v", r)
+		}
+	}
+}
+
+func TestRepairByClassSkipsZeroDurations(t *testing.T) {
+	b := newBuilder().machine("pm", model.PM, model.SysI, model.Capacity{})
+	b.crash("pm", model.SysI, 0, model.ClassPower, 0) // zero repair: excluded
+	b.crash("pm", model.SysI, 1, model.ClassPower, 4)
+	in := b.input()
+	for _, r := range RepairByClass(in) {
+		if r.Class == model.ClassPower {
+			if r.N != 1 || r.Mean != 4 {
+				t.Fatalf("power row: %+v", r)
+			}
+		}
+	}
+}
+
+func TestInterFailureIgnoresSimultaneousTickets(t *testing.T) {
+	// Two tickets at the identical instant (one incident hitting the same
+	// server twice would be a data bug; zero gaps must not poison fits).
+	b := newBuilder().machine("pm", model.PM, model.SysI, model.Capacity{})
+	b.crash("pm", model.SysI, 5, model.ClassSoftware, 1)
+	b.crash("pm", model.SysI, 5, model.ClassSoftware, 1)
+	b.crash("pm", model.SysI, 10, model.ClassSoftware, 1)
+	in := b.input()
+	res := InterFailure(in, model.PM)
+	for _, g := range res.GapsDays {
+		if g <= 0 {
+			t.Fatalf("non-positive gap %v", g)
+		}
+	}
+	if len(res.GapsDays) != 1 {
+		t.Fatalf("gaps: %v", res.GapsDays)
+	}
+}
+
+func TestRandomVsRecurrentUndefinedRatio(t *testing.T) {
+	// Sys II-like case: a kind with zero failures has ratio 0 (undefined),
+	// mirroring the paper's "N.A." cell.
+	in := newBuilder().
+		machine("vm", model.VM, model.SysII, model.Capacity{}).
+		machine("pm", model.PM, model.SysI, model.Capacity{}).
+		input()
+	for _, r := range RandomVsRecurrentTable(in) {
+		if r.Kind == model.VM && r.System == model.SysII {
+			if r.Ratio != 0 || !math.IsNaN(r.Ratio) && r.Ratio != 0 {
+				t.Fatalf("Sys II VM ratio: %+v", r)
+			}
+		}
+	}
+}
+
+func TestAttrsOfNilMap(t *testing.T) {
+	in := Input{Data: newBuilder().machine("m", model.PM, model.SysI, model.Capacity{}).input().Data}
+	if a := in.attrsOf("m"); a.HasUsage {
+		t.Fatal("nil attrs map should yield zero attributes")
+	}
+}

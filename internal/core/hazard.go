@@ -1,0 +1,114 @@
+package core
+
+import (
+	"time"
+
+	"failscope/internal/model"
+)
+
+// HazardBin is one age bucket of the exposure-normalized failure hazard.
+type HazardBin struct {
+	LoDays, HiDays float64
+	Failures       int
+	// ExposureYears is the total VM-time spent inside this age bucket
+	// during the observation window.
+	ExposureYears float64
+	// Rate is failures per VM-year of exposure at this age.
+	Rate float64
+}
+
+// HazardResult is the empirical age-specific failure hazard of VMs: the
+// failure rate per VM-year of *exposure* at each age. Fig. 6 plots raw
+// failure counts over age, which confounds the age effect with the
+// population's creation-date distribution (only early-created VMs can be
+// observed old); normalizing by exposure removes that bias, so the hazard
+// curve is the clean answer to the paper's bathtub question.
+type HazardResult struct {
+	Bins []HazardBin
+	// TrendSlope is the least-squares slope of the bin rates (per bin);
+	// positive = the hazard genuinely increases with age.
+	TrendSlope float64
+	// BathtubScore compares edge-bin hazards to the middle, as in Fig. 6.
+	BathtubScore float64
+	// EligibleVMs is the age-known population used.
+	EligibleVMs int
+}
+
+// AgeHazard computes the VM age hazard over bins of binDays, up to maxDays
+// of age.
+func AgeHazard(in Input, binDays, maxDays float64) HazardResult {
+	if binDays <= 0 {
+		binDays = 30
+	}
+	if maxDays <= 0 {
+		maxDays = 730
+	}
+	nBins := int(maxDays / binDays)
+	if nBins < 1 {
+		nBins = 1
+	}
+	res := HazardResult{Bins: make([]HazardBin, nBins)}
+	for i := range res.Bins {
+		res.Bins[i].LoDays = float64(i) * binDays
+		res.Bins[i].HiDays = float64(i+1) * binDays
+	}
+
+	obs := in.Data.Observation
+	eligible := make(map[model.MachineID]bool)
+	for _, m := range in.Data.Machines {
+		if m.Kind != model.VM || !in.attrsOf(m.ID).AgeKnown {
+			continue
+		}
+		eligible[m.ID] = true
+		res.EligibleVMs++
+
+		// Exposure: the VM occupies age bucket i during calendar interval
+		// [created + lo, created + hi), clipped to the observation window.
+		created := in.attrsOf(m.ID).Created
+		for i := range res.Bins {
+			start := created.Add(dur(res.Bins[i].LoDays))
+			end := created.Add(dur(res.Bins[i].HiDays))
+			if start.Before(obs.Start) {
+				start = obs.Start
+			}
+			if end.After(obs.End) {
+				end = obs.End
+			}
+			if end.After(start) {
+				res.Bins[i].ExposureYears += end.Sub(start).Hours() / (24 * 365)
+			}
+		}
+	}
+
+	for _, t := range in.Data.Tickets {
+		if !t.IsCrash || !eligible[t.ServerID] {
+			continue
+		}
+		age := days(t.Opened.Sub(in.attrsOf(t.ServerID).Created))
+		if age < 0 {
+			continue
+		}
+		idx := int(age / binDays)
+		if idx >= nBins {
+			idx = nBins - 1
+		}
+		res.Bins[idx].Failures++
+	}
+
+	rates := make([]float64, 0, nBins)
+	for i := range res.Bins {
+		if res.Bins[i].ExposureYears > 0 {
+			res.Bins[i].Rate = float64(res.Bins[i].Failures) / res.Bins[i].ExposureYears
+		}
+		// Only well-populated bins participate in the trend statistics.
+		if res.Bins[i].ExposureYears > 1 {
+			rates = append(rates, res.Bins[i].Rate)
+		}
+	}
+	res.TrendSlope = slope(rates)
+	res.BathtubScore = bathtub(rates)
+	return res
+}
+
+// dur converts fractional days to a time.Duration.
+func dur(d float64) time.Duration { return time.Duration(d * 24 * float64(time.Hour)) }

@@ -1,0 +1,23 @@
+package core
+
+import (
+	"failscope/internal/model"
+)
+
+// Consolidation reproduces Fig. 9: VM weekly failure rate versus the
+// average monthly consolidation level.
+func Consolidation(in Input) (BinnedRates, error) {
+	return RateByAttribute(in, model.VM, "vm_consolidation",
+		func(_ *model.Machine, a model.Attributes) (float64, bool) {
+			return a.AvgConsolidation, a.HasConsolidation
+		}, ConsolEdges)
+}
+
+// OnOff reproduces Fig. 10: VM weekly failure rate versus the monthly
+// on/off frequency screened from the fine-grained window.
+func OnOff(in Input) (BinnedRates, error) {
+	return RateByAttribute(in, model.VM, "vm_onoff",
+		func(_ *model.Machine, a model.Attributes) (float64, bool) {
+			return a.OnOffPerMonth, a.HasOnOff
+		}, OnOffEdges)
+}

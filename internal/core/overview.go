@@ -1,0 +1,118 @@
+package core
+
+import (
+	"failscope/internal/model"
+)
+
+// SystemStats is one column of Table II.
+type SystemStats struct {
+	System       model.System
+	PMs, VMs     int
+	AllTickets   int
+	CrashTickets int
+	CrashShare   float64 // crash tickets / all tickets
+	PMShare      float64 // of crash tickets, fraction on PMs
+	VMShare      float64
+}
+
+// DatasetStats reproduces Table II: population and ticket statistics per
+// subsystem plus the overall totals (System = 0 row).
+func DatasetStats(in Input) []SystemStats {
+	out := make([]SystemStats, 0, model.NumSystems+1)
+	var total SystemStats
+	var totalPMCrash, totalVMCrash int
+	for _, sys := range model.Systems() {
+		s := SystemStats{
+			System: sys,
+			PMs:    in.Data.CountMachines(model.PM, sys),
+			VMs:    in.Data.CountMachines(model.VM, sys),
+		}
+		var pmCrash, vmCrash int
+		for _, t := range in.Data.Tickets {
+			if t.System != sys {
+				continue
+			}
+			s.AllTickets++
+			if !t.IsCrash {
+				continue
+			}
+			s.CrashTickets++
+			if m := in.Data.Machine(t.ServerID); m != nil {
+				switch m.Kind {
+				case model.PM:
+					pmCrash++
+				case model.VM:
+					vmCrash++
+				}
+			}
+		}
+		if s.AllTickets > 0 {
+			s.CrashShare = float64(s.CrashTickets) / float64(s.AllTickets)
+		}
+		if s.CrashTickets > 0 {
+			s.PMShare = float64(pmCrash) / float64(s.CrashTickets)
+			s.VMShare = float64(vmCrash) / float64(s.CrashTickets)
+		}
+		total.PMs += s.PMs
+		total.VMs += s.VMs
+		total.AllTickets += s.AllTickets
+		total.CrashTickets += s.CrashTickets
+		totalPMCrash += pmCrash
+		totalVMCrash += vmCrash
+		out = append(out, s)
+	}
+	if total.AllTickets > 0 {
+		total.CrashShare = float64(total.CrashTickets) / float64(total.AllTickets)
+	}
+	if total.CrashTickets > 0 {
+		total.PMShare = float64(totalPMCrash) / float64(total.CrashTickets)
+		total.VMShare = float64(totalVMCrash) / float64(total.CrashTickets)
+	}
+	out = append(out, total)
+	return out
+}
+
+// ClassShare is the share of one failure class within a system's crash
+// tickets.
+type ClassShare struct {
+	System model.System // 0 = all systems
+	Class  model.FailureClass
+	Count  int
+	Share  float64 // of all crash tickets in the system
+}
+
+// ClassDistribution reproduces Fig. 1 (the per-system distribution across
+// the five named classes) together with the "other" shares quoted in
+// §III.A. Shares are fractions of all crash tickets including "other".
+func ClassDistribution(in Input) []ClassShare {
+	counts := make(map[model.System]map[model.FailureClass]int)
+	totals := make(map[model.System]int)
+	for _, t := range in.Data.Tickets {
+		if !t.IsCrash {
+			continue
+		}
+		if counts[t.System] == nil {
+			counts[t.System] = make(map[model.FailureClass]int)
+		}
+		counts[t.System][t.Class]++
+		totals[t.System]++
+		if counts[0] == nil {
+			counts[0] = make(map[model.FailureClass]int)
+		}
+		counts[0][t.Class]++
+		totals[0]++
+	}
+	var out []ClassShare
+	systems := append([]model.System{0}, model.Systems()...)
+	for _, sys := range systems {
+		for _, class := range model.Classes() {
+			n := counts[sys][class]
+			share := 0.0
+			if totals[sys] > 0 {
+				share = float64(n) / float64(totals[sys])
+			}
+			out = append(out, ClassShare{System: sys, Class: class, Count: n, Share: share})
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"failscope/internal/model"
+	"failscope/internal/stats"
+)
+
+// SystemProfile is the per-subsystem one-pager an operator would ask for:
+// populations, rates by kind, class mix, repair picture and recurrence —
+// the "statistics relative to each system" the paper computes throughout
+// but never assembles in one place.
+type SystemProfile struct {
+	System model.System
+
+	PMs, VMs     int
+	AllTickets   int
+	CrashTickets int
+
+	// Weekly failure-rate summaries per kind.
+	PMRate stats.Summary
+	VMRate stats.Summary
+
+	// ClassShares is each class's share of the system's crash tickets.
+	ClassShares map[model.FailureClass]float64
+	// DominantClass is the largest *named* class (excluding "other").
+	DominantClass model.FailureClass
+
+	// Repair summaries per kind (hours).
+	PMRepair stats.Summary
+	VMRepair stats.Summary
+
+	// Weekly recurrence per kind.
+	PMRecurrence float64
+	VMRecurrence float64
+
+	// TopFailingServers lists the system's most failure-prone machines.
+	TopFailingServers []ServerFailures
+}
+
+// ServerFailures is one row of a profile's worst-offender list.
+type ServerFailures struct {
+	ID       model.MachineID
+	Kind     model.MachineKind
+	Failures int
+}
+
+// Profile assembles the per-system deep dive. topN bounds the
+// worst-offender list (default 5).
+func Profile(in Input, sys model.System, topN int) SystemProfile {
+	if topN <= 0 {
+		topN = 5
+	}
+	p := SystemProfile{
+		System:      sys,
+		PMs:         in.Data.CountMachines(model.PM, sys),
+		VMs:         in.Data.CountMachines(model.VM, sys),
+		ClassShares: make(map[model.FailureClass]float64),
+	}
+
+	classCounts := make(map[model.FailureClass]int)
+	perServer := make(map[model.MachineID]int)
+	var pmRepairs, vmRepairs []float64
+	for _, t := range in.Data.Tickets {
+		if t.System != sys {
+			continue
+		}
+		p.AllTickets++
+		if !t.IsCrash {
+			continue
+		}
+		p.CrashTickets++
+		classCounts[t.Class]++
+		perServer[t.ServerID]++
+		m := in.Data.Machine(t.ServerID)
+		if m == nil {
+			continue
+		}
+		if h := hours(t.RepairTime()); h > 0 {
+			switch m.Kind {
+			case model.PM:
+				pmRepairs = append(pmRepairs, h)
+			case model.VM:
+				vmRepairs = append(vmRepairs, h)
+			}
+		}
+	}
+	if p.CrashTickets > 0 {
+		best := 0
+		for class, n := range classCounts {
+			p.ClassShares[class] = float64(n) / float64(p.CrashTickets)
+			if class != model.ClassOther && n > best {
+				best = n
+				p.DominantClass = class
+			}
+		}
+	}
+
+	p.PMRate = rateSummary(in, model.PM, sys).Summary
+	p.VMRate = rateSummary(in, model.VM, sys).Summary
+	p.PMRepair = stats.Summarize(pmRepairs)
+	p.VMRepair = stats.Summarize(vmRepairs)
+	p.PMRecurrence = Recurrence(in, model.PM, sys).WithinWeek
+	p.VMRecurrence = Recurrence(in, model.VM, sys).WithinWeek
+
+	p.TopFailingServers = topServers(in, perServer, topN)
+	return p
+}
+
+// topServers selects the topN servers by failure count, breaking ties by
+// ID for determinism.
+func topServers(in Input, perServer map[model.MachineID]int, topN int) []ServerFailures {
+	rows := make([]ServerFailures, 0, len(perServer))
+	for id, n := range perServer {
+		kind := model.MachineKind(0)
+		if m := in.Data.Machine(id); m != nil {
+			kind = m.Kind
+		}
+		rows = append(rows, ServerFailures{ID: id, Kind: kind, Failures: n})
+	}
+	// Selection sort of the top N keeps this dependency-free and O(n·topN).
+	for i := 0; i < topN && i < len(rows); i++ {
+		best := i
+		for j := i + 1; j < len(rows); j++ {
+			if rows[j].Failures > rows[best].Failures ||
+				(rows[j].Failures == rows[best].Failures && rows[j].ID < rows[best].ID) {
+				best = j
+			}
+		}
+		rows[i], rows[best] = rows[best], rows[i]
+	}
+	if len(rows) > topN {
+		rows = rows[:topN]
+	}
+	return rows
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"failscope/internal/model"
+)
+
+func TestProfile(t *testing.T) {
+	b := newBuilder().
+		machine("pm1", model.PM, model.SysI, model.Capacity{}).
+		machine("vm1", model.VM, model.SysI, model.Capacity{}).
+		machine("other", model.PM, model.SysII, model.Capacity{})
+	b.crash("pm1", model.SysI, 0, model.ClassHardware, 10)
+	b.crash("vm1", model.SysI, 1, model.ClassReboot, 2)
+	b.crash("vm1", model.SysI, 2, model.ClassReboot, 3)
+	b.crash("other", model.SysII, 3, model.ClassSoftware, 1)
+	in := b.input()
+
+	p := Profile(in, model.SysI, 3)
+	if p.PMs != 1 || p.VMs != 1 {
+		t.Fatalf("populations: %+v", p)
+	}
+	if p.CrashTickets != 3 || p.AllTickets != 3 {
+		t.Fatalf("tickets: %+v", p)
+	}
+	if math.Abs(p.ClassShares[model.ClassReboot]-2.0/3) > 1e-12 {
+		t.Fatalf("reboot share: %v", p.ClassShares[model.ClassReboot])
+	}
+	if p.DominantClass != model.ClassReboot {
+		t.Fatalf("dominant class: %v", p.DominantClass)
+	}
+	if p.PMRepair.N != 1 || p.PMRepair.Mean != 10 {
+		t.Fatalf("PM repair: %+v", p.PMRepair)
+	}
+	if p.VMRepair.N != 2 || p.VMRepair.Mean != 2.5 {
+		t.Fatalf("VM repair: %+v", p.VMRepair)
+	}
+	if len(p.TopFailingServers) != 2 {
+		t.Fatalf("top servers: %+v", p.TopFailingServers)
+	}
+	if p.TopFailingServers[0].ID != "vm1" || p.TopFailingServers[0].Failures != 2 {
+		t.Fatalf("worst offender: %+v", p.TopFailingServers[0])
+	}
+	if p.TopFailingServers[0].Kind != model.VM {
+		t.Fatalf("worst offender kind: %v", p.TopFailingServers[0].Kind)
+	}
+}
+
+func TestProfileEmptySystem(t *testing.T) {
+	in := newBuilder().machine("pm1", model.PM, model.SysI, model.Capacity{}).input()
+	p := Profile(in, model.SysV, 0)
+	if p.CrashTickets != 0 || len(p.TopFailingServers) != 0 {
+		t.Fatalf("empty profile: %+v", p)
+	}
+	if p.DominantClass != 0 {
+		t.Fatalf("dominant class of empty system: %v", p.DominantClass)
+	}
+}
+
+func TestProfileOnGeneratedData(t *testing.T) {
+	in := generatedInput(t)
+	for _, sys := range model.Systems() {
+		p := Profile(in, sys, 5)
+		if p.PMs == 0 {
+			t.Fatalf("%v has no PMs", sys)
+		}
+		total := 0.0
+		for _, share := range p.ClassShares {
+			total += share
+		}
+		if p.CrashTickets > 0 && math.Abs(total-1) > 1e-9 {
+			t.Fatalf("%v class shares sum to %v", sys, total)
+		}
+		if len(p.TopFailingServers) > 5 {
+			t.Fatalf("%v top list too long", sys)
+		}
+		for i := 1; i < len(p.TopFailingServers); i++ {
+			if p.TopFailingServers[i].Failures > p.TopFailingServers[i-1].Failures {
+				t.Fatalf("%v top list not sorted", sys)
+			}
+		}
+	}
+}

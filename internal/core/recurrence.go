@@ -1,0 +1,137 @@
+package core
+
+import (
+	"time"
+
+	"failscope/internal/model"
+)
+
+// RecurrenceResult holds the recurrent-failure probabilities of §IV.D
+// (Fig. 5) for one machine kind: given a server fails, the probability it
+// fails again within a day, a week and a month.
+type RecurrenceResult struct {
+	Kind               model.MachineKind
+	WithinDay          float64
+	WithinWeek         float64
+	WithinMonth        float64
+	Failures           int // trigger failures considered
+	UncensoredForDay   int
+	UncensoredForWeek  int
+	UncensoredForMonth int
+}
+
+// windowDurations for day/week/month.
+var (
+	day   = 24 * time.Hour
+	week  = 7 * day
+	month = 30 * day
+)
+
+// Recurrence computes the recurrent failure probabilities for one kind
+// over one system (0 = all). A trigger failure only enters a window's
+// denominator when the full window fits inside the observation period, so
+// censoring at the end of the study does not bias the probability down.
+func Recurrence(in Input, kind model.MachineKind, sys model.System) RecurrenceResult {
+	res := RecurrenceResult{Kind: kind}
+	end := in.Data.Observation.End
+	for id, tickets := range crashBy(in.Data) {
+		m := in.Data.Machine(id)
+		if m == nil || m.Kind != kind {
+			continue
+		}
+		if sys > 0 && m.System != sys {
+			continue
+		}
+		for i, t := range tickets {
+			res.Failures++
+			next := time.Time{}
+			if i+1 < len(tickets) {
+				next = tickets[i+1].Opened
+			}
+			count := func(win time.Duration, uncensored *int, hit *float64) {
+				if t.Opened.Add(win).After(end) {
+					return
+				}
+				*uncensored++
+				if !next.IsZero() && next.Sub(t.Opened) <= win {
+					*hit++
+				}
+			}
+			count(day, &res.UncensoredForDay, &res.WithinDay)
+			count(week, &res.UncensoredForWeek, &res.WithinWeek)
+			count(month, &res.UncensoredForMonth, &res.WithinMonth)
+		}
+	}
+	if res.UncensoredForDay > 0 {
+		res.WithinDay /= float64(res.UncensoredForDay)
+	}
+	if res.UncensoredForWeek > 0 {
+		res.WithinWeek /= float64(res.UncensoredForWeek)
+	}
+	if res.UncensoredForMonth > 0 {
+		res.WithinMonth /= float64(res.UncensoredForMonth)
+	}
+	return res
+}
+
+// RandomVsRecurrent is one column of Table V: the weekly random failure
+// probability (any server fails at least once in a week), the recurrent
+// probability within a week, and their ratio.
+type RandomVsRecurrent struct {
+	Kind      model.MachineKind
+	System    model.System // 0 = all
+	Random    float64
+	Recurrent float64
+	Ratio     float64 // Recurrent / Random; 0 when undefined
+}
+
+// RandomWeeklyProbability returns the probability that a server of the
+// given kind/system fails at least once within a week, averaged over the
+// observation weeks.
+func RandomWeeklyProbability(in Input, kind model.MachineKind, sys model.System) float64 {
+	servers := in.Data.CountMachines(kind, sys)
+	if servers == 0 {
+		return 0
+	}
+	w := in.Data.Observation
+	weeks := w.NumWeeks()
+	// distinct failing servers per week
+	failing := make([]map[model.MachineID]bool, weeks)
+	for _, t := range crashOf(in.Data, kind, sys) {
+		idx := w.WeekIndex(t.Opened)
+		if idx < 0 {
+			continue
+		}
+		if failing[idx] == nil {
+			failing[idx] = make(map[model.MachineID]bool)
+		}
+		failing[idx][t.ServerID] = true
+	}
+	sum := 0.0
+	for _, f := range failing {
+		sum += float64(len(f)) / float64(servers)
+	}
+	return sum / float64(weeks)
+}
+
+// RandomVsRecurrentTable reproduces Table V for both kinds across all
+// systems (System = 0 first, then Sys I–V).
+func RandomVsRecurrentTable(in Input) []RandomVsRecurrent {
+	var out []RandomVsRecurrent
+	systems := append([]model.System{0}, model.Systems()...)
+	for _, kind := range []model.MachineKind{model.PM, model.VM} {
+		for _, sys := range systems {
+			row := RandomVsRecurrent{
+				Kind:      kind,
+				System:    sys,
+				Random:    RandomWeeklyProbability(in, kind, sys),
+				Recurrent: Recurrence(in, kind, sys).WithinWeek,
+			}
+			if row.Random > 0 {
+				row.Ratio = row.Recurrent / row.Random
+			}
+			out = append(out, row)
+		}
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"failscope/internal/dist"
+	"failscope/internal/model"
+	"failscope/internal/stats"
+)
+
+// RepairResult is the repair-time analysis of §IV.C (Fig. 4) for one
+// machine kind: repair hours (ticket open → close, including queueing),
+// their distribution and the fitted-model ranking.
+type RepairResult struct {
+	Kind    model.MachineKind
+	Hours   []float64
+	Summary stats.Summary
+	ECDF    *stats.ECDF
+	Fits    dist.Selection
+	// KS tests the repair hours against the best-fitting family.
+	KS dist.KolmogorovSmirnov
+	// RebootShare is the fraction of this kind's failures that are
+	// unexpected reboots — the paper's explanation for the PM/VM gap.
+	RebootShare float64
+}
+
+// RepairTimes computes the repair-time analysis for one machine kind.
+func RepairTimes(in Input, kind model.MachineKind) RepairResult {
+	res := RepairResult{Kind: kind}
+	reboots, total := 0, 0
+	for _, t := range in.Data.Tickets {
+		if !t.IsCrash {
+			continue
+		}
+		m := in.Data.Machine(t.ServerID)
+		if m == nil || m.Kind != kind {
+			continue
+		}
+		total++
+		if t.Class == model.ClassReboot {
+			reboots++
+		}
+		if h := hours(t.RepairTime()); h > 0 {
+			res.Hours = append(res.Hours, h)
+		}
+	}
+	if total > 0 {
+		res.RebootShare = float64(reboots) / float64(total)
+	}
+	res.Summary = stats.Summarize(res.Hours)
+	if ecdf, err := stats.NewECDF(res.Hours); err == nil {
+		res.ECDF = ecdf
+	}
+	res.Fits = dist.FitAll(res.Hours)
+	if best, ok := res.Fits.Best(); ok {
+		res.KS = dist.KSTest(best.Dist, res.Hours)
+	}
+	return res
+}
+
+// ClassRepairStats is one column of Table IV: repair-time statistics for
+// one failure class, across both machine kinds.
+type ClassRepairStats struct {
+	Class                  model.FailureClass
+	Mean, Median           float64
+	CoefficientOfVariation float64
+	N                      int
+}
+
+// RepairByClass reproduces Table IV (the five named classes; pass
+// model.Classes() output through and "other" is included at the end).
+func RepairByClass(in Input) []ClassRepairStats {
+	byClass := make(map[model.FailureClass][]float64)
+	for _, t := range in.Data.Tickets {
+		if !t.IsCrash {
+			continue
+		}
+		if h := hours(t.RepairTime()); h > 0 {
+			byClass[t.Class] = append(byClass[t.Class], h)
+		}
+	}
+	var out []ClassRepairStats
+	for _, class := range model.Classes() {
+		hs := byClass[class]
+		out = append(out, ClassRepairStats{
+			Class:                  class,
+			Mean:                   stats.Mean(hs),
+			Median:                 stats.Median(hs),
+			CoefficientOfVariation: stats.CoefficientOfVariation(hs),
+			N:                      len(hs),
+		})
+	}
+	return out
+}

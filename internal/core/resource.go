@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"failscope/internal/model"
+	"failscope/internal/stats"
+)
+
+// AttrBin is one bar of a Fig. 7/8/9/10 panel: the weekly failure rate of
+// the servers whose attribute falls in [Lo, Hi).
+type AttrBin struct {
+	Label    string
+	Lo, Hi   float64
+	Servers  int
+	Failures int
+	Rate     stats.Summary // weekly failure rates across observation weeks
+}
+
+// BinnedRates is one full panel: weekly failure rate versus one attribute.
+type BinnedRates struct {
+	Kind      model.MachineKind
+	Attribute string
+	Bins      []AttrBin
+	// IncrementFactor is max/min of the mean rates over bins with enough
+	// servers — the paper's "factor of 5.5X" style headline.
+	IncrementFactor float64
+	// Spearman is the rank correlation between bin midpoint and mean rate
+	// (monotone-trend check; bathtubs score near zero).
+	Spearman float64
+}
+
+// minServersPerBin guards the increment factor against noise bins.
+const minServersPerBin = 5
+
+// Extractor pulls one attribute value from a machine and its joined
+// attributes; ok=false excludes the machine from the panel (mirroring the
+// paper's per-analysis population restrictions).
+type Extractor func(m *model.Machine, a model.Attributes) (value float64, ok bool)
+
+// RateByAttribute computes a full panel: machines of the given kind are
+// bucketed by the extracted attribute over the given edges, and each
+// bucket's weekly failure rate is summarized across the observation weeks.
+func RateByAttribute(in Input, kind model.MachineKind, attribute string, extract Extractor, edges []float64) (BinnedRates, error) {
+	if len(edges) < 2 {
+		return BinnedRates{}, fmt.Errorf("core: need at least 2 edges for %s", attribute)
+	}
+	res := BinnedRates{Kind: kind, Attribute: attribute}
+	nBins := len(edges) - 1
+
+	binOf := func(v float64) int {
+		idx := 0
+		for i := 1; i < len(edges)-1; i++ {
+			if v >= edges[i] {
+				idx = i
+			}
+		}
+		return idx
+	}
+
+	members := make([]map[model.MachineID]bool, nBins)
+	for i := range members {
+		members[i] = make(map[model.MachineID]bool)
+	}
+	for _, m := range in.Data.Machines {
+		if m.Kind != kind {
+			continue
+		}
+		v, ok := extract(m, in.attrsOf(m.ID))
+		if !ok {
+			continue
+		}
+		members[binOf(v)][m.ID] = true
+	}
+
+	weeks := in.Data.Observation.NumWeeks()
+	counts := make([][]int, nBins)
+	failTotals := make([]int, nBins)
+	for i := range counts {
+		counts[i] = make([]int, weeks)
+	}
+	for _, t := range in.Data.Tickets {
+		if !t.IsCrash {
+			continue
+		}
+		wi := in.Data.Observation.WeekIndex(t.Opened)
+		if wi < 0 {
+			continue
+		}
+		for b := range members {
+			if members[b][t.ServerID] {
+				counts[b][wi]++
+				failTotals[b]++
+				break
+			}
+		}
+	}
+
+	for b := 0; b < nBins; b++ {
+		bin := AttrBin{
+			Label:    fmt.Sprintf("[%g,%g)", edges[b], edges[b+1]),
+			Lo:       edges[b],
+			Hi:       edges[b+1],
+			Servers:  len(members[b]),
+			Failures: failTotals[b],
+		}
+		if bin.Servers > 0 {
+			rates := make([]float64, weeks)
+			for w := 0; w < weeks; w++ {
+				rates[w] = float64(counts[b][w]) / float64(bin.Servers)
+			}
+			bin.Rate = stats.Summarize(rates)
+		}
+		res.Bins = append(res.Bins, bin)
+	}
+
+	res.IncrementFactor = incrementFactor(res.Bins)
+	res.Spearman = binTrend(res.Bins)
+	return res, nil
+}
+
+func incrementFactor(bins []AttrBin) float64 {
+	lo, hi := math.Inf(1), 0.0
+	for _, b := range bins {
+		if b.Servers < minServersPerBin || b.Rate.N == 0 {
+			continue
+		}
+		m := b.Rate.Mean
+		if m <= 0 {
+			continue
+		}
+		if m < lo {
+			lo = m
+		}
+		if m > hi {
+			hi = m
+		}
+	}
+	if math.IsInf(lo, 1) || lo == 0 {
+		return math.NaN()
+	}
+	return hi / lo
+}
+
+func binTrend(bins []AttrBin) float64 {
+	var xs, ys []float64
+	for _, b := range bins {
+		if b.Servers < minServersPerBin || b.Rate.N == 0 {
+			continue
+		}
+		xs = append(xs, (b.Lo+b.Hi)/2)
+		ys = append(ys, b.Rate.Mean)
+	}
+	return stats.Spearman(xs, ys)
+}
+
+// Canonical bin edges for every panel in Figs. 7–10.
+var (
+	PMCPUEdges       = []float64{1, 2, 4, 8, 16, 24, 32, 65}
+	VMCPUEdges       = []float64{1, 2, 4, 8, 9}
+	PMMemEdges       = []float64{0, 4, 8, 16, 32, 64, 128, 512}
+	VMMemEdges       = []float64{0, 0.5, 1, 2, 4, 8, 16, 64}
+	VMDiskCapEdges   = []float64{0, 16, 32, 64, 128, 256, 512, 1024, 8192}
+	VMDiskCountEdges = []float64{1, 2, 3, 4, 5, 6, 7}
+	UtilEdges        = []float64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	NetKbpsEdges     = []float64{0, 4, 16, 64, 256, 1024, 8192}
+	ConsolEdges      = []float64{1, 2, 3, 6, 12, 24, 48}
+	OnOffEdges       = []float64{0, 0.5, 1.5, 3, 6, 12, 24}
+)
+
+// CapacityStudy reproduces Fig. 7: weekly failure rate versus CPU count,
+// memory size, and (VM only) disk capacity and disk count.
+func CapacityStudy(in Input) (map[string]BinnedRates, error) {
+	out := make(map[string]BinnedRates)
+	panels := []struct {
+		key     string
+		kind    model.MachineKind
+		extract Extractor
+		edges   []float64
+	}{
+		{"pm_cpu", model.PM, func(m *model.Machine, _ model.Attributes) (float64, bool) { return float64(m.Capacity.CPUs), true }, PMCPUEdges},
+		{"vm_cpu", model.VM, func(m *model.Machine, _ model.Attributes) (float64, bool) { return float64(m.Capacity.CPUs), true }, VMCPUEdges},
+		{"pm_mem", model.PM, func(m *model.Machine, _ model.Attributes) (float64, bool) { return m.Capacity.MemoryGB, true }, PMMemEdges},
+		{"vm_mem", model.VM, func(m *model.Machine, _ model.Attributes) (float64, bool) { return m.Capacity.MemoryGB, true }, VMMemEdges},
+		{"vm_diskcap", model.VM, func(m *model.Machine, _ model.Attributes) (float64, bool) {
+			return m.Capacity.DiskGB, m.Capacity.DiskGB > 0
+		}, VMDiskCapEdges},
+		{"vm_diskcount", model.VM, func(m *model.Machine, _ model.Attributes) (float64, bool) {
+			return float64(m.Capacity.Disks), m.Capacity.Disks > 0
+		}, VMDiskCountEdges},
+	}
+	for _, p := range panels {
+		br, err := RateByAttribute(in, p.kind, p.key, p.extract, p.edges)
+		if err != nil {
+			return nil, err
+		}
+		out[p.key] = br
+	}
+	return out, nil
+}
+
+// UsageStudy reproduces Fig. 8: weekly failure rate versus CPU, memory,
+// disk and network usage.
+func UsageStudy(in Input) (map[string]BinnedRates, error) {
+	out := make(map[string]BinnedRates)
+	panels := []struct {
+		key     string
+		kind    model.MachineKind
+		extract Extractor
+		edges   []float64
+	}{
+		{"pm_cpuutil", model.PM, func(_ *model.Machine, a model.Attributes) (float64, bool) { return a.CPUUtil, a.HasUsage }, UtilEdges},
+		{"vm_cpuutil", model.VM, func(_ *model.Machine, a model.Attributes) (float64, bool) { return a.CPUUtil, a.HasUsage }, UtilEdges},
+		{"pm_memutil", model.PM, func(_ *model.Machine, a model.Attributes) (float64, bool) { return a.MemUtil, a.HasUsage }, UtilEdges},
+		{"vm_memutil", model.VM, func(_ *model.Machine, a model.Attributes) (float64, bool) { return a.MemUtil, a.HasUsage }, UtilEdges},
+		{"vm_diskutil", model.VM, func(_ *model.Machine, a model.Attributes) (float64, bool) { return a.DiskUtil, a.HasUsage }, UtilEdges},
+		{"vm_net", model.VM, func(_ *model.Machine, a model.Attributes) (float64, bool) { return a.NetKbps, a.HasUsage }, NetKbpsEdges},
+	}
+	for _, p := range panels {
+		br, err := RateByAttribute(in, p.kind, p.key, p.extract, p.edges)
+		if err != nil {
+			return nil, err
+		}
+		out[p.key] = br
+	}
+	return out, nil
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"failscope/internal/model"
+	"failscope/internal/stats"
+)
+
+func TestRateByAttributeBinsServersAndFailures(t *testing.T) {
+	b := newBuilder().
+		machine("small1", model.VM, model.SysI, model.Capacity{CPUs: 1}).
+		machine("small2", model.VM, model.SysI, model.Capacity{CPUs: 2}).
+		machine("big1", model.VM, model.SysI, model.Capacity{CPUs: 8})
+	b.crash("small1", model.SysI, 0, model.ClassSoftware, 1)
+	b.crash("big1", model.SysI, 1, model.ClassSoftware, 1)
+	b.crash("big1", model.SysI, 9, model.ClassSoftware, 1)
+	in := b.input()
+
+	br, err := RateByAttribute(in, model.VM, "cpu",
+		func(m *model.Machine, _ model.Attributes) (float64, bool) { return float64(m.Capacity.CPUs), true },
+		[]float64{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Bins) != 2 {
+		t.Fatalf("bins = %d", len(br.Bins))
+	}
+	lo, hi := br.Bins[0], br.Bins[1]
+	if lo.Servers != 2 || lo.Failures != 1 {
+		t.Fatalf("low bin: %+v", lo)
+	}
+	if hi.Servers != 1 || hi.Failures != 2 {
+		t.Fatalf("high bin: %+v", hi)
+	}
+	weeks := float64(obs.NumWeeks())
+	wantLo := (1.0 / 2) / weeks
+	if math.Abs(lo.Rate.Mean-wantLo) > 1e-12 {
+		t.Fatalf("low rate %v, want %v", lo.Rate.Mean, wantLo)
+	}
+	wantHi := 2.0 / weeks
+	if math.Abs(hi.Rate.Mean-wantHi) > 1e-12 {
+		t.Fatalf("high rate %v, want %v", hi.Rate.Mean, wantHi)
+	}
+}
+
+func TestRateByAttributeExcludesMissing(t *testing.T) {
+	b := newBuilder().
+		machine("withUsage", model.VM, model.SysI, model.Capacity{}).
+		machine("noUsage", model.VM, model.SysI, model.Capacity{})
+	b.attr("withUsage", model.Attributes{CPUUtil: 50, HasUsage: true})
+	in := b.input()
+	br, err := RateByAttribute(in, model.VM, "cpuutil",
+		func(_ *model.Machine, a model.Attributes) (float64, bool) { return a.CPUUtil, a.HasUsage },
+		UtilEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, bin := range br.Bins {
+		total += bin.Servers
+	}
+	if total != 1 {
+		t.Fatalf("machines without usage leaked into the panel: %d", total)
+	}
+}
+
+func TestRateByAttributeNeedsEdges(t *testing.T) {
+	in := newBuilder().machine("m", model.VM, model.SysI, model.Capacity{}).input()
+	if _, err := RateByAttribute(in, model.VM, "x", nil, []float64{1}); err == nil {
+		t.Fatal("single edge accepted")
+	}
+}
+
+func summaryWithMean(m float64) stats.Summary {
+	return stats.Summary{Mean: m, N: 1}
+}
+
+func TestIncrementFactorIgnoresThinBins(t *testing.T) {
+	bins := []AttrBin{
+		{Servers: 100, Rate: summaryWithMean(0.002)},
+		{Servers: 2, Rate: summaryWithMean(10)}, // thin bin must be ignored
+		{Servers: 100, Rate: summaryWithMean(0.004)},
+	}
+	if got := incrementFactor(bins); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("increment factor %v, want 2", got)
+	}
+	if got := incrementFactor(nil); !math.IsNaN(got) {
+		t.Fatalf("empty increment factor %v", got)
+	}
+}
+
+func TestBinTrendMonotone(t *testing.T) {
+	bins := []AttrBin{
+		{Lo: 0, Hi: 1, Servers: 50, Rate: summaryWithMean(0.001)},
+		{Lo: 1, Hi: 2, Servers: 50, Rate: summaryWithMean(0.002)},
+		{Lo: 2, Hi: 3, Servers: 50, Rate: summaryWithMean(0.003)},
+	}
+	if got := binTrend(bins); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("trend %v, want +1", got)
+	}
+}
+
+func TestCapacityStudyPanels(t *testing.T) {
+	b := newBuilder().
+		machine("pm", model.PM, model.SysI, model.Capacity{CPUs: 4, MemoryGB: 16}).
+		machine("vm", model.VM, model.SysI, model.Capacity{CPUs: 2, MemoryGB: 2, DiskGB: 64, Disks: 2})
+	in := b.input()
+	panels, err := CapacityStudy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"pm_cpu", "vm_cpu", "pm_mem", "vm_mem", "vm_diskcap", "vm_diskcount"} {
+		if _, ok := panels[key]; !ok {
+			t.Errorf("missing panel %q", key)
+		}
+	}
+	// The PM must appear in exactly one pm_cpu bin.
+	total := 0
+	for _, bin := range panels["pm_cpu"].Bins {
+		total += bin.Servers
+	}
+	if total != 1 {
+		t.Errorf("pm_cpu panel holds %d servers", total)
+	}
+	// PMs have no disk data: the vm_diskcap panel must only count the VM.
+	total = 0
+	for _, bin := range panels["vm_diskcap"].Bins {
+		total += bin.Servers
+	}
+	if total != 1 {
+		t.Errorf("vm_diskcap panel holds %d servers", total)
+	}
+}
+
+func TestUsageStudyPanels(t *testing.T) {
+	b := newBuilder().
+		machine("pm", model.PM, model.SysI, model.Capacity{}).
+		machine("vm", model.VM, model.SysI, model.Capacity{})
+	b.attr("pm", model.Attributes{CPUUtil: 20, MemUtil: 60, HasUsage: true})
+	b.attr("vm", model.Attributes{CPUUtil: 5, MemUtil: 10, DiskUtil: 50, NetKbps: 100, HasUsage: true})
+	in := b.input()
+	panels, err := UsageStudy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"pm_cpuutil", "vm_cpuutil", "pm_memutil", "vm_memutil", "vm_diskutil", "vm_net"} {
+		if _, ok := panels[key]; !ok {
+			t.Errorf("missing panel %q", key)
+		}
+	}
+}
+
+func TestConsolidationAndOnOffPanels(t *testing.T) {
+	b := newBuilder().
+		machine("vm1", model.VM, model.SysI, model.Capacity{}).
+		machine("vm2", model.VM, model.SysI, model.Capacity{})
+	b.attr("vm1", model.Attributes{AvgConsolidation: 4, HasConsolidation: true, OnOffPerMonth: 2, HasOnOff: true})
+	// vm2 lacks both measurements and must be excluded from the panels.
+	in := b.input()
+
+	consol, err := Consolidation(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, bin := range consol.Bins {
+		total += bin.Servers
+	}
+	if total != 1 {
+		t.Fatalf("consolidation panel servers = %d", total)
+	}
+
+	onoff, err := OnOff(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total = 0
+	for _, bin := range onoff.Bins {
+		total += bin.Servers
+	}
+	if total != 1 {
+		t.Fatalf("on/off panel servers = %d", total)
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"failscope/internal/model"
+)
+
+// SpatialResult is the spatial-dependency analysis of §IV.E: how many
+// servers are affected by a single failure incident.
+type SpatialResult struct {
+	Incidents int
+
+	// Share*, PMOnly*, VMOnly* are the rows of Table VI: fractions of
+	// incidents that involve zero, exactly one, or two-plus servers of
+	// the given view.
+	ShareOne, ShareTwoPlus   float64
+	PMZero, PMOne, PMTwoPlus float64
+	VMZero, VMOne, VMTwoPlus float64
+	DependentPMShare         float64 // PMTwoPlus / (PMOne + PMTwoPlus)
+	DependentVMShare         float64
+	MaxServers               int
+	MaxServersClass          model.FailureClass
+	MeanServers              float64
+}
+
+// Spatial reproduces Table VI and the headline §IV.E statistics.
+func Spatial(in Input) SpatialResult {
+	res := SpatialResult{}
+	var one, twoPlus int
+	var pm [3]int // zero, one, twoPlus
+	var vm [3]int
+	totalServers := 0
+	for _, inc := range in.Data.Incidents {
+		res.Incidents++
+		n := len(inc.Servers)
+		totalServers += n
+		if n == 1 {
+			one++
+		} else if n >= 2 {
+			twoPlus++
+		}
+		if n > res.MaxServers {
+			res.MaxServers = n
+			res.MaxServersClass = inc.Class
+		}
+		pms, vms := 0, 0
+		for _, id := range inc.Servers {
+			if m := in.Data.Machine(id); m != nil {
+				switch m.Kind {
+				case model.PM:
+					pms++
+				case model.VM:
+					vms++
+				}
+			}
+		}
+		pm[bucket(pms)]++
+		vm[bucket(vms)]++
+	}
+	if res.Incidents == 0 {
+		return res
+	}
+	total := float64(res.Incidents)
+	res.ShareOne = float64(one) / total
+	res.ShareTwoPlus = float64(twoPlus) / total
+	res.PMZero, res.PMOne, res.PMTwoPlus = float64(pm[0])/total, float64(pm[1])/total, float64(pm[2])/total
+	res.VMZero, res.VMOne, res.VMTwoPlus = float64(vm[0])/total, float64(vm[1])/total, float64(vm[2])/total
+	if pm[1]+pm[2] > 0 {
+		res.DependentPMShare = float64(pm[2]) / float64(pm[1]+pm[2])
+	}
+	if vm[1]+vm[2] > 0 {
+		res.DependentVMShare = float64(vm[2]) / float64(vm[1]+vm[2])
+	}
+	res.MeanServers = float64(totalServers) / total
+	return res
+}
+
+func bucket(n int) int {
+	switch {
+	case n == 0:
+		return 0
+	case n == 1:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// ClassSpatialStats is one column of Table VII: the mean and maximum
+// number of servers involved in incidents of one class.
+type ClassSpatialStats struct {
+	Class     model.FailureClass
+	Incidents int
+	Mean      float64
+	Max       int
+}
+
+// ServersPerIncidentByClass reproduces Table VII, including "other".
+func ServersPerIncidentByClass(in Input) []ClassSpatialStats {
+	agg := make(map[model.FailureClass]*ClassSpatialStats)
+	totals := make(map[model.FailureClass]int)
+	for _, inc := range in.Data.Incidents {
+		st := agg[inc.Class]
+		if st == nil {
+			st = &ClassSpatialStats{Class: inc.Class}
+			agg[inc.Class] = st
+		}
+		st.Incidents++
+		totals[inc.Class] += len(inc.Servers)
+		if len(inc.Servers) > st.Max {
+			st.Max = len(inc.Servers)
+		}
+	}
+	var out []ClassSpatialStats
+	for _, class := range model.Classes() {
+		st := agg[class]
+		if st == nil {
+			out = append(out, ClassSpatialStats{Class: class})
+			continue
+		}
+		st.Mean = float64(totals[class]) / float64(st.Incidents)
+		out = append(out, *st)
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+
+	"failscope/internal/model"
+	"failscope/internal/stats"
+)
+
+// WeeklySeries is the fleet-level weekly failure-count series with its
+// burstiness statistics. §IV.D establishes per-server temporal dependence;
+// this view shows the same clustering at the whole-fleet level: the
+// variance-to-mean ratio (index of dispersion) of a memoryless fleet is 1,
+// and positive lag-autocorrelation means bad weeks follow bad weeks.
+type WeeklySeries struct {
+	Kind   model.MachineKind // 0 = all kinds
+	Counts []int
+	// IndexOfDispersion is Var/Mean of the weekly counts (Poisson = 1).
+	IndexOfDispersion float64
+	// Autocorrelation holds lag-1..lag-4 autocorrelations of the counts.
+	Autocorrelation []float64
+}
+
+// WeeklyFailureSeries computes the weekly crash-count series for one
+// machine kind (0 = all).
+func WeeklyFailureSeries(in Input, kind model.MachineKind) WeeklySeries {
+	res := WeeklySeries{Kind: kind}
+	var tickets []model.Ticket
+	if kind == 0 {
+		tickets = in.Data.CrashTickets()
+	} else {
+		tickets = crashOf(in.Data, kind, 0)
+	}
+	res.Counts = weeklyCounts(in.Data.Observation, tickets)
+
+	series := make([]float64, len(res.Counts))
+	for i, c := range res.Counts {
+		series[i] = float64(c)
+	}
+	mean := stats.Mean(series)
+	if mean > 0 {
+		// Population variance (the dispersion test statistic).
+		var ss float64
+		for _, v := range series {
+			d := v - mean
+			ss += d * d
+		}
+		res.IndexOfDispersion = ss / float64(len(series)) / mean
+	}
+	for lag := 1; lag <= 4 && lag < len(series); lag++ {
+		res.Autocorrelation = append(res.Autocorrelation, autocorr(series, lag))
+	}
+	return res
+}
+
+// autocorr returns the lag-k autocorrelation of a series.
+func autocorr(series []float64, lag int) float64 {
+	n := len(series)
+	if lag <= 0 || lag >= n {
+		return math.NaN()
+	}
+	mean := stats.Mean(series)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := series[i] - mean
+		den += d * d
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	for i := 0; i < n-lag; i++ {
+		num += (series[i] - mean) * (series[i+lag] - mean)
+	}
+	return num / den
+}
+
+// ClassRecurrence reports, for one failure class, the probability that a
+// server which just failed with that class fails again (any class, and
+// same class) within a week — the per-class view of §IV.D that Table III's
+// per-server rows gesture at.
+type ClassRecurrence struct {
+	Class model.FailureClass
+	// Triggers is the number of uncensored trigger failures considered.
+	Triggers int
+	// AnyWithinWeek is P(another failure of any class within 7 days).
+	AnyWithinWeek float64
+	// SameWithinWeek is P(another failure of the same class within 7 days).
+	SameWithinWeek float64
+}
+
+// RecurrenceByClass computes per-class recurrence over all machines of the
+// given kind (0 = both).
+func RecurrenceByClass(in Input, kind model.MachineKind) []ClassRecurrence {
+	byClass := make(map[model.FailureClass]*ClassRecurrence)
+	for _, class := range model.Classes() {
+		byClass[class] = &ClassRecurrence{Class: class}
+	}
+	end := in.Data.Observation.End
+	var anyHits, sameHits map[model.FailureClass]int
+	anyHits = make(map[model.FailureClass]int)
+	sameHits = make(map[model.FailureClass]int)
+
+	for id, tickets := range crashBy(in.Data) {
+		m := in.Data.Machine(id)
+		if m == nil || (kind != 0 && m.Kind != kind) {
+			continue
+		}
+		for i, t := range tickets {
+			if t.Opened.Add(week).After(end) {
+				continue // censored
+			}
+			cr := byClass[t.Class]
+			if cr == nil {
+				continue
+			}
+			cr.Triggers++
+			any, same := false, false
+			for j := i + 1; j < len(tickets); j++ {
+				if tickets[j].Opened.Sub(t.Opened) > week {
+					break
+				}
+				any = true
+				if tickets[j].Class == t.Class {
+					same = true
+				}
+			}
+			if any {
+				anyHits[t.Class]++
+			}
+			if same {
+				sameHits[t.Class]++
+			}
+		}
+	}
+
+	out := make([]ClassRecurrence, 0, len(model.Classes()))
+	for _, class := range model.Classes() {
+		cr := *byClass[class]
+		if cr.Triggers > 0 {
+			cr.AnyWithinWeek = float64(anyHits[class]) / float64(cr.Triggers)
+			cr.SameWithinWeek = float64(sameHits[class]) / float64(cr.Triggers)
+		}
+		out = append(out, cr)
+	}
+	return out
+}

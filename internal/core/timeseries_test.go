@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"failscope/internal/model"
+)
+
+func TestAutocorr(t *testing.T) {
+	// A strictly alternating series has lag-1 autocorrelation ≈ -1.
+	alt := []float64{1, -1, 1, -1, 1, -1, 1, -1, 1, -1}
+	if got := autocorr(alt, 1); got > -0.8 {
+		t.Errorf("alternating lag-1 autocorr %v, want ≈-1", got)
+	}
+	// ... and lag-2 ≈ +1 (up to edge effects).
+	if got := autocorr(alt, 2); got < 0.6 {
+		t.Errorf("alternating lag-2 autocorr %v, want strongly positive", got)
+	}
+	if !math.IsNaN(autocorr([]float64{1, 2}, 5)) {
+		t.Error("lag beyond series should be NaN")
+	}
+	if !math.IsNaN(autocorr([]float64{3, 3, 3}, 1)) {
+		t.Error("constant series should be NaN")
+	}
+}
+
+func TestWeeklyFailureSeriesCounts(t *testing.T) {
+	b := newBuilder().machine("pm", model.PM, model.SysI, model.Capacity{})
+	b.crash("pm", model.SysI, 0, model.ClassSoftware, 1)
+	b.crash("pm", model.SysI, 1, model.ClassSoftware, 1)
+	b.crash("pm", model.SysI, 8, model.ClassSoftware, 1)
+	in := b.input()
+
+	res := WeeklyFailureSeries(in, model.PM)
+	if len(res.Counts) != in.Data.Observation.NumWeeks() {
+		t.Fatalf("weeks = %d", len(res.Counts))
+	}
+	if res.Counts[0] != 2 || res.Counts[1] != 1 {
+		t.Fatalf("counts: %v", res.Counts[:3])
+	}
+	if len(res.Autocorrelation) != 4 {
+		t.Fatalf("autocorrelation lags = %d", len(res.Autocorrelation))
+	}
+	// All kinds includes the same tickets here.
+	all := WeeklyFailureSeries(in, 0)
+	if all.Counts[0] != 2 {
+		t.Fatalf("all-kinds counts: %v", all.Counts[:2])
+	}
+}
+
+func TestWeeklySeriesOverdispersedOnGeneratedData(t *testing.T) {
+	in := generatedInput(t)
+	res := WeeklyFailureSeries(in, 0)
+	// Recurrence and fan-out make the fleet series overdispersed
+	// relative to Poisson.
+	if res.IndexOfDispersion < 1.0 {
+		t.Errorf("index of dispersion %.2f — fleet failures look memoryless", res.IndexOfDispersion)
+	}
+}
+
+func TestRecurrenceByClass(t *testing.T) {
+	b := newBuilder().machine("pm", model.PM, model.SysI, model.Capacity{})
+	// SW on day 0, SW again on day 2 (same-class recurrence), HW day 40,
+	// net day 100 with no follow-up.
+	b.crash("pm", model.SysI, 0, model.ClassSoftware, 1)
+	b.crash("pm", model.SysI, 2, model.ClassSoftware, 1)
+	b.crash("pm", model.SysI, 40, model.ClassHardware, 1)
+	b.crash("pm", model.SysI, 100, model.ClassNetwork, 1)
+	in := b.input()
+
+	rows := RecurrenceByClass(in, model.PM)
+	byClass := make(map[model.FailureClass]ClassRecurrence)
+	for _, r := range rows {
+		byClass[r.Class] = r
+	}
+	sw := byClass[model.ClassSoftware]
+	if sw.Triggers != 2 {
+		t.Fatalf("SW triggers = %d", sw.Triggers)
+	}
+	if sw.AnyWithinWeek != 0.5 || sw.SameWithinWeek != 0.5 {
+		t.Fatalf("SW recurrence: %+v", sw)
+	}
+	hw := byClass[model.ClassHardware]
+	if hw.Triggers != 1 || hw.AnyWithinWeek != 0 {
+		t.Fatalf("HW recurrence: %+v", hw)
+	}
+}
+
+func TestRecurrenceByClassMixedFollowUp(t *testing.T) {
+	b := newBuilder().machine("pm", model.PM, model.SysI, model.Capacity{})
+	// HW trigger followed within a week by SW then HW: both any and same
+	// must count.
+	b.crash("pm", model.SysI, 10, model.ClassHardware, 1)
+	b.crash("pm", model.SysI, 12, model.ClassSoftware, 1)
+	b.crash("pm", model.SysI, 14, model.ClassHardware, 1)
+	in := b.input()
+	rows := RecurrenceByClass(in, model.PM)
+	for _, r := range rows {
+		if r.Class == model.ClassHardware {
+			// Two HW triggers: the day-10 one has both any- and same-class
+			// follow-ups; the day-14 one has none.
+			if r.Triggers != 2 || r.AnyWithinWeek != 0.5 || r.SameWithinWeek != 0.5 {
+				t.Fatalf("HW: %+v", r)
+			}
+		}
+	}
+}

@@ -1,0 +1,246 @@
+// Package dcsim simulates the five commercial datacenter subsystems of the
+// study: machine inventories with realistic capacity mixes, hypervisor
+// boxes hosting consolidated VMs, usage profiles, VM lifecycle (creation
+// batches, on/off schedules, placements), and per-root-cause failure
+// processes with temporal recurrence and spatial fan-out. Its output is the
+// raw field data (ticket store + monitoring database + machine inventory)
+// that the ingest pipeline mines, exactly as §III mines the production
+// databases.
+package dcsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"failscope/internal/model"
+)
+
+// Curve is a piecewise-constant map from an attribute value to a relative
+// failure-rate factor: At(x) returns the factor of the last point whose X
+// is <= x. Curves encode the shape of Figs. 7–10 in the generator; the
+// analysis must *recover* these shapes from the data.
+type Curve []CurvePoint
+
+// CurvePoint is one step of a Curve.
+type CurvePoint struct {
+	X      float64
+	Factor float64
+}
+
+// At evaluates the curve at x.
+func (c Curve) At(x float64) float64 {
+	if len(c) == 0 {
+		return 1
+	}
+	f := c[0].Factor
+	for _, p := range c {
+		if x < p.X {
+			break
+		}
+		f = p.Factor
+	}
+	return f
+}
+
+// Flat reports whether the curve has no effect (used by ablations).
+func Flat() Curve { return Curve{{X: 0, Factor: 1}} }
+
+// SystemConfig calibrates one datacenter subsystem (one column of
+// Table II plus its Fig. 1 class mix).
+type SystemConfig struct {
+	System model.System
+	PMs    int
+	VMs    int
+
+	// AllTickets is the total problem-ticket volume over the observation
+	// year; CrashShare is the fraction of those that are crash tickets and
+	// PMCrashShare the fraction of crash tickets attributed to PMs.
+	AllTickets   int
+	CrashShare   float64
+	PMCrashShare float64
+
+	// ClassMix weights the six failure classes for this system's crash
+	// tickets (need not be normalized).
+	ClassMix map[model.FailureClass]float64
+}
+
+// crashTickets returns the expected crash-ticket count.
+func (sc SystemConfig) crashTickets() float64 {
+	return float64(sc.AllTickets) * sc.CrashShare
+}
+
+// RecurrenceConfig drives the temporal failure clustering of §IV.D: after
+// any failure, with probability PMProb/VMProb the machine fails again after
+// a Gamma(LagShape, LagMeanDays/LagShape) lag.
+type RecurrenceConfig struct {
+	PMProb      float64
+	VMProb      float64
+	LagMeanDays float64
+	LagShape    float64
+	// SameCauseProb is the per-class probability that a follow-up failure
+	// repeats the trigger's root cause (chronic software faults recur as
+	// software; a replaced disk does not fail again the same way).
+	SameCauseProb map[model.FailureClass]float64
+}
+
+// SpatialConfig drives incident fan-out (§IV.E). For each class,
+// TriggerProb is the chance a failure becomes a multi-server incident and
+// the Pareto(1, TailAlpha) fan-out is capped at MaxServers additional
+// victims drawn from the class's blast domain.
+type SpatialConfig struct {
+	Enabled bool
+	Classes map[model.FailureClass]FanOut
+	// PowerDomainSize and AppGroupSize set blast-domain sizes.
+	PowerDomainSize int
+	AppGroupSize    int
+	// HostRebootProb is the chance an unexpected VM reboot is actually the
+	// hypervisor recycling, failing co-hosted VMs too.
+	HostRebootProb float64
+	// MigrationProb is the monthly chance a VM moves to another box.
+	MigrationProb float64
+	// PMVictimSkipProb is the chance a PM escapes an infrastructure
+	// (power/hardware/network) fan-out — stand-alone PMs have redundant
+	// feeds, while a dying box takes all of its VMs down. This is what
+	// gives VMs their stronger spatial dependency (§IV.E).
+	PMVictimSkipProb float64
+	// MassEventsPerYear is the expected number of rare mass incidents per
+	// system per year — monitoring-visible bursts whose tickets are too
+	// vague to classify (the paper's 34-server "other" incident).
+	MassEventsPerYear float64
+	// MassEventMaxServers caps the mass-incident fan-out.
+	MassEventMaxServers int
+}
+
+// FanOut is the spatial expansion parameters of one failure class.
+type FanOut struct {
+	TriggerProb float64
+	TailAlpha   float64
+	MaxServers  int
+}
+
+// expectedExtra is the exact expected number of additional victims per
+// event, used to deflate primary rates so generated totals match targets.
+// The victim count is max(1, min(⌊Pareto(1,α)⌋−1, cap)) when triggered, so
+// E[extra | triggered] = 1 + Σ_{j=2..cap} P(⌊P⌋−1 ≥ j) with
+// P(P ≥ k) = k^(−α).
+func (f FanOut) expectedExtra() float64 {
+	if f.TriggerProb <= 0 {
+		return 0
+	}
+	mean := 1.0
+	for j := 2; j <= f.MaxServers; j++ {
+		mean += math.Pow(float64(j+1), -f.TailAlpha)
+	}
+	return f.TriggerProb * mean
+}
+
+// CurveSet bundles every attribute→failure-rate factor curve (Figs. 7–10).
+type CurveSet struct {
+	PMCPU, VMCPU           Curve
+	PMMem, VMMem           Curve // memory size in GB
+	VMDiskCap, VMDiskCount Curve
+	PMCPUUtil, VMCPUUtil   Curve // percent
+	PMMemUtil, VMMemUtil   Curve // percent
+	VMDiskUtil, VMNetKbps  Curve
+	Consolidation          Curve // x = consolidation level
+	OnOff                  Curve // x = on/off per month
+	// AgeSlopePerYear adds the weak positive age trend of Fig. 6:
+	// factor = 1 + slope * age_years.
+	AgeSlopePerYear float64
+}
+
+// Config is the complete generator configuration.
+type Config struct {
+	Seed uint64
+
+	// Observation is the paper's one-year study window; MonitorEpoch is
+	// the earlier start of the monitoring database's two-year retention.
+	Observation      model.Window
+	MonitorEpoch     time.Time
+	MonitorRetention time.Duration
+	// FineWindow is the two-month window with 15-minute data used for
+	// on/off screening (March–April 2013 in the paper).
+	FineWindow model.Window
+
+	Systems []SystemConfig
+
+	Recurrence RecurrenceConfig
+	Spatial    SpatialConfig
+	Curves     CurveSet
+
+	// HeterogeneityShapePM/VM are the shapes of the unit-mean Gamma
+	// multiplier applied to each machine's failure rate; small values
+	// create the "lemon" machines behind the long-tailed inter-failure
+	// distribution. VMs are more heterogeneous than PMs, which is what
+	// separates the VM and PM random-vs-recurrent ratios in Table V.
+	HeterogeneityShapePM float64
+	HeterogeneityShapeVM float64
+
+	// Repair holds the per-class repair-time models (Table IV);
+	// NonCrashRepair covers background tickets.
+	Repair         map[model.FailureClass]RepairModel
+	NonCrashRepair RepairModel
+
+	// VMClassBias multiplies class weights for VM failures (e.g. reboots
+	// up, hardware down), producing the PM/VM repair-time gap of Fig. 4.
+	VMClassBias map[model.FailureClass]float64
+
+	// VMRepairScale scales repair times for VM failures per cause: a VM
+	// hit by host hardware trouble is migrated or restarted, not held for
+	// a part replacement. Missing entries default to 1.
+	VMRepairScale map[model.FailureClass]float64
+
+	// LemonSoftwareBias multiplies software/other weights on chronically
+	// failing machines, shortening per-server software inter-failure times
+	// (Table III, bottom).
+	LemonSoftwareBias float64
+
+	// VagueTextProb is the chance a classified crash ticket is written
+	// vaguely, capping classifier accuracy near the paper's 87%.
+	VagueTextProb float64
+
+	// VMCreatedBeforeEpoch is the fraction of VMs created before the
+	// monitoring epoch (~25% in the paper, excluded from age analysis).
+	VMCreatedBeforeEpoch float64
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if len(c.Systems) == 0 {
+		return fmt.Errorf("dcsim: no systems configured")
+	}
+	if !c.Observation.Start.Before(c.Observation.End) {
+		return fmt.Errorf("dcsim: empty observation window")
+	}
+	if c.MonitorEpoch.After(c.Observation.Start) {
+		return fmt.Errorf("dcsim: monitor epoch after observation start")
+	}
+	for _, sc := range c.Systems {
+		if sc.PMs < 0 || sc.VMs < 0 || sc.AllTickets < 0 {
+			return fmt.Errorf("dcsim: %v has negative population", sc.System)
+		}
+		if sc.CrashShare < 0 || sc.CrashShare > 1 || sc.PMCrashShare < 0 || sc.PMCrashShare > 1 {
+			return fmt.Errorf("dcsim: %v has share outside [0,1]", sc.System)
+		}
+	}
+	if c.HeterogeneityShapePM <= 0 || c.HeterogeneityShapeVM <= 0 {
+		return fmt.Errorf("dcsim: heterogeneity shapes must be positive")
+	}
+	if c.Recurrence.LagShape <= 0 {
+		return fmt.Errorf("dcsim: recurrence lag shape must be positive")
+	}
+	for _, class := range model.Classes() {
+		m, ok := c.Repair[class]
+		if !ok {
+			return fmt.Errorf("dcsim: missing repair distribution for %v", class)
+		}
+		if err := m.Validate(); err != nil {
+			return fmt.Errorf("%v: %w", class, err)
+		}
+	}
+	if err := c.NonCrashRepair.Validate(); err != nil {
+		return fmt.Errorf("non-crash repair: %w", err)
+	}
+	return nil
+}

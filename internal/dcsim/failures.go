@@ -1,0 +1,409 @@
+package dcsim
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"failscope/internal/model"
+	"failscope/internal/xrand"
+)
+
+// event is one server-failure occurrence before it is rendered to a
+// ticket. cause is the true physical root cause (one of the five named
+// classes), which drives repair time and spatial fan-out; label is what
+// the ticket resolution text will reveal — equal to cause, or ClassOther
+// when the ticket is written too vaguely to classify (the paper's 53%
+// "other" share is a property of ticket quality, not a physical failure
+// mode).
+type event struct {
+	st       *machineState
+	t        time.Time
+	cause    model.FailureClass
+	label    model.FailureClass
+	incident int
+}
+
+// calibrateRates assigns each machine its lemon multiplier and primary
+// weekly failure rate so that the system-level expected crash-ticket counts
+// match the Table II targets after recurrence cascades and spatial fan-out
+// inflate the primary events.
+func calibrateRates(cfg Config, ss *systemState, rng *xrand.RNG) {
+	// Expected total crash tickets for this system, split by kind.
+	crash := ss.cfg.crashTickets()
+	pmTarget := crash * ss.cfg.PMCrashShare
+	vmTarget := crash * (1 - ss.cfg.PMCrashShare)
+
+	// Inflation corrections shared by both kinds.
+	cascadePM := 1 / (1 - cfg.Recurrence.PMProb)
+	cascadeVM := 1 / (1 - cfg.Recurrence.VMProb)
+	fanout := 1.0
+	if cfg.Spatial.Enabled {
+		// Realization corrections: PM victims dodge infrastructure
+		// fan-outs with PMVictimSkipProb, and software fan-outs are
+		// capped by the (small) application-group size.
+		pmFrac := 0.0
+		if ss.cfg.PMs+ss.cfg.VMs > 0 {
+			pmFrac = float64(ss.cfg.PMs) / float64(ss.cfg.PMs+ss.cfg.VMs)
+		}
+		infraScale := 1 - cfg.Spatial.PMVictimSkipProb*pmFrac
+		// Software fan-outs draw from application groups whose sizes are
+		// uniform on 1..2·AppGroupSize−1; small groups truncate the draw.
+		// 0.85 is the measured realization for the default group size.
+		const groupScale = 0.85
+		mixTotal := 0.0
+		extra := 0.0
+		for _, class := range model.ClassifiedClasses() {
+			w := ss.cfg.ClassMix[class]
+			mixTotal += w
+			e := cfg.Spatial.Classes[class].expectedExtra()
+			if infrastructureCause(class) {
+				e *= infraScale
+			}
+			if class == model.ClassSoftware {
+				e *= groupScale
+			}
+			extra += w * e
+		}
+		if mixTotal > 0 {
+			fanout = 1 + extra/mixTotal
+		}
+	}
+
+	calibrateKind(cfg, ss.pms, pmTarget/(cascadePM*fanout), cfg.Observation.Weeks(), rng)
+	calibrateKind(cfg, ss.vms, vmTarget/(cascadeVM*fanout), cfg.Observation.Weeks(), rng)
+}
+
+// calibrateKind distributes a total primary-event budget over machines in
+// proportion to their attribute factors and lemon multipliers.
+func calibrateKind(cfg Config, machines []*machineState, targetEvents, weeks float64, rng *xrand.RNG) {
+	if len(machines) == 0 {
+		return
+	}
+	if targetEvents <= 0 {
+		for _, st := range machines {
+			st.lemon = 1
+			st.weeklyRate = 0
+		}
+		return
+	}
+	shape := cfg.HeterogeneityShapePM
+	if machines[0].m.Kind == model.VM {
+		shape = cfg.HeterogeneityShapeVM
+	}
+	sum := 0.0
+	for _, st := range machines {
+		st.lemon = rng.Gamma(shape, 1/shape)
+		sum += cfg.rateFactor(st) * st.lemon * exposureWeeks(cfg, st) / weeks
+	}
+	if sum <= 0 {
+		return
+	}
+	base := targetEvents / weeks / sum
+	for _, st := range machines {
+		st.weeklyRate = base * cfg.rateFactor(st) * st.lemon
+	}
+}
+
+// exposureWeeks is the number of observation weeks the machine exists.
+func exposureWeeks(cfg Config, st *machineState) float64 {
+	start := cfg.Observation.Start
+	if st.m.Created.After(start) {
+		start = st.m.Created
+	}
+	if !start.Before(cfg.Observation.End) {
+		return 0
+	}
+	return cfg.Observation.End.Sub(start).Hours() / (24 * 7)
+}
+
+// rateFactor evaluates the combined attribute factor of Figs. 7–10 for a
+// machine. The paper's analysis recovers these shapes from the generated
+// data; the normalization in calibrateKind keeps system totals invariant.
+func (c Config) rateFactor(st *machineState) float64 {
+	cv := c.Curves
+	res := st.m.Capacity
+	f := 1.0
+	switch st.m.Kind {
+	case model.PM:
+		f *= cv.PMCPU.At(float64(res.CPUs))
+		f *= cv.PMMem.At(res.MemoryGB)
+		f *= cv.PMCPUUtil.At(st.cpuUtil)
+		f *= cv.PMMemUtil.At(st.memUtil)
+	case model.VM:
+		f *= st.consFactor
+		f *= cv.VMCPU.At(float64(res.CPUs))
+		f *= cv.VMMem.At(res.MemoryGB)
+		f *= cv.VMDiskCap.At(res.DiskGB)
+		f *= cv.VMDiskCount.At(float64(res.Disks))
+		f *= cv.VMCPUUtil.At(st.cpuUtil)
+		f *= cv.VMMemUtil.At(st.memUtil)
+		f *= cv.VMDiskUtil.At(st.diskUtil)
+		f *= cv.VMNetKbps.At(st.netKbps)
+		f *= cv.OnOff.At(st.onOffPerMonth)
+		// Age factor at mid-observation; the weak positive trend of Fig. 6.
+		mid := c.Observation.Start.Add(c.Observation.Duration() / 2)
+		ageYears := mid.Sub(st.m.Created).Hours() / (24 * 365)
+		if ageYears > 0 {
+			f *= 1 + c.Curves.AgeSlopePerYear*math.Min(ageYears, 3)
+		}
+	}
+	return f
+}
+
+// generateEvents produces the full failure-event log of one system.
+func generateEvents(cfg Config, ss *systemState, rng *xrand.RNG, nextIncident *int) []event {
+	var events []event
+	obs := cfg.Observation
+
+	machines := make([]*machineState, 0, len(ss.pms)+len(ss.vms))
+	machines = append(machines, ss.pms...)
+	machines = append(machines, ss.vms...)
+
+	for _, st := range machines {
+		rate := st.weeklyRate
+		weeks := exposureWeeks(cfg, st)
+		if rate <= 0 || weeks <= 0 {
+			continue
+		}
+		n := rng.Poisson(rate * weeks)
+		start := obs.Start
+		if st.m.Created.After(start) {
+			start = st.m.Created
+		}
+		span := obs.End.Sub(start)
+		recurProb := cfg.Recurrence.PMProb
+		if st.m.Kind == model.VM {
+			recurProb = cfg.Recurrence.VMProb
+		}
+		for i := 0; i < n; i++ {
+			t := start.Add(time.Duration(rng.Float64() * float64(span)))
+			cause := drawCause(cfg, ss.cfg, st, rng)
+			primary := event{st: st, t: t, cause: cause, label: labelFor(cause, ss.cfg, rng), incident: *nextIncident}
+			*nextIncident++
+			events = append(events, primary)
+			events = append(events, fanOut(cfg, ss, primary, rng)...)
+
+			// Temporal recurrence cascade (§IV.D): geometric chain of
+			// follow-up failures at short Gamma-distributed lags. A
+			// follow-up repeats the trigger's cause with a per-class
+			// probability (chronic software recurs as software) and is
+			// otherwise a fresh draw.
+			cur := t
+			prev := cause
+			for rng.Bool(recurProb) {
+				lagDays := rng.Gamma(cfg.Recurrence.LagShape, cfg.Recurrence.LagMeanDays/cfg.Recurrence.LagShape)
+				cur = cur.Add(time.Duration(lagDays * 24 * float64(time.Hour)))
+				if !cur.Before(obs.End) {
+					break
+				}
+				fc := prev
+				if !rng.Bool(cfg.Recurrence.SameCauseProb[prev]) {
+					fc = drawCause(cfg, ss.cfg, st, rng)
+				}
+				follow := event{st: st, t: cur, cause: fc, label: labelFor(fc, ss.cfg, rng), incident: *nextIncident}
+				*nextIncident++
+				events = append(events, follow)
+				events = append(events, fanOut(cfg, ss, follow, rng)...)
+				prev = fc
+			}
+		}
+	}
+	events = append(events, massEvents(cfg, ss, rng, nextIncident)...)
+	sort.Slice(events, func(i, j int) bool { return events[i].t.Before(events[j].t) })
+	return events
+}
+
+// drawCause samples the true root cause of a failure on st from the five
+// named classes.
+func drawCause(cfg Config, sc SystemConfig, st *machineState, rng *xrand.RNG) model.FailureClass {
+	classes := model.ClassifiedClasses()
+	weights := make([]float64, len(classes))
+	total := 0.0
+	for i, class := range classes {
+		w := sc.ClassMix[class]
+		if st.m.Kind == model.VM {
+			w *= cfg.VMClassBias[class]
+		}
+		// Chronically failing machines skew software (§IV.B: the shortest
+		// per-server inter-failure times are software's).
+		if st.lemon > 1.3 && class == model.ClassSoftware {
+			w *= cfg.LemonSoftwareBias
+		}
+		weights[i] = w
+		total += w
+	}
+	if total <= 0 {
+		return model.ClassSoftware
+	}
+	return classes[rng.Categorical(weights)]
+}
+
+// labelFor degrades the true cause to ClassOther with the system's vague-
+// ticket share.
+func labelFor(cause model.FailureClass, sc SystemConfig, rng *xrand.RNG) model.FailureClass {
+	mixTotal := 0.0
+	for _, w := range sc.ClassMix {
+		mixTotal += w
+	}
+	if mixTotal <= 0 {
+		return cause
+	}
+	if rng.Bool(sc.ClassMix[model.ClassOther] / mixTotal) {
+		return model.ClassOther
+	}
+	return cause
+}
+
+// fanOut expands a failure into a multi-server incident per §IV.E. The
+// physical cause selects the blast domain; victims inherit the trigger's
+// incident, cause and label (one support group writes all the tickets of
+// one incident).
+func fanOut(cfg Config, ss *systemState, ev event, rng *xrand.RNG) []event {
+	if !cfg.Spatial.Enabled {
+		return nil
+	}
+	fo := cfg.Spatial.Classes[ev.cause]
+
+	// Host reboot: an unexpected VM reboot may actually be the hypervisor
+	// recycling, which takes the co-hosted VMs with it.
+	if ev.cause == model.ClassReboot && ev.st.m.Kind == model.VM && ev.st.boxIdx >= 0 &&
+		rng.Bool(cfg.Spatial.HostRebootProb) {
+		return victimEvents(cfg, ev, coHosted(ss, ev.st), boundedPareto(rng, 1.1, fo.MaxServers), rng)
+	}
+	if fo.TriggerProb <= 0 || !rng.Bool(fo.TriggerProb) {
+		return nil
+	}
+	extra := boundedPareto(rng, fo.TailAlpha, fo.MaxServers)
+	var pool []*machineState
+	switch ev.cause {
+	case model.ClassPower, model.ClassHardware, model.ClassNetwork:
+		// Shared electrical or network infrastructure: co-located servers.
+		pool = sameDomain(ss, ev.st)
+	case model.ClassSoftware:
+		pool = sameAppGroup(ss, ev.st)
+	default: // reboot (non-host): anywhere in the system
+		pool = allMachines(ss)
+	}
+	return victimEvents(cfg, ev, pool, extra, rng)
+}
+
+// massEvents injects the rare, large, unclassifiable incidents (§IV.E: the
+// 34-server maximum is attributed to the "other" class).
+func massEvents(cfg Config, ss *systemState, rng *xrand.RNG, nextIncident *int) []event {
+	if !cfg.Spatial.Enabled || cfg.Spatial.MassEventsPerYear <= 0 {
+		return nil
+	}
+	years := cfg.Observation.Duration().Hours() / (24 * 365)
+	n := rng.Poisson(cfg.Spatial.MassEventsPerYear * years)
+	pool := allMachines(ss)
+	if len(pool) == 0 {
+		return nil
+	}
+	var out []event
+	for i := 0; i < n; i++ {
+		trigger := pool[rng.Intn(len(pool))]
+		if trigger.weeklyRate <= 0 {
+			continue
+		}
+		t := cfg.Observation.Start.Add(time.Duration(rng.Float64() * float64(cfg.Observation.Duration())))
+		cause := drawCause(cfg, ss.cfg, trigger, rng)
+		ev := event{st: trigger, t: t, cause: cause, label: model.ClassOther, incident: *nextIncident}
+		*nextIncident++
+		out = append(out, ev)
+		maxServers := cfg.Spatial.MassEventMaxServers
+		extra := maxServers/2 + rng.Intn(maxServers/2+1)
+		out = append(out, victimEvents(cfg, ev, pool, extra, rng)...)
+	}
+	return out
+}
+
+// boundedPareto draws the number of additional victims: Pareto(1, alpha)
+// minus the trigger itself, capped.
+func boundedPareto(rng *xrand.RNG, alpha float64, maxExtra int) int {
+	n := int(rng.Pareto(1, alpha)) // >= 1
+	n--                            // the trigger server is not an "extra"
+	if n < 1 {
+		n = 1
+	}
+	if n > maxExtra {
+		n = maxExtra
+	}
+	return n
+}
+
+func infrastructureCause(c model.FailureClass) bool {
+	return c == model.ClassPower || c == model.ClassHardware || c == model.ClassNetwork
+}
+
+func coHosted(ss *systemState, st *machineState) []*machineState {
+	if st.boxIdx < 0 {
+		return nil
+	}
+	var out []*machineState
+	for _, v := range ss.boxes[st.boxIdx].vms {
+		if v != st {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func sameDomain(ss *systemState, st *machineState) []*machineState {
+	var out []*machineState
+	for _, m := range allMachines(ss) {
+		if m != st && m.powerDomain == st.powerDomain {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func sameAppGroup(ss *systemState, st *machineState) []*machineState {
+	var out []*machineState
+	for _, m := range allMachines(ss) {
+		if m != st && m.appGroup == st.appGroup {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func allMachines(ss *systemState) []*machineState {
+	out := make([]*machineState, 0, len(ss.pms)+len(ss.vms))
+	out = append(out, ss.pms...)
+	out = append(out, ss.vms...)
+	return out
+}
+
+// victimEvents turns up to n machines from pool into co-failing victims of
+// the trigger event. Machines that do not exist yet, or whose kind has a
+// zero target rate in this system (e.g. Sys II VMs, which produced no
+// crash tickets at all), are skipped.
+func victimEvents(cfg Config, trigger event, pool []*machineState, n int, rng *xrand.RNG) []event {
+	if n <= 0 || len(pool) == 0 {
+		return nil
+	}
+	idx := rng.Perm(len(pool))
+	var out []event
+	for _, i := range idx {
+		if len(out) >= n {
+			break
+		}
+		v := pool[i]
+		if v.m.Created.After(trigger.t) || v.weeklyRate <= 0 {
+			continue
+		}
+		if v.m.Kind == model.PM && infrastructureCause(trigger.cause) &&
+			rng.Bool(cfg.Spatial.PMVictimSkipProb) {
+			continue
+		}
+		jitter := time.Duration(rng.Intn(10)) * time.Minute
+		t := trigger.t.Add(jitter)
+		if !t.Before(cfg.Observation.End) {
+			t = trigger.t
+		}
+		out = append(out, event{st: v, t: t, cause: trigger.cause, label: trigger.label, incident: trigger.incident})
+	}
+	return out
+}

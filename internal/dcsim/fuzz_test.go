@@ -1,0 +1,89 @@
+package dcsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"failscope/internal/model"
+	"failscope/internal/xrand"
+)
+
+// TestGenerateRandomizedConfigs drives the generator with random small
+// configurations: it must never error and must always produce a dataset
+// that validates — whatever the population mix.
+func TestGenerateRandomizedConfigs(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		cfg := PaperConfig()
+		cfg.Seed = seed
+		cfg.Spatial.MassEventsPerYear = 0
+		cfg.Systems = cfg.Systems[:1+r.Intn(3)]
+		for i := range cfg.Systems {
+			cfg.Systems[i].PMs = r.Intn(120)
+			cfg.Systems[i].VMs = r.Intn(200)
+			cfg.Systems[i].AllTickets = 50 + r.Intn(2000)
+			cfg.Systems[i].CrashShare = 0.01 + 0.09*r.Float64()
+			cfg.Systems[i].PMCrashShare = r.Float64()
+		}
+		out, err := Generate(cfg)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := out.Data.Validate(); err != nil {
+			t.Logf("seed %d: invalid dataset: %v", seed, err)
+			return false
+		}
+		// Crash tickets must always reference PMs or VMs, never boxes.
+		for _, tk := range out.Data.Tickets {
+			m := out.Data.Machine(tk.ServerID)
+			if m == nil || m.Kind == model.Box {
+				t.Logf("seed %d: ticket on box or unknown machine", seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGenerateEmptySystem exercises the degenerate one-system,
+// zero-machine corner.
+func TestGenerateEmptySystem(t *testing.T) {
+	cfg := PaperConfig()
+	cfg.Systems = cfg.Systems[:1]
+	cfg.Systems[0].PMs = 0
+	cfg.Systems[0].VMs = 0
+	cfg.Systems[0].AllTickets = 0
+	out, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Data.Machines) != 0 || len(out.Data.Tickets) != 0 {
+		t.Fatalf("empty system produced %d machines, %d tickets",
+			len(out.Data.Machines), len(out.Data.Tickets))
+	}
+}
+
+// TestGeneratePMOnlySystem checks a virtualization-free subsystem.
+func TestGeneratePMOnlySystem(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Systems = cfg.Systems[:1]
+	cfg.Systems[0].VMs = 0
+	cfg.Systems[0].PMCrashShare = 1
+	out, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := out.Data.CountMachines(model.VM, 0); n != 0 {
+		t.Fatalf("%d VMs in a PM-only system", n)
+	}
+	if n := out.Data.CountMachines(model.Box, 0); n != 0 {
+		t.Fatalf("%d boxes in a PM-only system", n)
+	}
+	if len(out.Data.CrashTickets()) == 0 {
+		t.Fatal("no crash tickets generated")
+	}
+}

@@ -1,0 +1,227 @@
+package dcsim
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"failscope/internal/model"
+	"failscope/internal/monitordb"
+	"failscope/internal/ticketdb"
+	"failscope/internal/xrand"
+)
+
+// Output is the generated field data: the raw databases the collection
+// pipeline mines (ticket store + monitoring DB) and the assembled dataset
+// with ground truth.
+type Output struct {
+	Data    *model.Dataset
+	Tickets *ticketdb.Store
+	Monitor *monitordb.DB
+}
+
+// Generate runs the simulator and returns the field data. It is
+// deterministic in cfg.Seed.
+func Generate(cfg Config) (*Output, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := xrand.New(cfg.Seed)
+	systems := buildTopology(cfg, root.Split(1))
+
+	monitor := monitordb.New(cfg.MonitorEpoch, cfg.MonitorRetention)
+	store := ticketdb.NewStore()
+	renderer := ticketdb.NewRenderer(root.Split(2), cfg.VagueTextProb)
+
+	// Calibrate failure rates, then generate the event log.
+	rateRNG := root.Split(3)
+	for _, ss := range systems {
+		calibrateRates(cfg, ss, rateRNG.Split(uint64(ss.cfg.System)))
+	}
+	nextIncident := 1
+	var allEvents []event
+	eventRNG := root.Split(4)
+	for _, ss := range systems {
+		allEvents = append(allEvents, generateEvents(cfg, ss, eventRNG.Split(uint64(ss.cfg.System)), &nextIncident)...)
+	}
+
+	// Render crash tickets and the incident log.
+	repairRNG := root.Split(5)
+	incidents := make(map[int]*model.Incident)
+	var tickets []model.Ticket
+	for _, ev := range allEvents {
+		// Repair effort follows the physical cause; the ticket label (and
+		// its text quality) follows what the writer revealed.
+		repair := cfg.Repair[ev.cause].Sample(repairRNG)
+		if ev.st.m.Kind == model.VM {
+			if scale, ok := cfg.VMRepairScale[ev.cause]; ok && scale > 0 {
+				repair *= scale
+			}
+		}
+		desc, res := renderer.Crash(ev.label, ev.st.m.ID)
+		t := model.Ticket{
+			ServerID:    ev.st.m.ID,
+			IncidentID:  "I" + strconv.Itoa(ev.incident),
+			System:      ev.st.m.System,
+			Opened:      ev.t,
+			Closed:      ev.t.Add(time.Duration(repair * float64(time.Hour))),
+			Description: desc,
+			Resolution:  res,
+			IsCrash:     true,
+			Class:       ev.label,
+		}
+		tickets = append(tickets, t)
+		inc := incidents[ev.incident]
+		if inc == nil {
+			inc = &model.Incident{
+				ID:    "I" + strconv.Itoa(ev.incident),
+				Class: ev.label,
+				Time:  ev.t,
+			}
+			incidents[ev.incident] = inc
+		}
+		inc.Servers = append(inc.Servers, ev.st.m.ID)
+	}
+
+	// Background (non-crash) ticket traffic.
+	bgRNG := root.Split(6)
+	for _, ss := range systems {
+		tickets = append(tickets, backgroundTickets(cfg, ss, renderer, bgRNG.Split(uint64(ss.cfg.System)))...)
+	}
+
+	// Monitoring database: usage series, placements, power events.
+	monRNG := root.Split(7)
+	for _, ss := range systems {
+		writeMonitoring(cfg, ss, monitor, monRNG.Split(uint64(ss.cfg.System)))
+	}
+
+	// Assemble and validate the dataset.
+	var machines []*model.Machine
+	for _, ss := range systems {
+		for _, st := range ss.pms {
+			machines = append(machines, st.m)
+		}
+		for _, b := range ss.boxes {
+			machines = append(machines, b.m)
+		}
+		for _, st := range ss.vms {
+			machines = append(machines, st.m)
+		}
+	}
+	for i := range tickets {
+		stored := store.Append(tickets[i])
+		tickets[i].ID = stored.ID
+	}
+	var incidentList []model.Incident
+	for i := 1; i < nextIncident; i++ {
+		if inc := incidents[i]; inc != nil {
+			incidentList = append(incidentList, *inc)
+		}
+	}
+	data := model.NewDataset(cfg.Observation, machines, tickets, incidentList)
+	if err := data.Validate(); err != nil {
+		return nil, fmt.Errorf("dcsim: generated dataset invalid: %w", err)
+	}
+	return &Output{Data: data, Tickets: store, Monitor: monitor}, nil
+}
+
+// backgroundTickets generates the >94% of problem tickets that are not
+// server failures.
+func backgroundTickets(cfg Config, ss *systemState, renderer *ticketdb.Renderer, rng *xrand.RNG) []model.Ticket {
+	n := int(float64(ss.cfg.AllTickets) * (1 - ss.cfg.CrashShare))
+	machines := allMachines(ss)
+	if len(machines) == 0 || n <= 0 {
+		return nil
+	}
+	span := cfg.Observation.Duration()
+	out := make([]model.Ticket, 0, n)
+	for i := 0; i < n; i++ {
+		st := machines[rng.Intn(len(machines))]
+		opened := cfg.Observation.Start.Add(time.Duration(rng.Float64() * float64(span)))
+		repair := cfg.NonCrashRepair.Sample(rng)
+		desc, res := renderer.NonCrash(st.m.ID)
+		out = append(out, model.Ticket{
+			ServerID:    st.m.ID,
+			System:      ss.cfg.System,
+			Opened:      opened,
+			Closed:      opened.Add(time.Duration(repair * float64(time.Hour))),
+			Description: desc,
+			Resolution:  res,
+			IsCrash:     false,
+		})
+	}
+	return out
+}
+
+// writeMonitoring populates the monitoring database for one system: a
+// birth-marker sample at each machine's first observable moment, weekly
+// usage averages across the observation year, monthly VM placements (with
+// occasional migrations) and power events inside the fine window.
+func writeMonitoring(cfg Config, ss *systemState, db *monitordb.DB, rng *xrand.RNG) {
+	writeUsage := func(st *machineState) {
+		first := st.m.Created
+		if first.Before(cfg.MonitorEpoch) {
+			first = cfg.MonitorEpoch
+		}
+		// Birth marker: the machine's first heartbeat in the database,
+		// which is what the paper uses as the VM creation date.
+		db.Add(st.m.ID, monitordb.MetricCPUUtil, monitordb.Sample{Time: first, Value: noisy(rng, st.cpuUtil, 2)})
+
+		start := cfg.Observation.Start
+		if st.m.Created.After(start) {
+			start = st.m.Created
+		}
+		for t := start; t.Before(cfg.Observation.End); t = t.Add(7 * 24 * time.Hour) {
+			db.Add(st.m.ID, monitordb.MetricCPUUtil, monitordb.Sample{Time: t, Value: noisy(rng, st.cpuUtil, 2)})
+			db.Add(st.m.ID, monitordb.MetricMemUtil, monitordb.Sample{Time: t, Value: noisy(rng, st.memUtil, 2)})
+			db.Add(st.m.ID, monitordb.MetricDiskUtil, monitordb.Sample{Time: t, Value: noisy(rng, st.diskUtil, 1.5)})
+			db.Add(st.m.ID, monitordb.MetricNetKbps, monitordb.Sample{Time: t, Value: st.netKbps * (0.85 + 0.3*rng.Float64())})
+		}
+	}
+	for _, st := range ss.pms {
+		writeUsage(st)
+	}
+	for _, st := range ss.vms {
+		writeUsage(st)
+	}
+
+	// Monthly placements over the observation year, with rare migrations.
+	for _, b := range ss.boxes {
+		for _, st := range b.vms {
+			cur := b
+			for t := cfg.Observation.Start; t.Before(cfg.Observation.End); t = t.AddDate(0, 1, 0) {
+				if st.m.Created.After(t) {
+					continue
+				}
+				if rng.Bool(cfg.Spatial.MigrationProb) && len(ss.boxes) > 1 {
+					cur = ss.boxes[rng.Intn(len(ss.boxes))]
+				}
+				db.SetPlacement(st.m.ID, cur.m.ID, t)
+			}
+		}
+	}
+
+	// Power events (on/off) inside the fine 15-minute window only — the
+	// paper has two months of fine-grained data.
+	fine := cfg.FineWindow
+	months := fine.Duration().Hours() / (24 * 30)
+	for _, st := range ss.vms {
+		if st.onOffPerMonth <= 0 {
+			continue
+		}
+		cycles := rng.Poisson(st.onOffPerMonth * months)
+		for i := 0; i < cycles; i++ {
+			off := fine.Start.Add(time.Duration(rng.Float64() * float64(fine.Duration())))
+			downFor := time.Duration((0.5 + 6*rng.Float64()) * float64(time.Hour))
+			on := off.Add(downFor)
+			db.AddPowerEvent(st.m.ID, monitordb.PowerEvent{Time: off, On: false})
+			if on.Before(fine.End) {
+				db.AddPowerEvent(st.m.ID, monitordb.PowerEvent{Time: on, On: true})
+			}
+		}
+	}
+}
+
+func noisy(rng *xrand.RNG, v, sd float64) float64 {
+	return clamp(v+sd*rng.Norm(), 0, 100)
+}

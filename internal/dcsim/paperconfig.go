@@ -1,0 +1,240 @@
+package dcsim
+
+import (
+	"time"
+
+	"failscope/internal/model"
+)
+
+// repairModel builds the repair-time model from the published
+// (mean, median) hour pairs of Table IV, with the default body-sigma cap
+// and escalation mixture (see RepairModel).
+func repairModel(meanHours, medianHours float64) RepairModel {
+	return RepairModel{
+		MeanHours:      meanHours,
+		MedianHours:    medianHours,
+		SigmaCap:       1.6,
+		EscalationProb: 0.25,
+		TriageHours:    0.35,
+	}
+}
+
+// PaperConfig returns the generator configuration calibrated to the
+// published statistics (see DESIGN.md §4 for the target list). The default
+// seed gives the canonical dataset used by the benchmarks; callers may
+// override Seed for replication studies.
+func PaperConfig() Config {
+	obsStart := time.Date(2012, 7, 1, 0, 0, 0, 0, time.UTC)
+	obsEnd := time.Date(2013, 7, 1, 0, 0, 0, 0, time.UTC)
+	epoch := time.Date(2011, 7, 1, 0, 0, 0, 0, time.UTC)
+
+	return Config{
+		Seed:             3,
+		Observation:      model.Window{Start: obsStart, End: obsEnd},
+		MonitorEpoch:     epoch,
+		MonitorRetention: 2 * 365 * 24 * time.Hour,
+		FineWindow: model.Window{
+			Start: time.Date(2013, 3, 1, 0, 0, 0, 0, time.UTC),
+			End:   time.Date(2013, 5, 1, 0, 0, 0, 0, time.UTC),
+		},
+
+		// Table II columns. Class mixes follow Fig. 1 and §III.A: "other"
+		// is {35, 68, 68, 61, 29}% per system; software and reboots
+		// dominate the classified remainder; hardware/network are the Sys
+		// I/II signatures; Sys III has no power outages and Sys V is
+		// power-heavy (29%).
+		Systems: []SystemConfig{
+			{
+				System: model.SysI, PMs: 463, VMs: 1320,
+				AllTickets: 7079, CrashShare: 0.069, PMCrashShare: 0.69,
+				ClassMix: map[model.FailureClass]float64{
+					model.ClassHardware: 26, model.ClassNetwork: 13,
+					model.ClassSoftware: 14, model.ClassPower: 4,
+					model.ClassReboot: 8, model.ClassOther: 35,
+				},
+			},
+			{
+				System: model.SysII, PMs: 2025, VMs: 52,
+				AllTickets: 27577, CrashShare: 0.0085, PMCrashShare: 1.0,
+				ClassMix: map[model.FailureClass]float64{
+					model.ClassHardware: 1, model.ClassNetwork: 1,
+					model.ClassSoftware: 23, model.ClassPower: 4,
+					model.ClassReboot: 3, model.ClassOther: 68,
+				},
+			},
+			{
+				System: model.SysIII, PMs: 1114, VMs: 1971,
+				AllTickets: 50157, CrashShare: 0.02, PMCrashShare: 0.59,
+				ClassMix: map[model.FailureClass]float64{
+					model.ClassHardware: 3, model.ClassNetwork: 2,
+					model.ClassSoftware: 15, model.ClassPower: 0,
+					model.ClassReboot: 12, model.ClassOther: 68,
+				},
+			},
+			{
+				System: model.SysIV, PMs: 717, VMs: 313,
+				AllTickets: 8382, CrashShare: 0.013, PMCrashShare: 0.63,
+				ClassMix: map[model.FailureClass]float64{
+					model.ClassHardware: 4, model.ClassNetwork: 2,
+					model.ClassSoftware: 20, model.ClassPower: 3,
+					model.ClassReboot: 10, model.ClassOther: 61,
+				},
+			},
+			{
+				System: model.SysV, PMs: 810, VMs: 636,
+				AllTickets: 25940, CrashShare: 0.033, PMCrashShare: 0.57,
+				ClassMix: map[model.FailureClass]float64{
+					model.ClassHardware: 2, model.ClassNetwork: 2,
+					model.ClassSoftware: 12, model.ClassPower: 29,
+					model.ClassReboot: 26, model.ClassOther: 29,
+				},
+			},
+		},
+
+		// §IV.D: weekly recurrent probabilities ≈ .22 (PM) and .16 (VM);
+		// most follow-ups land within days of the trigger. The chain
+		// probabilities exceed the targets because a sizable share of
+		// failures are fan-out victims, which do not start chains.
+		Recurrence: RecurrenceConfig{
+			PMProb: 0.26, VMProb: 0.17,
+			LagMeanDays: 2.5, LagShape: 0.8,
+			SameCauseProb: map[model.FailureClass]float64{
+				model.ClassHardware: 0.15,
+				model.ClassNetwork:  0.15,
+				model.ClassSoftware: 0.75,
+				model.ClassPower:    0.10,
+				model.ClassReboot:   0.50,
+			},
+		},
+
+		// §IV.E / Tables VI–VII: power incidents fan out widest (mean 2.7,
+		// max 21), software second (distributed applications), reboots
+		// mostly single but occasionally the whole box, "other" has the
+		// longest tail (max 34).
+		Spatial: SpatialConfig{
+			Enabled: true,
+			Classes: map[model.FailureClass]FanOut{
+				model.ClassHardware: {TriggerProb: 0.06, TailAlpha: 1.6, MaxServers: 9},
+				model.ClassNetwork:  {TriggerProb: 0.25, TailAlpha: 1.5, MaxServers: 8},
+				model.ClassSoftware: {TriggerProb: 0.32, TailAlpha: 1.3, MaxServers: 9},
+				model.ClassPower:    {TriggerProb: 0.55, TailAlpha: 1.05, MaxServers: 20},
+				model.ClassReboot:   {TriggerProb: 0.04, TailAlpha: 1.1, MaxServers: 14},
+			},
+			PowerDomainSize:     25,
+			AppGroupSize:        6,
+			HostRebootProb:      0.15,
+			MigrationProb:       0.02,
+			PMVictimSkipProb:    0.45,
+			MassEventsPerYear:   0.4,
+			MassEventMaxServers: 33,
+		},
+
+		Curves: paperCurves(),
+
+		HeterogeneityShapePM: 0.70,
+		HeterogeneityShapeVM: 0.50,
+
+		// Table IV (mean, median) hours per class; "other" is set between
+		// reboot and software. Non-crash tickets close on routine service
+		// timescales.
+		Repair: map[model.FailureClass]RepairModel{
+			model.ClassHardware: repairModel(80.1, 8.28),
+			model.ClassNetwork:  repairModel(67.6, 8.97),
+			model.ClassPower:    repairModel(12.17, 0.83),
+			model.ClassReboot:   repairModel(18.03, 2.27),
+			model.ClassSoftware: repairModel(30.0, 22.37),
+			model.ClassOther:    repairModel(24.0, 4.0),
+		},
+		NonCrashRepair: repairModel(26.0, 9.0),
+
+		// §IV.C: ~35% of VM failures are unexpected reboots, and VMs see
+		// almost no first-hand hardware failures — this bias is what
+		// produces the 2× PM/VM repair-time gap.
+		VMClassBias: map[model.FailureClass]float64{
+			model.ClassHardware: 0.10,
+			model.ClassNetwork:  0.30,
+			model.ClassSoftware: 1.2,
+			model.ClassPower:    0.9,
+			model.ClassReboot:   5.0,
+		},
+
+		// Failed VMs are restarted or migrated, not repaired part-by-part.
+		VMRepairScale: map[model.FailureClass]float64{
+			model.ClassHardware: 0.30,
+			model.ClassNetwork:  0.40,
+		},
+
+		LemonSoftwareBias: 6.0,
+		VagueTextProb:     0.10,
+
+		VMCreatedBeforeEpoch: 0.25,
+	}
+}
+
+// paperCurves encodes the shapes of Figs. 7–10 as generator factors. The
+// amplitudes are deliberately wider than the published measured spans:
+// fan-out victims are drawn independently of their attributes, which
+// dilutes every attribute signal in the measured data, so the generator
+// over-drives the factor and the analysis recovers roughly the published
+// span.
+func paperCurves() CurveSet {
+	return CurveSet{
+		// Fig. 7(a): PM rate climbs ~5.5× up to 24 CPUs then drops for the
+		// high-end 32/64-way systems; VM rate climbs ~2.5× over 1→8 vCPUs.
+		PMCPU: Curve{{1, 0.35}, {2, 0.45}, {4, 0.70}, {8, 1.2}, {16, 2.2}, {24, 3.2}, {32, 1.0}, {64, 1.0}},
+		VMCPU: Curve{{1, 0.40}, {2, 0.80}, {4, 1.8}, {8, 3.0}},
+
+		// Fig. 7(b): bathtub in memory size for both, PM span ~5×, VM ~3×.
+		PMMem: Curve{{0, 2.0}, {5, 0.50}, {48, 1.0}, {96, 2.2}, {192, 3.4}},
+		VMMem: Curve{{0, 1.6}, {3, 0.35}, {12, 1.1}, {24, 2.2}},
+
+		// Fig. 7(c): small virtual disks rarely fail; ≥32 GB flat.
+		VMDiskCap: Curve{{0, 0.10}, {12, 0.45}, {32, 1.0}},
+		// Fig. 7(d): ~10× from 1 to 6 virtual disks.
+		VMDiskCount: Curve{{1, 0.15}, {2, 0.80}, {3, 1.5}, {4, 2.2}, {5, 2.8}, {6, 3.5}},
+
+		// Fig. 8(a): VM rate grows ~an order of magnitude over 0–30% CPU
+		// utilization; PM follows a bathtub (moderately loaded PMs win).
+		VMCPUUtil: Curve{{0, 0.25}, {10, 1.2}, {20, 2.6}, {30, 3.6}, {60, 3.8}},
+		PMCPUUtil: Curve{{0, 2.6}, {10, 1.1}, {20, 0.55}, {40, 0.45}, {70, 0.9}, {90, 1.8}},
+
+		// Fig. 8(b): inverted bathtub, stronger for PMs.
+		PMMemUtil: Curve{{0, 0.5}, {20, 1.7}, {40, 2.6}, {60, 1.8}, {70, 0.8}, {90, 0.4}},
+		VMMemUtil: Curve{{0, 0.7}, {10, 1.5}, {30, 2.0}, {50, 0.8}, {80, 0.6}},
+
+		// Fig. 8(c): mild increase 0.001→0.003 across disk utilization.
+		VMDiskUtil: Curve{{0, 0.45}, {10, 0.8}, {40, 1.3}, {70, 1.7}},
+		// Fig. 8(d): rises to a knee at 64 Kbps, then falls.
+		VMNetKbps: Curve{{0, 0.25}, {8, 0.60}, {32, 1.5}, {64, 2.2}, {128, 1.5}, {512, 1.0}, {1024, 0.70}, {4096, 0.50}},
+
+		// Fig. 9: failure rate decreases significantly with consolidation.
+		Consolidation: Curve{{1, 2.6}, {2, 2.1}, {4, 1.6}, {8, 1.1}, {16, 0.70}, {32, 0.50}},
+
+		// Fig. 10: rising to ~2 on/off per month, then no clear trend.
+		OnOff: Curve{{0, 0.50}, {1, 1.1}, {2, 2.0}, {4, 1.5}, {8, 1.7}, {16, 1.4}},
+
+		// Fig. 6: weak positive age trend.
+		AgeSlopePerYear: 0.6,
+	}
+}
+
+// SmallConfig returns a scaled-down configuration (~1/8 of the populations
+// and ticket volumes) with the same calibration shapes; unit and
+// integration tests use it to keep runtimes short.
+func SmallConfig() Config {
+	c := PaperConfig()
+	for i := range c.Systems {
+		c.Systems[i].PMs = scaleDown(c.Systems[i].PMs, 8)
+		c.Systems[i].VMs = scaleDown(c.Systems[i].VMs, 8)
+		c.Systems[i].AllTickets = scaleDown(c.Systems[i].AllTickets, 8)
+	}
+	return c
+}
+
+func scaleDown(n, by int) int {
+	v := n / by
+	if v < 1 && n > 0 {
+		v = 1
+	}
+	return v
+}

@@ -1,0 +1,284 @@
+package dcsim
+
+import (
+	"fmt"
+	"time"
+
+	"failscope/internal/model"
+	"failscope/internal/xrand"
+)
+
+// machineState is the generator's hidden per-machine state: the drawn
+// capacity, usage profile, lifecycle and the resulting failure rate.
+type machineState struct {
+	m *model.Machine
+
+	// usage profile: long-run weekly-average targets.
+	cpuUtil, memUtil, diskUtil float64
+	netKbps                    float64
+
+	// lifecycle.
+	onOffPerMonth float64
+	boxIdx        int // index into the system's boxes; -1 for non-VMs
+	powerDomain   int
+	appGroup      int
+
+	// failure process.
+	lemon      float64 // unit-mean Gamma heterogeneity multiplier
+	consFactor float64 // consolidation-level factor (1 for non-VMs)
+	weeklyRate float64 // calibrated primary event rate
+}
+
+// box is one hypervisor host.
+type box struct {
+	m    *model.Machine
+	vms  []*machineState
+	size int // target consolidation level
+}
+
+// systemState holds the generated topology of one subsystem.
+type systemState struct {
+	cfg      SystemConfig
+	pms      []*machineState
+	vms      []*machineState
+	boxes    []*box
+	nDomains int
+	nGroups  int
+}
+
+// consolidationLevels is the target distribution of VM consolidation
+// (§VI.A: VM population grows with the level — 0.6% at 1, ~30% at 16,
+// ~32% at 32).
+var consolidationLevels = []struct {
+	level  int
+	weight float64
+}{
+	{1, 0.006}, {2, 0.024}, {4, 0.10}, {8, 0.25}, {16, 0.30}, {32, 0.32},
+}
+
+// capacity mixes; weights reflect the population skews the paper notes
+// (72% of PMs with at most 4 processors, most VMs with 1–2 vCPUs and
+// 1–2 GB memory, 83% of VM failures on machines with ≤2 disks).
+var (
+	pmCPUChoices = []int{1, 2, 4, 8, 16, 24, 32, 64}
+	pmCPUWeights = []float64{0.10, 0.22, 0.40, 0.12, 0.08, 0.04, 0.03, 0.01}
+
+	vmCPUChoices = []int{1, 2, 4, 8}
+	vmCPUWeights = []float64{0.35, 0.40, 0.18, 0.07}
+
+	pmMemChoices = []float64{2, 4, 8, 16, 32, 64, 128, 256}
+	pmMemWeights = []float64{0.06, 0.10, 0.18, 0.22, 0.20, 0.14, 0.07, 0.03}
+
+	vmMemChoices = []float64{0.25, 0.5, 1, 2, 4, 8, 16, 32}
+	vmMemWeights = []float64{0.04, 0.08, 0.28, 0.30, 0.16, 0.08, 0.04, 0.02}
+
+	vmDiskCapChoices = []float64{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+	vmDiskCapWeights = []float64{0.05, 0.10, 0.15, 0.15, 0.15, 0.13, 0.12, 0.08, 0.05, 0.02}
+
+	vmDiskCountChoices = []int{1, 2, 3, 4, 5, 6}
+	vmDiskCountWeights = []float64{0.38, 0.40, 0.10, 0.06, 0.04, 0.02}
+
+	// monthly on/off frequency mix (§VI.B: 60% at most once per month,
+	// ~14% at eight or more).
+	onOffChoices = []float64{0, 1, 2, 4, 8, 16}
+	onOffWeights = []float64{0.35, 0.25, 0.15, 0.11, 0.08, 0.06}
+
+	// network demand bands (§V.B: 45% in 2–64 Kbps, 34% in 128–512,
+	// 21% in 1024–8192).
+	netBands = []struct {
+		lo, hi float64
+		weight float64
+	}{
+		{2, 64, 0.45}, {128, 512, 0.34}, {1024, 8192, 0.21},
+	}
+)
+
+// buildTopology constructs the machine inventory and hidden state for all
+// systems.
+func buildTopology(cfg Config, rng *xrand.RNG) []*systemState {
+	systems := make([]*systemState, 0, len(cfg.Systems))
+	for _, sc := range cfg.Systems {
+		systems = append(systems, buildSystem(cfg, sc, rng.Split(uint64(sc.System))))
+	}
+	return systems
+}
+
+func buildSystem(cfg Config, sc SystemConfig, rng *xrand.RNG) *systemState {
+	ss := &systemState{cfg: sc}
+
+	// PMs: long-lived physical servers, in place well before the epoch.
+	for i := 0; i < sc.PMs; i++ {
+		m := &model.Machine{
+			ID:     model.MachineID(fmt.Sprintf("pm-%d-%04d", sc.System, i)),
+			Kind:   model.PM,
+			System: sc.System,
+			Capacity: model.Capacity{
+				CPUs:     pmCPUChoices[rng.Categorical(pmCPUWeights)],
+				MemoryGB: pmMemChoices[rng.Categorical(pmMemWeights)],
+			},
+			Created: cfg.MonitorEpoch.Add(-time.Duration(1+rng.Intn(4*365*24)) * time.Hour),
+		}
+		st := &machineState{m: m, boxIdx: -1, consFactor: 1}
+		drawUsage(st, rng)
+		ss.pms = append(ss.pms, st)
+	}
+
+	// Boxes sized by the consolidation-level mix, then VMs placed on them.
+	// The configured weights are per-VM population shares; a box of level L
+	// holds L VMs, so box draws use weight share/L.
+	levelWeights := make([]float64, len(consolidationLevels))
+	for i, cl := range consolidationLevels {
+		levelWeights[i] = cl.weight / float64(cl.level)
+	}
+	remaining := sc.VMs
+	for remaining > 0 {
+		level := consolidationLevels[rng.Categorical(levelWeights)].level
+		if level > remaining {
+			level = remaining
+		}
+		b := &box{
+			m: &model.Machine{
+				ID:     model.MachineID(fmt.Sprintf("box-%d-%04d", sc.System, len(ss.boxes))),
+				Kind:   model.Box,
+				System: sc.System,
+				Capacity: model.Capacity{
+					CPUs:     pmCPUChoices[rng.Categorical(pmCPUWeights)],
+					MemoryGB: pmMemChoices[rng.Categorical(pmMemWeights)],
+				},
+				Created: cfg.MonitorEpoch.Add(-time.Duration(1+rng.Intn(3*365*24)) * time.Hour),
+			},
+			size: level,
+		}
+		ss.boxes = append(ss.boxes, b)
+		remaining -= level
+	}
+
+	// VMs: creation dates split between "before the epoch" (first record
+	// clamps to the epoch, so the ingest age filter drops them) and a
+	// batched spread across the two-year monitoring window.
+	vmIdx := 0
+	for bi, b := range ss.boxes {
+		for v := 0; v < b.size; v++ {
+			created := drawVMCreation(cfg, rng)
+			m := &model.Machine{
+				ID:     model.MachineID(fmt.Sprintf("vm-%d-%05d", sc.System, vmIdx)),
+				Kind:   model.VM,
+				System: sc.System,
+				Capacity: model.Capacity{
+					CPUs:     vmCPUChoices[rng.Categorical(vmCPUWeights)],
+					MemoryGB: vmMemChoices[rng.Categorical(vmMemWeights)],
+					DiskGB:   vmDiskCapChoices[rng.Categorical(vmDiskCapWeights)],
+					Disks:    vmDiskCountChoices[rng.Categorical(vmDiskCountWeights)],
+				},
+				HostID:  b.m.ID,
+				Created: created,
+			}
+			st := &machineState{
+				m:             m,
+				boxIdx:        bi,
+				consFactor:    cfg.Curves.Consolidation.At(float64(b.size)),
+				onOffPerMonth: onOffChoices[rng.Categorical(onOffWeights)],
+			}
+			drawUsage(st, rng)
+			b.vms = append(b.vms, st)
+			ss.vms = append(ss.vms, st)
+			vmIdx++
+		}
+	}
+
+	// Blast domains: power domains span PMs, boxes and their VMs within
+	// the system; application groups mix PMs and VMs.
+	assignDomains(cfg, ss, rng)
+	return ss
+}
+
+// drawVMCreation samples a VM creation date: a fraction predates the
+// monitoring epoch; the rest arrive in monthly batches across the window
+// (the paper notes VMs are created in batches).
+func drawVMCreation(cfg Config, rng *xrand.RNG) time.Time {
+	if rng.Bool(cfg.VMCreatedBeforeEpoch) {
+		return cfg.MonitorEpoch.Add(-time.Duration(1+rng.Intn(365*24)) * time.Hour)
+	}
+	// Batch months between the epoch and three months before observation
+	// end, weighted toward earlier months so most VMs exist for most of
+	// the observation year.
+	span := cfg.Observation.End.Add(-90 * 24 * time.Hour).Sub(cfg.MonitorEpoch)
+	months := int(span.Hours()/(30*24)) + 1
+	weights := make([]float64, months)
+	for i := range weights {
+		weights[i] = 2.5 - 2*float64(i)/float64(months)
+	}
+	month := rng.Categorical(weights)
+	jitter := time.Duration(rng.Intn(30*24)) * time.Hour
+	return cfg.MonitorEpoch.Add(time.Duration(month)*30*24*time.Hour + jitter)
+}
+
+// drawUsage fills the long-run usage profile of a machine.
+func drawUsage(st *machineState, rng *xrand.RNG) {
+	isPM := st.m.Kind == model.PM
+
+	// CPU utilization: more than half the population at or below 10%.
+	st.cpuUtil = clamp(rng.LogNormal(1.9, 1.0), 0.5, 98) // median ≈ 6.7%
+
+	if isPM {
+		// PM memory utilization population grows with utilization.
+		st.memUtil = clamp(100-rng.LogNormal(3.2, 0.8), 1, 99)
+	} else {
+		st.memUtil = clamp(rng.LogNormal(1.8, 1.0), 0.5, 95)
+	}
+
+	st.diskUtil = clamp(rng.LogNormal(3.1, 0.8), 1, 99)
+
+	band := netBands[rng.Categorical([]float64{netBands[0].weight, netBands[1].weight, netBands[2].weight})]
+	st.netKbps = band.lo + rng.Float64()*(band.hi-band.lo)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// assignDomains partitions the system's machines into power domains and
+// application groups.
+func assignDomains(cfg Config, ss *systemState, rng *xrand.RNG) {
+	all := make([]*machineState, 0, len(ss.pms)+len(ss.vms))
+	all = append(all, ss.pms...)
+	all = append(all, ss.vms...)
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+
+	domainSize := cfg.Spatial.PowerDomainSize
+	if domainSize < 2 {
+		domainSize = 25
+	}
+	ss.nDomains = (len(all) + domainSize - 1) / domainSize
+	for i, st := range all {
+		st.powerDomain = i / domainSize
+	}
+
+	// Application groups are kind-homogeneous: multi-tier applications
+	// deploy their modules across VMs (or across PMs), which is what gives
+	// VM failures their stronger spatial dependency (§IV.E).
+	groupSize := cfg.Spatial.AppGroupSize
+	if groupSize < 1 {
+		groupSize = 6
+	}
+	g := 0
+	for _, pop := range [][]*machineState{ss.pms, ss.vms} {
+		shuffled := append([]*machineState(nil), pop...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		for i := 0; i < len(shuffled); {
+			n := 1 + rng.Intn(2*groupSize-1) // mean ≈ groupSize
+			for j := i; j < i+n && j < len(shuffled); j++ {
+				shuffled[j].appGroup = g
+			}
+			g++
+			i += n
+		}
+	}
+	ss.nGroups = g
+}

@@ -1,0 +1,215 @@
+package dist
+
+import (
+	"math"
+	"sort"
+)
+
+// Censored fitting. Inter-failure observations from a finite study window
+// are right-censored: after a server's last failure the study ends without
+// another event, so we only know the next gap exceeds the remaining window.
+// Ignoring those censored gaps biases the fitted means down. The censored
+// log-likelihood is
+//
+//	Σ_observed log f(x_i) + Σ_censored log S(c_j)
+//
+// with S = 1 − CDF the survival function.
+
+// CensoredSample is a duration sample with right-censoring marks.
+type CensoredSample struct {
+	// Observed are fully observed durations.
+	Observed []float64
+	// Censored are lower bounds: the true duration exceeds each value.
+	Censored []float64
+}
+
+// N returns the total number of observations (observed + censored).
+func (c CensoredSample) N() int { return len(c.Observed) + len(c.Censored) }
+
+// CensoredLogLikelihood returns the right-censored log-likelihood of the
+// sample under d.
+func CensoredLogLikelihood(d Distribution, sample CensoredSample) float64 {
+	ll := 0.0
+	for _, x := range sample.Observed {
+		p := d.PDF(x)
+		if p <= 0 {
+			return math.Inf(-1)
+		}
+		ll += math.Log(p)
+	}
+	for _, c := range sample.Censored {
+		s := 1 - d.CDF(c)
+		if s <= 0 {
+			return math.Inf(-1)
+		}
+		ll += math.Log(s)
+	}
+	return ll
+}
+
+// FitExponentialCensored is the closed-form censored MLE: rate = events /
+// total exposure.
+func FitExponentialCensored(sample CensoredSample) (Exponential, error) {
+	if len(sample.Observed) < 2 {
+		return Exponential{}, ErrInsufficientData
+	}
+	exposure := 0.0
+	for _, x := range sample.Observed {
+		if x <= 0 || math.IsNaN(x) {
+			return Exponential{}, ErrInsufficientData
+		}
+		exposure += x
+	}
+	for _, c := range sample.Censored {
+		if c < 0 || math.IsNaN(c) {
+			return Exponential{}, ErrInsufficientData
+		}
+		exposure += c
+	}
+	if exposure <= 0 {
+		return Exponential{}, ErrInsufficientData
+	}
+	return Exponential{Rate: float64(len(sample.Observed)) / exposure}, nil
+}
+
+// FitWeibullCensored fits a Weibull by maximizing the censored likelihood
+// with a profile search over the shape (golden-section) and the closed-form
+// censored scale for each shape:
+//
+//	λ^k = (Σ x_i^k + Σ c_j^k) / n_observed
+func FitWeibullCensored(sample CensoredSample) (Weibull, error) {
+	if len(sample.Observed) < 2 {
+		return Weibull{}, ErrInsufficientData
+	}
+	for _, x := range sample.Observed {
+		if x <= 0 || math.IsNaN(x) {
+			return Weibull{}, ErrInsufficientData
+		}
+	}
+	scaleFor := func(k float64) float64 {
+		sum := 0.0
+		for _, x := range sample.Observed {
+			sum += math.Pow(x, k)
+		}
+		for _, c := range sample.Censored {
+			if c > 0 {
+				sum += math.Pow(c, k)
+			}
+		}
+		return math.Pow(sum/float64(len(sample.Observed)), 1/k)
+	}
+	objective := func(k float64) float64 {
+		w := Weibull{Shape: k, Scale: scaleFor(k)}
+		return CensoredLogLikelihood(w, sample)
+	}
+	k := goldenMax(objective, 0.05, 20)
+	w := Weibull{Shape: k, Scale: scaleFor(k)}
+	if math.IsNaN(w.Scale) || w.Scale <= 0 {
+		return Weibull{}, ErrInsufficientData
+	}
+	return w, nil
+}
+
+// FitGammaCensored fits a Gamma by a 2-D profile search: golden-section
+// over the shape, with a nested golden-section over the scale seeded at the
+// uncensored moment estimate.
+func FitGammaCensored(sample CensoredSample) (Gamma, error) {
+	if len(sample.Observed) < 2 {
+		return Gamma{}, ErrInsufficientData
+	}
+	mean, _, err := meanAndMeanLog(sample.Observed)
+	if err != nil {
+		return Gamma{}, err
+	}
+	scaleOf := func(shape float64) float64 {
+		return goldenMax(func(scale float64) float64 {
+			return CensoredLogLikelihood(Gamma{Shape: shape, Scale: scale}, sample)
+		}, mean/100, mean*100)
+	}
+	shape := goldenMax(func(k float64) float64 {
+		return CensoredLogLikelihood(Gamma{Shape: k, Scale: scaleOf(k)}, sample)
+	}, 0.05, 20)
+	g := Gamma{Shape: shape, Scale: scaleOf(shape)}
+	if g.Scale <= 0 || math.IsNaN(g.Scale) {
+		return Gamma{}, ErrInsufficientData
+	}
+	return g, nil
+}
+
+// FitLogNormalCensored fits a LogNormal by a 2-D profile search over
+// (mu, sigma).
+func FitLogNormalCensored(sample CensoredSample) (LogNormal, error) {
+	if len(sample.Observed) < 2 {
+		return LogNormal{}, ErrInsufficientData
+	}
+	_, meanLog, err := meanAndMeanLog(sample.Observed)
+	if err != nil {
+		return LogNormal{}, err
+	}
+	sigmaOf := func(mu float64) float64 {
+		return goldenMax(func(sigma float64) float64 {
+			return CensoredLogLikelihood(LogNormal{Mu: mu, Sigma: sigma}, sample)
+		}, 0.01, 10)
+	}
+	mu := goldenMax(func(m float64) float64 {
+		return CensoredLogLikelihood(LogNormal{Mu: m, Sigma: sigmaOf(m)}, sample)
+	}, meanLog-5, meanLog+5)
+	l := LogNormal{Mu: mu, Sigma: sigmaOf(mu)}
+	if l.Sigma <= 0 || math.IsNaN(l.Sigma) {
+		return LogNormal{}, ErrInsufficientData
+	}
+	return l, nil
+}
+
+// FitAllCensored ranks the candidate families on a censored sample by the
+// censored log-likelihood.
+func FitAllCensored(sample CensoredSample) Selection {
+	type fitter func(CensoredSample) (Distribution, error)
+	fitters := []fitter{
+		func(s CensoredSample) (Distribution, error) { d, err := FitGammaCensored(s); return d, err },
+		func(s CensoredSample) (Distribution, error) { d, err := FitWeibullCensored(s); return d, err },
+		func(s CensoredSample) (Distribution, error) { d, err := FitLogNormalCensored(s); return d, err },
+		func(s CensoredSample) (Distribution, error) { d, err := FitExponentialCensored(s); return d, err },
+	}
+	var sel Selection
+	for _, fit := range fitters {
+		d, err := fit(sample)
+		if err != nil {
+			sel.Failed = append(sel.Failed, FitResult{Err: err})
+			continue
+		}
+		ll := CensoredLogLikelihood(d, sample)
+		sel.Results = append(sel.Results, FitResult{
+			Dist:          d,
+			LogLikelihood: ll,
+			AIC:           2*float64(d.NumParams()) - 2*ll,
+		})
+	}
+	sort.Slice(sel.Results, func(i, j int) bool {
+		return sel.Results[i].LogLikelihood > sel.Results[j].LogLikelihood
+	})
+	return sel
+}
+
+// goldenMax maximizes a unimodal function on [lo, hi] by golden-section
+// search; on multimodal objectives it returns a local maximum, which is
+// acceptable for the smooth profile likelihoods used here.
+func goldenMax(f func(float64) float64, lo, hi float64) float64 {
+	const phi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc, fd := f(c), f(d)
+	for i := 0; i < 120 && b-a > 1e-9*(math.Abs(a)+math.Abs(b)+1e-12); i++ {
+		if fc > fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			fd = f(d)
+		}
+	}
+	return (a + b) / 2
+}

@@ -1,0 +1,187 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// censorAt turns a complete sample into a right-censored one: values above
+// the cutoff become censored observations at the cutoff (a finite study
+// window).
+func censorAt(data []float64, cutoff float64) CensoredSample {
+	var s CensoredSample
+	for _, x := range data {
+		if x > cutoff {
+			s.Censored = append(s.Censored, cutoff)
+		} else {
+			s.Observed = append(s.Observed, x)
+		}
+	}
+	return s
+}
+
+func TestCensoredLogLikelihoodMatchesUncensored(t *testing.T) {
+	d := Gamma{Shape: 2, Scale: 5}
+	data := sampleN(d, 200, 1)
+	full := CensoredSample{Observed: data}
+	if got, want := CensoredLogLikelihood(d, full), LogLikelihood(d, data); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("uncensored case: %v vs %v", got, want)
+	}
+}
+
+func TestCensoredLogLikelihoodInvalid(t *testing.T) {
+	d := Gamma{Shape: 2, Scale: 5}
+	if !math.IsInf(CensoredLogLikelihood(d, CensoredSample{Observed: []float64{-1}}), -1) {
+		t.Fatal("negative observed should give -Inf")
+	}
+}
+
+func TestFitExponentialCensoredUnbiased(t *testing.T) {
+	// A naive uncensored fit on truncated exponential data overestimates
+	// the rate; the censored fit recovers it.
+	truth := Exponential{Rate: 0.02} // mean 50
+	data := sampleN(truth, 8000, 2)
+	s := censorAt(data, 60) // heavy censoring
+	cens, err := FitExponentialCensored(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cens.Rate-truth.Rate) > 0.0015 {
+		t.Errorf("censored rate %v, want %v", cens.Rate, truth.Rate)
+	}
+	naive, err := FitExponential(s.Observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.Rate < 1.3*truth.Rate {
+		t.Errorf("naive fit should be badly biased, got rate %v", naive.Rate)
+	}
+}
+
+func TestFitWeibullCensoredRecoversParameters(t *testing.T) {
+	truth := Weibull{Shape: 0.8, Scale: 40}
+	data := sampleN(truth, 5000, 3)
+	s := censorAt(data, 80)
+	got, err := FitWeibullCensored(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Shape-truth.Shape) > 0.1*truth.Shape {
+		t.Errorf("shape %v, want %v", got.Shape, truth.Shape)
+	}
+	if math.Abs(got.Scale-truth.Scale) > 0.1*truth.Scale {
+		t.Errorf("scale %v, want %v", got.Scale, truth.Scale)
+	}
+}
+
+func TestFitGammaCensoredRecoversMean(t *testing.T) {
+	truth := Gamma{Shape: 0.6, Scale: 60} // mean 36
+	data := sampleN(truth, 4000, 4)
+	s := censorAt(data, 90)
+	got, err := FitGammaCensored(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Mean()-truth.Mean()) > 0.15*truth.Mean() {
+		t.Errorf("censored gamma mean %v, want %v", got.Mean(), truth.Mean())
+	}
+	// The naive fit on the truncated sample must underestimate the mean.
+	naive, err := FitGamma(s.Observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.Mean() > 0.9*truth.Mean() {
+		t.Errorf("naive mean %v should be biased low vs %v", naive.Mean(), truth.Mean())
+	}
+}
+
+func TestFitLogNormalCensoredRecoversParameters(t *testing.T) {
+	truth := LogNormal{Mu: 3, Sigma: 1}
+	data := sampleN(truth, 4000, 5)
+	s := censorAt(data, 60)
+	got, err := FitLogNormalCensored(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Mu-truth.Mu) > 0.1 || math.Abs(got.Sigma-truth.Sigma) > 0.1 {
+		t.Errorf("got %v, want %v", got, truth)
+	}
+}
+
+func TestFitAllCensoredSelectsTrueFamily(t *testing.T) {
+	truth := Weibull{Shape: 0.6, Scale: 30}
+	data := sampleN(truth, 5000, 6)
+	s := censorAt(data, 100)
+	sel := FitAllCensored(s)
+	if got := sel.BestName(); got != "weibull" {
+		t.Errorf("best censored fit %q, want weibull", got)
+	}
+	if len(sel.Results) != 4 {
+		t.Errorf("%d successful censored fits", len(sel.Results))
+	}
+}
+
+func TestCensoredFittersRejectTinySamples(t *testing.T) {
+	tiny := CensoredSample{Observed: []float64{1}}
+	if _, err := FitExponentialCensored(tiny); err == nil {
+		t.Error("exponential accepted tiny sample")
+	}
+	if _, err := FitWeibullCensored(tiny); err == nil {
+		t.Error("weibull accepted tiny sample")
+	}
+	if _, err := FitGammaCensored(tiny); err == nil {
+		t.Error("gamma accepted tiny sample")
+	}
+	if _, err := FitLogNormalCensored(tiny); err == nil {
+		t.Error("lognormal accepted tiny sample")
+	}
+}
+
+func TestGoldenMaxFindsMaximum(t *testing.T) {
+	got := goldenMax(func(x float64) float64 { return -(x - 3) * (x - 3) }, 0, 10)
+	if math.Abs(got-3) > 1e-6 {
+		t.Fatalf("goldenMax = %v, want 3", got)
+	}
+}
+
+func TestKSTestAcceptsOwnDistribution(t *testing.T) {
+	d := Gamma{Shape: 2, Scale: 3}
+	data := sampleN(d, 2000, 7)
+	ks := KSTest(d, data)
+	if ks.PValue < 0.05 {
+		t.Errorf("KS rejected its own distribution: D=%v p=%v", ks.Statistic, ks.PValue)
+	}
+}
+
+func TestKSTestRejectsWrongDistribution(t *testing.T) {
+	data := sampleN(LogNormal{Mu: 0, Sigma: 2}, 2000, 8)
+	ks := KSTest(Exponential{Rate: 1}, data)
+	if ks.PValue > 1e-4 {
+		t.Errorf("KS failed to reject a wrong model: D=%v p=%v", ks.Statistic, ks.PValue)
+	}
+}
+
+func TestKSTestEmpty(t *testing.T) {
+	ks := KSTest(Exponential{Rate: 1}, nil)
+	if !math.IsNaN(ks.PValue) || !math.IsNaN(ks.Statistic) {
+		t.Error("empty KS test should be NaN")
+	}
+}
+
+func TestKSPValueMonotone(t *testing.T) {
+	prev := 1.0
+	for d := 0.01; d < 0.5; d += 0.01 {
+		p := ksPValue(d, 100)
+		if p > prev+1e-12 {
+			t.Fatalf("p-value not monotone at D=%v", d)
+		}
+		prev = p
+	}
+}
+
+func TestCensoredSampleN(t *testing.T) {
+	s := CensoredSample{Observed: []float64{1, 2}, Censored: []float64{3}}
+	if s.N() != 3 {
+		t.Fatalf("N = %d", s.N())
+	}
+}

@@ -1,0 +1,119 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"failscope/internal/xrand"
+)
+
+// Distribution is a continuous probability distribution on (0, ∞), the
+// support relevant for durations (inter-failure and repair times).
+type Distribution interface {
+	// Name identifies the family, e.g. "gamma".
+	Name() string
+	// NumParams is the number of free parameters, used by AIC.
+	NumParams() int
+	// PDF returns the density at x.
+	PDF(x float64) float64
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+	// Quantile returns the p-quantile; it is the inverse of CDF.
+	Quantile(p float64) float64
+	// Mean returns the first moment.
+	Mean() float64
+	// Variance returns the second central moment.
+	Variance() float64
+	// Sample draws one variate using the provided generator.
+	Sample(r *xrand.RNG) float64
+	// String renders the family with its parameters.
+	String() string
+}
+
+// LogLikelihood returns the log-likelihood of data under d. Non-positive
+// observations contribute -Inf, consistent with support (0, ∞).
+func LogLikelihood(d Distribution, data []float64) float64 {
+	ll := 0.0
+	for _, x := range data {
+		p := d.PDF(x)
+		if p <= 0 {
+			return math.Inf(-1)
+		}
+		ll += math.Log(p)
+	}
+	return ll
+}
+
+// AIC returns the Akaike information criterion 2k - 2·lnL for d on data.
+// Lower is better.
+func AIC(d Distribution, data []float64) float64 {
+	return 2*float64(d.NumParams()) - 2*LogLikelihood(d, data)
+}
+
+// Exponential is the one-parameter memoryless distribution; the paper uses
+// it as the null model that inter-failure times reject.
+type Exponential struct {
+	Rate float64 // events per unit time; mean is 1/Rate
+}
+
+// Name implements Distribution.
+func (Exponential) Name() string { return "exponential" }
+
+// NumParams implements Distribution.
+func (Exponential) NumParams() int { return 1 }
+
+// PDF implements Distribution.
+func (e Exponential) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return e.Rate * math.Exp(-e.Rate*x)
+}
+
+// CDF implements Distribution.
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-e.Rate*x)
+}
+
+// Quantile implements Distribution.
+func (e Exponential) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return -math.Log(1-p) / e.Rate
+}
+
+// Mean implements Distribution.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+// Variance implements Distribution.
+func (e Exponential) Variance() float64 { return 1 / (e.Rate * e.Rate) }
+
+// Sample implements Distribution.
+func (e Exponential) Sample(r *xrand.RNG) float64 { return r.Exp(e.Rate) }
+
+func (e Exponential) String() string {
+	return fmt.Sprintf("Exponential(rate=%.4g)", e.Rate)
+}
+
+// FitExponential returns the MLE Exponential for a positive sample.
+func FitExponential(data []float64) (Exponential, error) {
+	mean, _, err := meanAndMeanLog(data)
+	if err != nil {
+		return Exponential{}, err
+	}
+	return Exponential{Rate: 1 / mean}, nil
+}
+
+var (
+	_ Distribution = Exponential{}
+	_ Distribution = Gamma{}
+	_ Distribution = Weibull{}
+	_ Distribution = LogNormal{}
+)

@@ -1,0 +1,265 @@
+package dist
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"failscope/internal/xrand"
+)
+
+// distributionsUnderTest returns one instance per family with spread-out
+// parameters.
+func distributionsUnderTest() []Distribution {
+	return []Distribution{
+		Exponential{Rate: 0.5},
+		Gamma{Shape: 0.5, Scale: 10},
+		Gamma{Shape: 3, Scale: 2},
+		Weibull{Shape: 0.7, Scale: 20},
+		Weibull{Shape: 2, Scale: 5},
+		LogNormal{Mu: 1, Sigma: 1.5},
+	}
+}
+
+func TestCDFBoundsAndMonotonicity(t *testing.T) {
+	for _, d := range distributionsUnderTest() {
+		prev := -1.0
+		for x := 0.0; x < 200; x += 0.5 {
+			c := d.CDF(x)
+			if c < 0 || c > 1 {
+				t.Errorf("%v: CDF(%v) = %v outside [0,1]", d, x, c)
+			}
+			if c < prev-1e-12 {
+				t.Errorf("%v: CDF not monotone at %v (%v < %v)", d, x, c, prev)
+			}
+			prev = c
+		}
+		if d.CDF(0) != 0 {
+			t.Errorf("%v: CDF(0) = %v, want 0", d, d.CDF(0))
+		}
+		if c := d.CDF(1e9); c < 0.9999 {
+			t.Errorf("%v: CDF(1e9) = %v, want ≈1", d, c)
+		}
+	}
+}
+
+func TestPDFNonNegative(t *testing.T) {
+	for _, d := range distributionsUnderTest() {
+		for x := -5.0; x < 100; x += 0.25 {
+			if p := d.PDF(x); p < 0 || math.IsNaN(p) {
+				t.Errorf("%v: PDF(%v) = %v", d, x, p)
+			}
+		}
+	}
+}
+
+func TestPDFIntegratesToCDF(t *testing.T) {
+	// Trapezoidal integral of the PDF should match CDF differences.
+	for _, d := range distributionsUnderTest() {
+		lo, hi := d.Quantile(0.1), d.Quantile(0.9)
+		const steps = 20000
+		h := (hi - lo) / steps
+		integral := 0.0
+		for i := 0; i <= steps; i++ {
+			w := h
+			if i == 0 || i == steps {
+				w = h / 2
+			}
+			integral += w * d.PDF(lo+float64(i)*h)
+		}
+		want := d.CDF(hi) - d.CDF(lo)
+		if math.Abs(integral-want) > 0.01 {
+			t.Errorf("%v: ∫pdf=%.4f but ΔCDF=%.4f", d, integral, want)
+		}
+	}
+}
+
+func TestQuantileInvertsCDF(t *testing.T) {
+	f := func(raw uint16) bool {
+		p := (float64(raw%9000) + 500) / 10000 // p in [0.05, 0.95]
+		for _, d := range distributionsUnderTest() {
+			x := d.Quantile(p)
+			if math.Abs(d.CDF(x)-p) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	for _, d := range distributionsUnderTest() {
+		if q := d.Quantile(0); q != 0 {
+			t.Errorf("%v: Quantile(0) = %v, want 0", d, q)
+		}
+		if q := d.Quantile(1); !math.IsInf(q, 1) {
+			t.Errorf("%v: Quantile(1) = %v, want +Inf", d, q)
+		}
+	}
+}
+
+func TestSamplerMatchesMoments(t *testing.T) {
+	r := xrand.New(42)
+	for _, d := range distributionsUnderTest() {
+		const n = 100000
+		var sum, sum2 float64
+		for i := 0; i < n; i++ {
+			v := d.Sample(r)
+			sum += v
+			sum2 += v * v
+		}
+		mean := sum / n
+		variance := sum2/n - mean*mean
+		if math.Abs(mean-d.Mean()) > 0.08*math.Max(1, d.Mean()) {
+			t.Errorf("%v: sample mean %.3f vs theoretical %.3f", d, mean, d.Mean())
+		}
+		if math.Abs(variance-d.Variance()) > 0.25*math.Max(1, d.Variance()) {
+			t.Errorf("%v: sample var %.3f vs theoretical %.3f", d, variance, d.Variance())
+		}
+	}
+}
+
+func TestSamplerMatchesCDF(t *testing.T) {
+	// Empirical CDF at the theoretical quartiles should be ≈ 0.25/0.5/0.75.
+	r := xrand.New(5)
+	for _, d := range distributionsUnderTest() {
+		const n = 50000
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = d.Sample(r)
+		}
+		for _, p := range []float64{0.25, 0.5, 0.75} {
+			q := d.Quantile(p)
+			count := 0
+			for _, s := range samples {
+				if s <= q {
+					count++
+				}
+			}
+			got := float64(count) / n
+			if math.Abs(got-p) > 0.015 {
+				t.Errorf("%v: empirical CDF at q%.2f = %.4f", d, p, got)
+			}
+		}
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	l := LogNormal{Mu: 2, Sigma: 0.7}
+	if math.Abs(l.Median()-math.Exp(2)) > 1e-12 {
+		t.Fatalf("median %v, want e^2", l.Median())
+	}
+	if math.Abs(l.CDF(l.Median())-0.5) > 1e-9 {
+		t.Fatalf("CDF(median) = %v", l.CDF(l.Median()))
+	}
+}
+
+func TestFromMeanMedian(t *testing.T) {
+	l, err := FromMeanMedian(80.1, 8.28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.Mean()-80.1) > 1e-6 {
+		t.Errorf("mean %v, want 80.1", l.Mean())
+	}
+	if math.Abs(l.Median()-8.28) > 1e-6 {
+		t.Errorf("median %v, want 8.28", l.Median())
+	}
+}
+
+func TestFromMeanMedianRejectsBadInput(t *testing.T) {
+	cases := [][2]float64{{5, 10}, {5, 5}, {5, 0}, {5, -1}}
+	for _, c := range cases {
+		if _, err := FromMeanMedian(c[0], c[1]); err == nil {
+			t.Errorf("FromMeanMedian(%v, %v) accepted", c[0], c[1])
+		}
+	}
+}
+
+func TestLogLikelihoodRejectsNonPositive(t *testing.T) {
+	d := Gamma{Shape: 2, Scale: 1}
+	if ll := LogLikelihood(d, []float64{1, 2, -1}); !math.IsInf(ll, -1) {
+		t.Fatalf("logL with negative observation = %v, want -Inf", ll)
+	}
+}
+
+func TestScaledDistribution(t *testing.T) {
+	base := Gamma{Shape: 2, Scale: 3}
+	s, err := NewScaled(base, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Mean()-base.Mean()*24) > 1e-12 {
+		t.Errorf("scaled mean %v", s.Mean())
+	}
+	if math.Abs(s.Variance()-base.Variance()*576) > 1e-9 {
+		t.Errorf("scaled variance %v", s.Variance())
+	}
+	// CDF consistency: P(Y <= 24x) = P(X <= x).
+	for _, x := range []float64{0.5, 2, 10} {
+		if math.Abs(s.CDF(24*x)-base.CDF(x)) > 1e-12 {
+			t.Errorf("scaled CDF mismatch at %v", x)
+		}
+	}
+	// Quantile inverts CDF.
+	if q := s.Quantile(0.5); math.Abs(s.CDF(q)-0.5) > 1e-9 {
+		t.Errorf("scaled quantile/CDF mismatch: %v", q)
+	}
+	// PDF integrates like a density (spot check via finite difference).
+	x := 10.0
+	h := 1e-5
+	fd := (s.CDF(x+h) - s.CDF(x-h)) / (2 * h)
+	if math.Abs(fd-s.PDF(x)) > 1e-6 {
+		t.Errorf("scaled PDF %v vs finite difference %v", s.PDF(x), fd)
+	}
+	// Sampler moments.
+	r := xrand.New(3)
+	sum := 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += s.Sample(r)
+	}
+	if mean := sum / n; math.Abs(mean-s.Mean()) > 0.05*s.Mean() {
+		t.Errorf("scaled sample mean %v, want %v", mean, s.Mean())
+	}
+}
+
+func TestNewScaledRejectsBadInput(t *testing.T) {
+	if _, err := NewScaled(nil, 2); err == nil {
+		t.Error("nil base accepted")
+	}
+	if _, err := NewScaled(Gamma{Shape: 1, Scale: 1}, 0); err == nil {
+		t.Error("zero factor accepted")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	cases := []struct {
+		d    Distribution
+		want string
+	}{
+		{Exponential{Rate: 0.5}, "Exponential"},
+		{Gamma{Shape: 1, Scale: 2}, "Gamma"},
+		{Weibull{Shape: 1, Scale: 2}, "Weibull"},
+		{LogNormal{Mu: 1, Sigma: 2}, "LogNormal"},
+	}
+	for _, c := range cases {
+		if s := c.d.String(); !strings.Contains(s, c.want) {
+			t.Errorf("String() = %q, want it to mention %q", s, c.want)
+		}
+		if c.d.Name() == "" {
+			t.Errorf("%v has empty Name", c.d)
+		}
+	}
+	scaled, _ := NewScaled(Gamma{Shape: 1, Scale: 2}, 24)
+	if scaled.Name() != "gamma" || !strings.Contains(scaled.String(), "24") {
+		t.Errorf("scaled stringers: %q / %q", scaled.Name(), scaled.String())
+	}
+	if scaled.NumParams() != 2 {
+		t.Errorf("scaled NumParams %d", scaled.NumParams())
+	}
+}

@@ -1,0 +1,73 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FitResult is the outcome of fitting one family to a sample.
+type FitResult struct {
+	Dist          Distribution
+	LogLikelihood float64
+	AIC           float64
+	Err           error // non-nil if this family could not be fitted
+}
+
+// Selection ranks candidate families on one sample, the model-selection
+// procedure the paper applies to inter-failure (§IV.B) and repair (§IV.C)
+// times ("according to log likelihood of fitting").
+type Selection struct {
+	Results []FitResult // successful fits only, best (highest logL) first
+	Failed  []FitResult // families that could not be fitted
+}
+
+// Best returns the winning distribution. The boolean is false when no
+// family could be fitted.
+func (s Selection) Best() (FitResult, bool) {
+	if len(s.Results) == 0 {
+		return FitResult{}, false
+	}
+	return s.Results[0], true
+}
+
+// BestName returns the name of the winning family, or "" when none fitted.
+func (s Selection) BestName() string {
+	best, ok := s.Best()
+	if !ok {
+		return ""
+	}
+	return best.Dist.Name()
+}
+
+// FitAll fits the paper's candidate set — Gamma, Weibull, Lognormal, plus
+// the Exponential null model — to data and ranks them by log-likelihood.
+func FitAll(data []float64) Selection {
+	type fitter struct {
+		name string
+		fit  func([]float64) (Distribution, error)
+	}
+	fitters := []fitter{
+		{"gamma", func(d []float64) (Distribution, error) { g, err := FitGamma(d); return g, err }},
+		{"weibull", func(d []float64) (Distribution, error) { w, err := FitWeibull(d); return w, err }},
+		{"lognormal", func(d []float64) (Distribution, error) { l, err := FitLogNormal(d); return l, err }},
+		{"exponential", func(d []float64) (Distribution, error) { e, err := FitExponential(d); return e, err }},
+	}
+	var sel Selection
+	for _, f := range fitters {
+		d, err := f.fit(data)
+		if err != nil {
+			sel.Failed = append(sel.Failed, FitResult{Err: fmt.Errorf("%s: %w", f.name, err)})
+			continue
+		}
+		ll := LogLikelihood(d, data)
+		sel.Results = append(sel.Results, FitResult{
+			Dist:          d,
+			LogLikelihood: ll,
+			AIC:           2*float64(d.NumParams()) - 2*ll,
+		})
+	}
+	sort.Slice(sel.Results, func(i, j int) bool {
+		return sel.Results[i].LogLikelihood > sel.Results[j].LogLikelihood
+	})
+	return sel
+}

@@ -1,0 +1,166 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"failscope/internal/xrand"
+)
+
+// sampleN draws n variates.
+func sampleN(d Distribution, n int, seed uint64) []float64 {
+	r := xrand.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Sample(r)
+	}
+	return out
+}
+
+func TestFitGammaRecoversParameters(t *testing.T) {
+	for _, truth := range []Gamma{{Shape: 0.5, Scale: 40}, {Shape: 2, Scale: 3}, {Shape: 8, Scale: 0.5}} {
+		data := sampleN(truth, 20000, 1)
+		got, err := FitGamma(data)
+		if err != nil {
+			t.Fatalf("fit %v: %v", truth, err)
+		}
+		if math.Abs(got.Shape-truth.Shape) > 0.08*truth.Shape {
+			t.Errorf("shape %v, want %v", got.Shape, truth.Shape)
+		}
+		if math.Abs(got.Mean()-truth.Mean()) > 0.05*truth.Mean() {
+			t.Errorf("mean %v, want %v", got.Mean(), truth.Mean())
+		}
+	}
+}
+
+func TestFitWeibullRecoversParameters(t *testing.T) {
+	for _, truth := range []Weibull{{Shape: 0.6, Scale: 30}, {Shape: 1.5, Scale: 4}, {Shape: 4, Scale: 10}} {
+		data := sampleN(truth, 20000, 2)
+		got, err := FitWeibull(data)
+		if err != nil {
+			t.Fatalf("fit %v: %v", truth, err)
+		}
+		if math.Abs(got.Shape-truth.Shape) > 0.08*truth.Shape {
+			t.Errorf("shape %v, want %v", got.Shape, truth.Shape)
+		}
+		if math.Abs(got.Scale-truth.Scale) > 0.08*truth.Scale {
+			t.Errorf("scale %v, want %v", got.Scale, truth.Scale)
+		}
+	}
+}
+
+func TestFitLogNormalRecoversParameters(t *testing.T) {
+	truth := LogNormal{Mu: 2.5, Sigma: 1.2}
+	data := sampleN(truth, 20000, 3)
+	got, err := FitLogNormal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Mu-truth.Mu) > 0.05 || math.Abs(got.Sigma-truth.Sigma) > 0.05 {
+		t.Errorf("got %v, want %v", got, truth)
+	}
+}
+
+func TestFitExponentialRecoversRate(t *testing.T) {
+	truth := Exponential{Rate: 0.25}
+	data := sampleN(truth, 20000, 4)
+	got, err := FitExponential(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Rate-truth.Rate) > 0.02 {
+		t.Errorf("rate %v, want %v", got.Rate, truth.Rate)
+	}
+}
+
+func TestFittersRejectDegenerateData(t *testing.T) {
+	bad := [][]float64{
+		nil,
+		{1},
+		{1, 2, -3},
+		{1, 2, 0},
+		{math.NaN(), 1, 2},
+		{5, 5, 5, 5}, // no spread
+	}
+	for _, data := range bad {
+		if _, err := FitGamma(data); err == nil {
+			t.Errorf("FitGamma(%v) accepted", data)
+		}
+	}
+	for _, data := range bad[:5] {
+		if _, err := FitLogNormal(data); err == nil {
+			t.Errorf("FitLogNormal(%v) accepted", data)
+		}
+		if _, err := FitWeibull(data); err == nil {
+			t.Errorf("FitWeibull(%v) accepted", data)
+		}
+		if _, err := FitExponential(data); err == nil {
+			t.Errorf("FitExponential(%v) accepted", data)
+		}
+	}
+}
+
+func TestFitAllSelectsTrueFamily(t *testing.T) {
+	cases := []struct {
+		truth Distribution
+		want  string
+	}{
+		{Gamma{Shape: 0.5, Scale: 30}, "gamma"},
+		{Weibull{Shape: 0.5, Scale: 10}, "weibull"},
+		{LogNormal{Mu: 2, Sigma: 1.5}, "lognormal"},
+	}
+	for i, c := range cases {
+		data := sampleN(c.truth, 30000, uint64(10+i))
+		sel := FitAll(data)
+		if got := sel.BestName(); got != c.want {
+			t.Errorf("truth %v: best fit %q, want %q", c.truth, got, c.want)
+		}
+	}
+}
+
+func TestFitAllRankingIsSorted(t *testing.T) {
+	data := sampleN(Gamma{Shape: 1.5, Scale: 5}, 5000, 20)
+	sel := FitAll(data)
+	for i := 1; i < len(sel.Results); i++ {
+		if sel.Results[i].LogLikelihood > sel.Results[i-1].LogLikelihood {
+			t.Fatalf("results not sorted at %d", i)
+		}
+	}
+	if len(sel.Results) != 4 {
+		t.Fatalf("expected 4 successful fits, got %d", len(sel.Results))
+	}
+}
+
+func TestFitAllEmptySample(t *testing.T) {
+	sel := FitAll(nil)
+	if len(sel.Results) != 0 {
+		t.Fatalf("expected no fits on empty sample, got %d", len(sel.Results))
+	}
+	if _, ok := sel.Best(); ok {
+		t.Fatal("Best reported success on empty sample")
+	}
+	if sel.BestName() != "" {
+		t.Fatal("BestName non-empty on empty sample")
+	}
+	if len(sel.Failed) == 0 {
+		t.Fatal("expected failed fits recorded")
+	}
+}
+
+func TestAICPenalizesParameters(t *testing.T) {
+	// On exponential data the exponential (1 param) should have lower AIC
+	// than a gamma fit whose extra parameter buys nothing.
+	data := sampleN(Exponential{Rate: 0.1}, 30000, 30)
+	e, err := FitExponential(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FitGamma(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AIC(e, data) > AIC(g, data)+2 {
+		t.Errorf("exponential AIC %.1f much worse than gamma %.1f on exponential data",
+			AIC(e, data), AIC(g, data))
+	}
+}

@@ -1,0 +1,91 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"failscope/internal/xrand"
+)
+
+// Gamma is the two-parameter Gamma distribution with shape k and scale θ
+// (mean kθ). The paper finds it the best fit for PM and VM inter-failure
+// times, consistent with earlier HPC studies.
+type Gamma struct {
+	Shape float64
+	Scale float64
+}
+
+// Name implements Distribution.
+func (Gamma) Name() string { return "gamma" }
+
+// NumParams implements Distribution.
+func (Gamma) NumParams() int { return 2 }
+
+// PDF implements Distribution.
+func (g Gamma) PDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	lg, _ := math.Lgamma(g.Shape)
+	logp := (g.Shape-1)*math.Log(x) - x/g.Scale - g.Shape*math.Log(g.Scale) - lg
+	return math.Exp(logp)
+}
+
+// CDF implements Distribution.
+func (g Gamma) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return regIncGammaLower(g.Shape, x/g.Scale)
+}
+
+// Quantile implements Distribution.
+func (g Gamma) Quantile(p float64) float64 {
+	return g.Scale * invRegIncGammaLower(g.Shape, p)
+}
+
+// Mean implements Distribution.
+func (g Gamma) Mean() float64 { return g.Shape * g.Scale }
+
+// Variance implements Distribution.
+func (g Gamma) Variance() float64 { return g.Shape * g.Scale * g.Scale }
+
+// Sample implements Distribution.
+func (g Gamma) Sample(r *xrand.RNG) float64 { return r.Gamma(g.Shape, g.Scale) }
+
+func (g Gamma) String() string {
+	return fmt.Sprintf("Gamma(shape=%.4g, scale=%.4g)", g.Shape, g.Scale)
+}
+
+// FitGamma returns the maximum-likelihood Gamma for a strictly positive
+// sample, solving ln k − ψ(k) = ln(mean) − mean(ln x) by Newton iteration
+// from the Minka closed-form initializer.
+func FitGamma(data []float64) (Gamma, error) {
+	mean, meanLog, err := meanAndMeanLog(data)
+	if err != nil {
+		return Gamma{}, err
+	}
+	s := math.Log(mean) - meanLog
+	if s <= 0 {
+		// Degenerate (all values equal up to FP error): no spread to fit.
+		return Gamma{}, ErrInsufficientData
+	}
+	k := (3 - s + math.Sqrt((s-3)*(s-3)+24*s)) / (12 * s)
+	for i := 0; i < 100; i++ {
+		f := math.Log(k) - digamma(k) - s
+		fp := 1/k - trigamma(k)
+		next := k - f/fp
+		if next <= 0 {
+			next = k / 2
+		}
+		if math.Abs(next-k) < 1e-12*k {
+			k = next
+			break
+		}
+		k = next
+	}
+	if k <= 0 || math.IsNaN(k) || math.IsInf(k, 0) {
+		return Gamma{}, ErrInsufficientData
+	}
+	return Gamma{Shape: k, Scale: mean / k}, nil
+}

@@ -1,0 +1,67 @@
+package dist
+
+import (
+	"math"
+	"sort"
+)
+
+// KolmogorovSmirnov is the one-sample KS goodness-of-fit test of data
+// against a fitted distribution.
+type KolmogorovSmirnov struct {
+	// Statistic is D_n = sup |F_n(x) − F(x)|.
+	Statistic float64
+	// N is the sample size.
+	N int
+	// PValue is the asymptotic Kolmogorov p-value of D_n (parameters
+	// estimated from the same data make it conservative; it is still the
+	// standard reporting convention in failure-data studies).
+	PValue float64
+}
+
+// KSTest computes the one-sample Kolmogorov–Smirnov test of data against d.
+func KSTest(d Distribution, data []float64) KolmogorovSmirnov {
+	n := len(data)
+	if n == 0 {
+		return KolmogorovSmirnov{PValue: math.NaN(), Statistic: math.NaN()}
+	}
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	dn := 0.0
+	for i, x := range sorted {
+		f := d.CDF(x)
+		lo := math.Abs(f - float64(i)/float64(n))
+		hi := math.Abs(float64(i+1)/float64(n) - f)
+		dn = math.Max(dn, math.Max(lo, hi))
+	}
+	return KolmogorovSmirnov{
+		Statistic: dn,
+		N:         n,
+		PValue:    ksPValue(dn, n),
+	}
+}
+
+// ksPValue returns the asymptotic Kolmogorov distribution tail
+// Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²} with the Stephens small-sample
+// adjustment λ = (√n + 0.12 + 0.11/√n)·D.
+func ksPValue(dn float64, n int) float64 {
+	if n == 0 || math.IsNaN(dn) {
+		return math.NaN()
+	}
+	sqrtN := math.Sqrt(float64(n))
+	lambda := (sqrtN + 0.12 + 0.11/sqrtN) * dn
+	if lambda < 1e-6 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	return math.Min(1, math.Max(0, p))
+}

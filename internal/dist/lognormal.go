@@ -1,0 +1,101 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"failscope/internal/xrand"
+)
+
+// LogNormal is the distribution of exp(N(Mu, Sigma)). The paper finds it
+// the best fit for PM and VM repair times.
+type LogNormal struct {
+	Mu    float64 // mean of the underlying normal
+	Sigma float64 // standard deviation of the underlying normal
+}
+
+// Name implements Distribution.
+func (LogNormal) Name() string { return "lognormal" }
+
+// NumParams implements Distribution.
+func (LogNormal) NumParams() int { return 2 }
+
+// PDF implements Distribution.
+func (l LogNormal) PDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := (math.Log(x) - l.Mu) / l.Sigma
+	return math.Exp(-0.5*z*z) / (x * l.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// CDF implements Distribution.
+func (l LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 0.5 * math.Erfc(-(math.Log(x)-l.Mu)/(l.Sigma*math.Sqrt2))
+}
+
+// Quantile implements Distribution.
+func (l LogNormal) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return math.Exp(l.Mu + l.Sigma*math.Sqrt2*math.Erfinv(2*p-1))
+}
+
+// Mean implements Distribution.
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + 0.5*l.Sigma*l.Sigma) }
+
+// Variance implements Distribution.
+func (l LogNormal) Variance() float64 {
+	s2 := l.Sigma * l.Sigma
+	return (math.Exp(s2) - 1) * math.Exp(2*l.Mu+s2)
+}
+
+// Median returns exp(Mu), the 50th percentile; exposed because the paper
+// repeatedly contrasts the heavy mean/median skew of repair times.
+func (l LogNormal) Median() float64 { return math.Exp(l.Mu) }
+
+// Sample implements Distribution.
+func (l LogNormal) Sample(r *xrand.RNG) float64 { return r.LogNormal(l.Mu, l.Sigma) }
+
+func (l LogNormal) String() string {
+	return fmt.Sprintf("LogNormal(mu=%.4g, sigma=%.4g)", l.Mu, l.Sigma)
+}
+
+// FitLogNormal returns the maximum-likelihood LogNormal for a strictly
+// positive sample: Mu and Sigma are the mean and (population) standard
+// deviation of the log data.
+func FitLogNormal(data []float64) (LogNormal, error) {
+	_, meanLog, err := meanAndMeanLog(data)
+	if err != nil {
+		return LogNormal{}, err
+	}
+	var ss float64
+	for _, x := range data {
+		d := math.Log(x) - meanLog
+		ss += d * d
+	}
+	sigma := math.Sqrt(ss / float64(len(data)))
+	if sigma <= 0 {
+		return LogNormal{}, ErrInsufficientData
+	}
+	return LogNormal{Mu: meanLog, Sigma: sigma}, nil
+}
+
+// FromMeanMedian constructs the LogNormal with the given mean and median
+// (mean > median > 0). Used by the simulator to calibrate repair times to
+// the paper's published per-class mean/median pairs.
+func FromMeanMedian(mean, median float64) (LogNormal, error) {
+	if median <= 0 || mean <= median {
+		return LogNormal{}, fmt.Errorf("dist: need mean > median > 0, got mean=%g median=%g", mean, median)
+	}
+	mu := math.Log(median)
+	sigma := math.Sqrt(2 * (math.Log(mean) - mu))
+	return LogNormal{Mu: mu, Sigma: sigma}, nil
+}

@@ -1,0 +1,52 @@
+package dist
+
+import (
+	"fmt"
+
+	"failscope/internal/xrand"
+)
+
+// Scaled is the distribution of Factor·X for X ~ Base — the unit-change
+// wrapper (e.g. a gap distribution fitted in days driven on an hour clock).
+type Scaled struct {
+	Base   Distribution
+	Factor float64
+}
+
+// NewScaled wraps base so samples are multiplied by factor (> 0).
+func NewScaled(base Distribution, factor float64) (Scaled, error) {
+	if base == nil || factor <= 0 {
+		return Scaled{}, fmt.Errorf("dist: scaled distribution needs a base and factor > 0")
+	}
+	return Scaled{Base: base, Factor: factor}, nil
+}
+
+// Name implements Distribution.
+func (s Scaled) Name() string { return s.Base.Name() }
+
+// NumParams implements Distribution.
+func (s Scaled) NumParams() int { return s.Base.NumParams() }
+
+// PDF implements Distribution.
+func (s Scaled) PDF(x float64) float64 { return s.Base.PDF(x/s.Factor) / s.Factor }
+
+// CDF implements Distribution.
+func (s Scaled) CDF(x float64) float64 { return s.Base.CDF(x / s.Factor) }
+
+// Quantile implements Distribution.
+func (s Scaled) Quantile(p float64) float64 { return s.Base.Quantile(p) * s.Factor }
+
+// Mean implements Distribution.
+func (s Scaled) Mean() float64 { return s.Base.Mean() * s.Factor }
+
+// Variance implements Distribution.
+func (s Scaled) Variance() float64 { return s.Base.Variance() * s.Factor * s.Factor }
+
+// Sample implements Distribution.
+func (s Scaled) Sample(r *xrand.RNG) float64 { return s.Base.Sample(r) * s.Factor }
+
+func (s Scaled) String() string {
+	return fmt.Sprintf("%v x %.4g", s.Base, s.Factor)
+}
+
+var _ Distribution = Scaled{}

@@ -1,0 +1,169 @@
+// Package dist implements the statistical distributions the paper fits to
+// inter-failure and repair times — Gamma, Weibull, Lognormal and Exponential
+// — together with maximum-likelihood estimation and log-likelihood/AIC model
+// selection. All numerics are stdlib-only.
+package dist
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrInsufficientData is returned by the fitters when the sample is too
+// small or degenerate (e.g. all values identical) for the estimator.
+var ErrInsufficientData = errors.New("dist: insufficient or degenerate data")
+
+// digamma returns the logarithmic derivative of the gamma function, ψ(x),
+// for x > 0, via the asymptotic expansion after shifting x above 6.
+func digamma(x float64) float64 {
+	result := 0.0
+	for x < 10 {
+		result -= 1 / x
+		x++
+	}
+	inv := 1 / x
+	inv2 := inv * inv
+	// Asymptotic series: ln x − 1/(2x) − 1/(12x²) + 1/(120x⁴) − 1/(252x⁶)
+	// + 1/(240x⁸).
+	result += math.Log(x) - 0.5*inv -
+		inv2*(1.0/12-inv2*(1.0/120-inv2*(1.0/252-inv2/240)))
+	return result
+}
+
+// trigamma returns ψ'(x) for x > 0.
+func trigamma(x float64) float64 {
+	result := 0.0
+	for x < 10 {
+		result += 1 / (x * x)
+		x++
+	}
+	inv := 1 / x
+	inv2 := inv * inv
+	result += inv * (1 + 0.5*inv +
+		inv2*(1.0/6-inv2*(1.0/30-inv2*(1.0/42-inv2/30))))
+	return result
+}
+
+// regIncGammaLower returns the regularized lower incomplete gamma function
+// P(a, x) = γ(a, x) / Γ(a), using the series expansion for x < a+1 and the
+// continued-fraction expansion otherwise (Numerical Recipes gammp).
+func regIncGammaLower(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 0
+	case x < a+1:
+		return gammaSeries(a, x)
+	default:
+		return 1 - gammaContinuedFraction(a, x)
+	}
+}
+
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaContinuedFraction(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// invRegIncGammaLower inverts P(a, x) = p in x, by a bracketing bisection
+// refined with Newton steps. Used by the Gamma quantile function.
+func invRegIncGammaLower(a, p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Bracket: start around the mean a and expand.
+	lo, hi := 0.0, math.Max(a, 1.0)
+	for regIncGammaLower(a, hi) < p {
+		hi *= 2
+		if hi > 1e308 {
+			return math.Inf(1)
+		}
+	}
+	x := a // initial guess
+	if x <= lo || x >= hi {
+		x = 0.5 * (lo + hi)
+	}
+	lg, _ := math.Lgamma(a)
+	for i := 0; i < 200; i++ {
+		f := regIncGammaLower(a, x) - p
+		if f > 0 {
+			hi = x
+		} else {
+			lo = x
+		}
+		// Newton step using the gamma PDF as derivative of P(a, x).
+		pdf := math.Exp((a-1)*math.Log(x) - x - lg)
+		var next float64
+		if pdf > 0 {
+			next = x - f/pdf
+		}
+		if pdf <= 0 || next <= lo || next >= hi {
+			next = 0.5 * (lo + hi)
+		}
+		if math.Abs(next-x) <= 1e-12*math.Max(1, x) {
+			return next
+		}
+		x = next
+	}
+	return x
+}
+
+// meanAndMeanLog returns the arithmetic mean and the mean of logarithms of a
+// strictly positive sample, the two sufficient statistics shared by the
+// Gamma and Weibull fitters.
+func meanAndMeanLog(data []float64) (mean, meanLog float64, err error) {
+	if len(data) < 2 {
+		return 0, 0, ErrInsufficientData
+	}
+	for _, v := range data {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, 0, ErrInsufficientData
+		}
+		mean += v
+		meanLog += math.Log(v)
+	}
+	n := float64(len(data))
+	return mean / n, meanLog / n, nil
+}

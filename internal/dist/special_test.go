@@ -1,0 +1,82 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDigammaKnownValues(t *testing.T) {
+	const gamma = 0.5772156649015329 // Euler–Mascheroni
+	cases := []struct{ x, want float64 }{
+		{1, -gamma},
+		{2, 1 - gamma},
+		{0.5, -gamma - 2*math.Ln2},
+		{10, 2.251752589066721},
+	}
+	for _, c := range cases {
+		if got := digamma(c.x); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("digamma(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestTrigammaKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{1, math.Pi * math.Pi / 6},
+		{0.5, math.Pi * math.Pi / 2},
+		{2, math.Pi*math.Pi/6 - 1},
+	}
+	for _, c := range cases {
+		if got := trigamma(c.x); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("trigamma(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestDigammaRecurrence(t *testing.T) {
+	// ψ(x+1) = ψ(x) + 1/x.
+	for x := 0.1; x < 20; x += 0.37 {
+		lhs := digamma(x + 1)
+		rhs := digamma(x) + 1/x
+		if math.Abs(lhs-rhs) > 1e-9 {
+			t.Errorf("digamma recurrence fails at %v: %v vs %v", x, lhs, rhs)
+		}
+	}
+}
+
+func TestRegIncGammaLowerKnownValues(t *testing.T) {
+	cases := []struct{ a, x, want float64 }{
+		{1, 1, 1 - math.Exp(-1)}, // exponential CDF
+		{1, 2, 1 - math.Exp(-2)},
+		{0.5, 0.5, math.Erf(math.Sqrt(0.5))}, // chi-square(1) at 1
+		{5, 5, 0.5595067149347875},
+	}
+	for _, c := range cases {
+		if got := regIncGammaLower(c.a, c.x); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P(%v, %v) = %v, want %v", c.a, c.x, got, c.want)
+		}
+	}
+}
+
+func TestRegIncGammaLowerEdges(t *testing.T) {
+	if got := regIncGammaLower(2, 0); got != 0 {
+		t.Errorf("P(2, 0) = %v", got)
+	}
+	if got := regIncGammaLower(2, 1e6); math.Abs(got-1) > 1e-12 {
+		t.Errorf("P(2, 1e6) = %v", got)
+	}
+	if got := regIncGammaLower(-1, 1); !math.IsNaN(got) {
+		t.Errorf("P(-1, 1) = %v, want NaN", got)
+	}
+}
+
+func TestInvRegIncGammaLowerRoundTrip(t *testing.T) {
+	for _, a := range []float64{0.3, 1, 2.5, 10, 50} {
+		for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+			x := invRegIncGammaLower(a, p)
+			if got := regIncGammaLower(a, x); math.Abs(got-p) > 1e-8 {
+				t.Errorf("a=%v p=%v: P(inv)=%v", a, p, got)
+			}
+		}
+	}
+}

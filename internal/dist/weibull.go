@@ -1,0 +1,136 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"failscope/internal/xrand"
+)
+
+// Weibull is the two-parameter Weibull distribution with shape k and scale
+// λ. Shape < 1 yields the decreasing hazard rate characteristic of failure
+// clustering; shape = 1 reduces to the exponential.
+type Weibull struct {
+	Shape float64
+	Scale float64
+}
+
+// Name implements Distribution.
+func (Weibull) Name() string { return "weibull" }
+
+// NumParams implements Distribution.
+func (Weibull) NumParams() int { return 2 }
+
+// PDF implements Distribution.
+func (w Weibull) PDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x / w.Scale
+	return (w.Shape / w.Scale) * math.Pow(z, w.Shape-1) * math.Exp(-math.Pow(z, w.Shape))
+}
+
+// CDF implements Distribution.
+func (w Weibull) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-math.Pow(x/w.Scale, w.Shape))
+}
+
+// Quantile implements Distribution.
+func (w Weibull) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return w.Scale * math.Pow(-math.Log(1-p), 1/w.Shape)
+}
+
+// Mean implements Distribution.
+func (w Weibull) Mean() float64 {
+	lg, _ := math.Lgamma(1 + 1/w.Shape)
+	return w.Scale * math.Exp(lg)
+}
+
+// Variance implements Distribution.
+func (w Weibull) Variance() float64 {
+	lg2, _ := math.Lgamma(1 + 2/w.Shape)
+	m := w.Mean()
+	return w.Scale*w.Scale*math.Exp(lg2) - m*m
+}
+
+// Sample implements Distribution.
+func (w Weibull) Sample(r *xrand.RNG) float64 { return r.Weibull(w.Shape, w.Scale) }
+
+func (w Weibull) String() string {
+	return fmt.Sprintf("Weibull(shape=%.4g, scale=%.4g)", w.Shape, w.Scale)
+}
+
+// FitWeibull returns the maximum-likelihood Weibull for a strictly positive
+// sample, solving the profile-likelihood shape equation
+//
+//	Σ x^k ln x / Σ x^k − 1/k = mean(ln x)
+//
+// by Newton iteration with a bisection safeguard.
+func FitWeibull(data []float64) (Weibull, error) {
+	_, meanLog, err := meanAndMeanLog(data)
+	if err != nil {
+		return Weibull{}, err
+	}
+	n := float64(len(data))
+
+	// g(k) = weighted-mean(ln x; weights x^k) − 1/k − mean(ln x).
+	g := func(k float64) (val, deriv float64) {
+		var sw, swl, swll float64 // Σx^k, Σx^k lnx, Σx^k (lnx)^2
+		for _, x := range data {
+			lx := math.Log(x)
+			w := math.Pow(x, k)
+			sw += w
+			swl += w * lx
+			swll += w * lx * lx
+		}
+		r := swl / sw
+		val = r - 1/k - meanLog
+		deriv = (swll/sw - r*r) + 1/(k*k)
+		return val, deriv
+	}
+
+	// g is increasing in k; bracket the root.
+	lo, hi := 1e-3, 1.0
+	for v, _ := g(hi); v < 0; v, _ = g(hi) {
+		hi *= 2
+		if hi > 1e6 {
+			return Weibull{}, ErrInsufficientData
+		}
+	}
+	k := math.Min(hi, 1.0)
+	for i := 0; i < 100; i++ {
+		val, deriv := g(k)
+		if val > 0 {
+			hi = k
+		} else {
+			lo = k
+		}
+		next := k - val/deriv
+		if deriv <= 0 || next <= lo || next >= hi || math.IsNaN(next) {
+			next = 0.5 * (lo + hi)
+		}
+		if math.Abs(next-k) < 1e-12*math.Max(1, k) {
+			k = next
+			break
+		}
+		k = next
+	}
+	var sw float64
+	for _, x := range data {
+		sw += math.Pow(x, k)
+	}
+	scale := math.Pow(sw/n, 1/k)
+	if k <= 0 || scale <= 0 || math.IsNaN(k) || math.IsNaN(scale) {
+		return Weibull{}, ErrInsufficientData
+	}
+	return Weibull{Shape: k, Scale: scale}, nil
+}

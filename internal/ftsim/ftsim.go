@@ -1,0 +1,267 @@
+// Package ftsim is a discrete-event fault-tolerance simulator built on the
+// study's fitted failure models — the "design of fault-tolerant systems"
+// use the paper motivates in §IV.B. A service runs replicas on VMs placed
+// across hypervisor hosts; VMs fail individually (fitted inter-failure
+// distribution) and hosts fail collectively (taking every resident VM down
+// at once — the spatial dependency of §IV.E). The simulator measures the
+// availability of the service under different replica-placement policies,
+// quantifying how much host-correlated failures punish co-location.
+package ftsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"failscope/internal/dist"
+	"failscope/internal/xrand"
+)
+
+// Placement decides how replicas map to hosts.
+type Placement int
+
+// Placement policies.
+const (
+	// Spread places every replica on a distinct host (anti-affinity).
+	Spread Placement = iota + 1
+	// Pack places all replicas on the same host (affinity — what naive
+	// bin-packing consolidation does).
+	Pack
+)
+
+func (p Placement) String() string {
+	switch p {
+	case Spread:
+		return "spread"
+	case Pack:
+		return "pack"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// Config parameterizes one simulation.
+type Config struct {
+	// Replicas is the service's replica count; the service is down when
+	// every replica is down simultaneously.
+	Replicas int
+	// Hosts is the number of hypervisor hosts available for placement.
+	Hosts int
+	// Placement is the replica-placement policy.
+	Placement Placement
+
+	// VMFail and VMRepair are the per-replica failure/repair models in
+	// HOURS (convert fitted day-based gap distributions before passing).
+	VMFail   dist.Distribution
+	VMRepair dist.Distribution
+	// HostFail and HostRepair drive whole-host outages in hours; a host
+	// failure downs every replica placed on it until the host repairs.
+	// Nil HostFail disables host failures (the independence assumption).
+	HostFail   dist.Distribution
+	HostRepair dist.Distribution
+
+	// HorizonHours is the simulated time per run; Runs is the number of
+	// independent replications.
+	HorizonHours float64
+	Runs         int
+	Seed         uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Replicas < 1 {
+		return errors.New("ftsim: need at least one replica")
+	}
+	if c.Hosts < 1 {
+		return errors.New("ftsim: need at least one host")
+	}
+	if c.Placement == Spread && c.Replicas > c.Hosts {
+		return fmt.Errorf("ftsim: cannot spread %d replicas over %d hosts", c.Replicas, c.Hosts)
+	}
+	if c.VMFail == nil || c.VMRepair == nil {
+		return errors.New("ftsim: VM failure and repair distributions are required")
+	}
+	if c.HostFail != nil && c.HostRepair == nil {
+		return errors.New("ftsim: host failures configured without a host repair distribution")
+	}
+	if c.HorizonHours <= 0 || c.Runs < 1 {
+		return errors.New("ftsim: horizon and runs must be positive")
+	}
+	return nil
+}
+
+// Result summarizes the simulation.
+type Result struct {
+	Config Config
+	// Availability is the fraction of time the service was up, averaged
+	// over runs.
+	Availability float64
+	// DowntimeHoursPerRun is the mean service downtime per horizon.
+	DowntimeHoursPerRun float64
+	// Outages is the mean number of distinct service outages per run.
+	Outages float64
+	// MeanOutageHours is the mean duration of one outage.
+	MeanOutageHours float64
+}
+
+// event kinds for the simulation queue.
+type eventKind int
+
+const (
+	vmFail eventKind = iota + 1
+	vmRepair
+	hostFail
+	hostRepair
+)
+
+// event is one scheduled state change.
+type event struct {
+	at   float64
+	kind eventKind
+	idx  int // replica or host index
+	seq  int // tie-breaker for determinism
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	rng := xrand.New(cfg.Seed)
+
+	// Replica → host assignment.
+	hostOf := make([]int, cfg.Replicas)
+	for r := range hostOf {
+		switch cfg.Placement {
+		case Pack:
+			hostOf[r] = 0
+		default:
+			hostOf[r] = r % cfg.Hosts
+		}
+	}
+
+	res := Result{Config: cfg}
+	var totalDown, totalOutage float64
+	var outageCount int
+	for run := 0; run < cfg.Runs; run++ {
+		down, outages, outageHours := simulateOnce(cfg, hostOf, rng.Split(uint64(run)))
+		totalDown += down
+		outageCount += outages
+		totalOutage += outageHours
+	}
+	runs := float64(cfg.Runs)
+	res.DowntimeHoursPerRun = totalDown / runs
+	res.Availability = 1 - res.DowntimeHoursPerRun/cfg.HorizonHours
+	res.Outages = float64(outageCount) / runs
+	if outageCount > 0 {
+		res.MeanOutageHours = totalOutage / float64(outageCount)
+	}
+	return res, nil
+}
+
+// simulateOnce runs one horizon and returns service downtime, outage count
+// and total outage duration.
+func simulateOnce(cfg Config, hostOf []int, rng *xrand.RNG) (downtime float64, outages int, outageHours float64) {
+	vmDown := make([]bool, cfg.Replicas) // replica down by its own fault
+	hostDown := make([]bool, cfg.Hosts)  // host down
+	seq := 0
+
+	var q eventQueue
+	push := func(at float64, kind eventKind, idx int) {
+		if at <= cfg.HorizonHours {
+			seq++
+			heap.Push(&q, event{at: at, kind: kind, idx: idx, seq: seq})
+		}
+	}
+	for r := 0; r < cfg.Replicas; r++ {
+		push(cfg.VMFail.Sample(rng), vmFail, r)
+	}
+	if cfg.HostFail != nil {
+		for h := 0; h < cfg.Hosts; h++ {
+			push(cfg.HostFail.Sample(rng), hostFail, h)
+		}
+	}
+
+	replicaUp := func(r int) bool { return !vmDown[r] && !hostDown[hostOf[r]] }
+	serviceUp := func() bool {
+		for r := 0; r < cfg.Replicas; r++ {
+			if replicaUp(r) {
+				return true
+			}
+		}
+		return false
+	}
+
+	up := true
+	lastChange := 0.0
+	for q.Len() > 0 {
+		ev := heap.Pop(&q).(event)
+		switch ev.kind {
+		case vmFail:
+			vmDown[ev.idx] = true
+			push(ev.at+cfg.VMRepair.Sample(rng), vmRepair, ev.idx)
+		case vmRepair:
+			vmDown[ev.idx] = false
+			push(ev.at+cfg.VMFail.Sample(rng), vmFail, ev.idx)
+		case hostFail:
+			hostDown[ev.idx] = true
+			push(ev.at+cfg.HostRepair.Sample(rng), hostRepair, ev.idx)
+		case hostRepair:
+			hostDown[ev.idx] = false
+			push(ev.at+cfg.HostFail.Sample(rng), hostFail, ev.idx)
+		}
+		nowUp := serviceUp()
+		if nowUp != up {
+			if !nowUp {
+				lastChange = ev.at
+			} else {
+				downtime += ev.at - lastChange
+				outages++
+				outageHours += ev.at - lastChange
+			}
+			up = nowUp
+		}
+	}
+	if !up {
+		downtime += cfg.HorizonHours - lastChange
+		outages++
+		outageHours += cfg.HorizonHours - lastChange
+	}
+	return downtime, outages, outageHours
+}
+
+// Compare runs the same workload under both placements and returns the
+// results keyed by policy — the headline "does anti-affinity matter under
+// correlated failures" experiment.
+func Compare(cfg Config) (map[Placement]Result, error) {
+	out := make(map[Placement]Result, 2)
+	for _, p := range []Placement{Spread, Pack} {
+		c := cfg
+		c.Placement = p
+		r, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		out[p] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package ftsim
+
+import (
+	"math"
+	"testing"
+
+	"failscope/internal/dist"
+)
+
+// fastConfig is a quick single-replica baseline: exponential up/down with
+// known availability mean_up / (mean_up + mean_down).
+func fastConfig() Config {
+	return Config{
+		Replicas:     1,
+		Hosts:        4,
+		Placement:    Spread,
+		VMFail:       dist.Exponential{Rate: 1.0 / 100}, // mean 100 h up
+		VMRepair:     dist.Exponential{Rate: 1.0 / 10},  // mean 10 h down
+		HorizonHours: 365 * 24,
+		Runs:         60,
+		Seed:         1,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := fastConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no replicas", func(c *Config) { c.Replicas = 0 }},
+		{"no hosts", func(c *Config) { c.Hosts = 0 }},
+		{"spread too wide", func(c *Config) { c.Replicas = 10; c.Hosts = 3 }},
+		{"no vm fail", func(c *Config) { c.VMFail = nil }},
+		{"no vm repair", func(c *Config) { c.VMRepair = nil }},
+		{"host fail without repair", func(c *Config) { c.HostFail = dist.Exponential{Rate: 1} }},
+		{"no horizon", func(c *Config) { c.HorizonHours = 0 }},
+		{"no runs", func(c *Config) { c.Runs = 0 }},
+	}
+	for _, c := range cases {
+		cfg := fastConfig()
+		c.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestSingleReplicaAvailabilityMatchesTheory(t *testing.T) {
+	cfg := fastConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100.0 / 110.0 // alternating renewal process
+	if math.Abs(res.Availability-want) > 0.01 {
+		t.Fatalf("availability %.4f, want %.4f", res.Availability, want)
+	}
+	if res.Outages < 50 { // ≈ horizon / (up + down) ≈ 80 per run
+		t.Errorf("outages per run %.1f implausibly low", res.Outages)
+	}
+	if math.Abs(res.MeanOutageHours-10) > 1.5 {
+		t.Errorf("mean outage %.2f h, want ≈10", res.MeanOutageHours)
+	}
+}
+
+func TestMoreReplicasMoreAvailability(t *testing.T) {
+	prev := -1.0
+	for _, k := range []int{1, 2, 3} {
+		cfg := fastConfig()
+		cfg.Replicas = k
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Availability <= prev {
+			t.Fatalf("availability not increasing in replicas: %v at k=%d", res.Availability, k)
+		}
+		prev = res.Availability
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := fastConfig()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Availability != b.Availability || a.Outages != b.Outages {
+		t.Fatal("same seed produced different results")
+	}
+}
+
+func TestSpreadBeatsPackUnderHostFailures(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Replicas = 3
+	cfg.VMFail = dist.Exponential{Rate: 1.0 / 2000}
+	cfg.HostFail = dist.Exponential{Rate: 1.0 / 500}
+	cfg.HostRepair = dist.Exponential{Rate: 1.0 / 12}
+	cfg.Runs = 100
+	results, err := Compare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread, pack := results[Spread], results[Pack]
+	if spread.Availability <= pack.Availability {
+		t.Fatalf("spread availability %.5f not above pack %.5f under host-correlated failures",
+			spread.Availability, pack.Availability)
+	}
+	// Packing makes a single host outage a full service outage, so the
+	// gap should be substantial.
+	if pack.DowntimeHoursPerRun < 2*spread.DowntimeHoursPerRun {
+		t.Errorf("pack downtime %.2f h vs spread %.2f h — correlation penalty too small",
+			pack.DowntimeHoursPerRun, spread.DowntimeHoursPerRun)
+	}
+}
+
+func TestPlacementsEquivalentWithoutHostFailures(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Replicas = 2
+	cfg.Runs = 150
+	results, err := Compare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread, pack := results[Spread], results[Pack]
+	// Without host failures, placement must not matter (beyond noise).
+	if math.Abs(spread.Availability-pack.Availability) > 0.002 {
+		t.Fatalf("placement changed availability without host failures: %.5f vs %.5f",
+			spread.Availability, pack.Availability)
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if Spread.String() != "spread" || Pack.String() != "pack" {
+		t.Error("placement strings wrong")
+	}
+	if Placement(9).String() == "" {
+		t.Error("unknown placement should render")
+	}
+}
+
+func TestRunRejectsInvalid(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}

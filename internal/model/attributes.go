@@ -1,0 +1,32 @@
+package model
+
+import "time"
+
+// Attributes are the per-machine measurements of interest (§III.B) that
+// the collection pipeline joins from the monitoring database. Each group
+// carries a presence flag because real monitoring coverage is partial and
+// the paper restricts each analysis to the population with the relevant
+// overlap.
+type Attributes struct {
+	// Usage: weekly averages over the observation year.
+	CPUUtil  float64 `json:"cpuUtil"`
+	MemUtil  float64 `json:"memUtil"`
+	DiskUtil float64 `json:"diskUtil"`
+	NetKbps  float64 `json:"netKbps"`
+	HasUsage bool    `json:"hasUsage"`
+
+	// AvgConsolidation is the VM's average monthly consolidation level.
+	AvgConsolidation float64 `json:"avgConsolidation"`
+	HasConsolidation bool    `json:"hasConsolidation"`
+
+	// OnOffPerMonth is the monthly on/off frequency screened from the
+	// fine-grained window.
+	OnOffPerMonth float64 `json:"onOffPerMonth"`
+	HasOnOff      bool    `json:"hasOnOff"`
+
+	// Created is the first-occurrence-based creation estimate; AgeKnown is
+	// false when it coincides with the database epoch (the VM may predate
+	// the records, so it is excluded from the age analysis).
+	Created  time.Time `json:"created"`
+	AgeKnown bool      `json:"ageKnown"`
+}

@@ -1,0 +1,96 @@
+package model
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The on-disk format is JSON Lines: a header record followed by one record
+// per machine, ticket and incident. Line-oriented encoding keeps multi-
+// hundred-megabyte datasets streamable and diff-friendly.
+
+type jsonlRecord struct {
+	Kind     string    `json:"kind"` // "header" | "machine" | "ticket" | "incident"
+	Header   *Window   `json:"header,omitempty"`
+	Machine  *Machine  `json:"machine,omitempty"`
+	Ticket   *Ticket   `json:"ticket,omitempty"`
+	Incident *Incident `json:"incident,omitempty"`
+}
+
+// Encode writes the dataset to w as JSON Lines.
+func (d *Dataset) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	records := make([]jsonlRecord, 0, 1+len(d.Machines)+len(d.Tickets)+len(d.Incidents))
+	obs := d.Observation
+	records = append(records, jsonlRecord{Kind: "header", Header: &obs})
+	for _, m := range d.Machines {
+		records = append(records, jsonlRecord{Kind: "machine", Machine: m})
+	}
+	for i := range d.Tickets {
+		records = append(records, jsonlRecord{Kind: "ticket", Ticket: &d.Tickets[i]})
+	}
+	for i := range d.Incidents {
+		records = append(records, jsonlRecord{Kind: "incident", Incident: &d.Incidents[i]})
+	}
+	for _, rec := range records {
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("model: encode dataset: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a dataset previously written with Encode.
+func Decode(r io.Reader) (*Dataset, error) {
+	d := &Dataset{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	sawHeader := false
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec jsonlRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("model: decode line %d: %w", line, err)
+		}
+		switch rec.Kind {
+		case "header":
+			if rec.Header == nil {
+				return nil, fmt.Errorf("model: line %d: header record without window", line)
+			}
+			d.Observation = *rec.Header
+			sawHeader = true
+		case "machine":
+			if rec.Machine == nil {
+				return nil, fmt.Errorf("model: line %d: machine record without body", line)
+			}
+			d.Machines = append(d.Machines, rec.Machine)
+		case "ticket":
+			if rec.Ticket == nil {
+				return nil, fmt.Errorf("model: line %d: ticket record without body", line)
+			}
+			d.Tickets = append(d.Tickets, *rec.Ticket)
+		case "incident":
+			if rec.Incident == nil {
+				return nil, fmt.Errorf("model: line %d: incident record without body", line)
+			}
+			d.Incidents = append(d.Incidents, *rec.Incident)
+		default:
+			return nil, fmt.Errorf("model: line %d: unknown record kind %q", line, rec.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("model: read dataset: %w", err)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("model: dataset missing header record")
+	}
+	d.Index()
+	return d, nil
+}

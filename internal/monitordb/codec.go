@@ -1,0 +1,164 @@
+package monitordb
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"failscope/internal/model"
+)
+
+// The on-disk format is JSON Lines: a header record (epoch + retention)
+// followed by one record per sample, power event and placement. It lets a
+// generated monitoring database be persisted next to the ticket dataset
+// and re-ingested later — or replaced by real telemetry exports.
+
+type monitorRecord struct {
+	Kind string `json:"kind"` // "header" | "sample" | "power" | "placement"
+
+	// header
+	Epoch     *time.Time `json:"epoch,omitempty"`
+	Retention int64      `json:"retentionHours,omitempty"`
+
+	// common
+	Machine model.MachineID `json:"machine,omitempty"`
+	Time    *time.Time      `json:"time,omitempty"`
+
+	// sample
+	Metric Metric  `json:"metric,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+
+	// power
+	On *bool `json:"on,omitempty"`
+
+	// placement
+	Host model.MachineID `json:"host,omitempty"`
+}
+
+// Encode writes the database as JSON Lines. Records are emitted in a
+// deterministic order (machines sorted, then series time-sorted).
+func (db *DB) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+
+	epoch := db.epoch
+	if err := enc.Encode(monitorRecord{
+		Kind:      "header",
+		Epoch:     &epoch,
+		Retention: int64(db.retention / time.Hour),
+	}); err != nil {
+		return fmt.Errorf("monitordb: encode header: %w", err)
+	}
+
+	keys := make([]seriesKey, 0, len(db.series))
+	for k := range db.series {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].id != keys[j].id {
+			return keys[i].id < keys[j].id
+		}
+		return keys[i].metric < keys[j].metric
+	})
+	for _, k := range keys {
+		samples := append([]Sample(nil), db.series[k]...)
+		sort.Slice(samples, func(i, j int) bool { return samples[i].Time.Before(samples[j].Time) })
+		for _, s := range samples {
+			at := s.Time
+			if err := enc.Encode(monitorRecord{
+				Kind: "sample", Machine: k.id, Metric: k.metric, Time: &at, Value: s.Value,
+			}); err != nil {
+				return fmt.Errorf("monitordb: encode sample: %w", err)
+			}
+		}
+	}
+
+	ids := make([]model.MachineID, 0, len(db.power))
+	for id := range db.power {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		events := append([]PowerEvent(nil), db.power[id]...)
+		sort.Slice(events, func(i, j int) bool { return events[i].Time.Before(events[j].Time) })
+		for _, ev := range events {
+			at := ev.Time
+			on := ev.On
+			if err := enc.Encode(monitorRecord{Kind: "power", Machine: id, Time: &at, On: &on}); err != nil {
+				return fmt.Errorf("monitordb: encode power event: %w", err)
+			}
+		}
+	}
+
+	vms := make([]model.MachineID, 0, len(db.placement))
+	for id := range db.placement {
+		vms = append(vms, id)
+	}
+	sort.Slice(vms, func(i, j int) bool { return vms[i] < vms[j] })
+	for _, id := range vms {
+		recs := append([]placementRecord(nil), db.placement[id]...)
+		sort.Slice(recs, func(i, j int) bool { return recs[i].month.Before(recs[j].month) })
+		for _, rec := range recs {
+			at := rec.month
+			if err := enc.Encode(monitorRecord{Kind: "placement", Machine: id, Time: &at, Host: rec.host}); err != nil {
+				return fmt.Errorf("monitordb: encode placement: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a database written with Encode.
+func Decode(r io.Reader) (*DB, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var db *DB
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec monitorRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("monitordb: decode line %d: %w", line, err)
+		}
+		switch rec.Kind {
+		case "header":
+			if rec.Epoch == nil {
+				return nil, fmt.Errorf("monitordb: line %d: header without epoch", line)
+			}
+			db = New(*rec.Epoch, time.Duration(rec.Retention)*time.Hour)
+		case "sample":
+			if db == nil || rec.Time == nil {
+				return nil, fmt.Errorf("monitordb: line %d: sample before header or without time", line)
+			}
+			db.Add(rec.Machine, rec.Metric, Sample{Time: *rec.Time, Value: rec.Value})
+		case "power":
+			if db == nil || rec.Time == nil || rec.On == nil {
+				return nil, fmt.Errorf("monitordb: line %d: malformed power event", line)
+			}
+			db.AddPowerEvent(rec.Machine, PowerEvent{Time: *rec.Time, On: *rec.On})
+		case "placement":
+			if db == nil || rec.Time == nil || rec.Host == "" {
+				return nil, fmt.Errorf("monitordb: line %d: malformed placement", line)
+			}
+			db.SetPlacement(rec.Machine, rec.Host, *rec.Time)
+		default:
+			return nil, fmt.Errorf("monitordb: line %d: unknown record kind %q", line, rec.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("monitordb: read: %w", err)
+	}
+	if db == nil {
+		return nil, fmt.Errorf("monitordb: missing header record")
+	}
+	return db, nil
+}

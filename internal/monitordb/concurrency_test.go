@@ -1,0 +1,44 @@
+package monitordb
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"failscope/internal/model"
+)
+
+// TestConcurrentUse exercises the database under parallel writers and
+// readers; run with -race to verify the locking.
+func TestConcurrentUse(t *testing.T) {
+	db := newDB()
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := model.MachineID(string(rune('a' + w)))
+			for i := 0; i < 200; i++ {
+				at := obs.Start.Add(time.Duration(i) * time.Hour)
+				db.Add(id, MetricCPUUtil, Sample{Time: at, Value: float64(i)})
+				db.AddPowerEvent(id, PowerEvent{Time: at, On: i%2 == 0})
+				db.SetPlacement(id, "box-1", at)
+				db.Average(id, MetricCPUUtil, obs)
+				db.OnOffCount(id, obs)
+				db.ConsolidationLevel(id, at)
+				db.FirstSeen(id)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(db.Machines()) != workers {
+		t.Fatalf("machines = %d, want %d", len(db.Machines()), workers)
+	}
+	for _, id := range db.Machines() {
+		if got := len(db.Samples(id, MetricCPUUtil, obs)); got != 200 {
+			t.Fatalf("machine %s has %d samples", id, got)
+		}
+	}
+}

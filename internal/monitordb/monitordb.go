@@ -1,0 +1,341 @@
+// Package monitordb simulates the server resource-monitoring database of
+// §III.A: per-machine usage time series recorded at multiple granularities
+// (15 min up to monthly) over a two-year retention window, VM placement
+// snapshots (consolidation), and power-state transitions from which on/off
+// frequencies are screened at 15-minute granularity.
+//
+// The store is deliberately shaped like the real systems the paper mined
+// (HP OpenView / IBM Tivoli Monitoring): writers push samples at a native
+// resolution; readers query averages and rollups over windows, the earliest
+// record for a machine (which the paper uses as the VM creation date), and
+// the placement table.
+package monitordb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"failscope/internal/model"
+)
+
+// Metric identifies one monitored quantity.
+type Metric int
+
+// Monitored metrics. Utilizations are percentages in [0, 100]; network is
+// in Kbps (the unit of Fig. 8(d)).
+const (
+	MetricCPUUtil Metric = iota + 1
+	MetricMemUtil
+	MetricDiskUtil
+	MetricNetKbps
+)
+
+// Metrics lists all usage metrics.
+func Metrics() []Metric {
+	return []Metric{MetricCPUUtil, MetricMemUtil, MetricDiskUtil, MetricNetKbps}
+}
+
+func (m Metric) String() string {
+	switch m {
+	case MetricCPUUtil:
+		return "cpu_util"
+	case MetricMemUtil:
+		return "mem_util"
+	case MetricDiskUtil:
+		return "disk_util"
+	case MetricNetKbps:
+		return "net_kbps"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Sample is one time-stamped measurement.
+type Sample struct {
+	Time  time.Time
+	Value float64
+}
+
+type seriesKey struct {
+	id     model.MachineID
+	metric Metric
+}
+
+// PowerEvent is a power-state transition of a VM.
+type PowerEvent struct {
+	Time time.Time
+	On   bool
+}
+
+// DB is the in-memory monitoring database. It is safe for concurrent use.
+type DB struct {
+	mu        sync.RWMutex
+	retention time.Duration
+	series    map[seriesKey][]Sample
+	power     map[model.MachineID][]PowerEvent
+	placement map[model.MachineID][]placementRecord
+	// hostLoad counts VMs per (host, month); kept in sync with placement
+	// so consolidation queries are O(1).
+	hostLoad  map[hostMonthKey]int
+	firstSeen map[model.MachineID]time.Time
+	epoch     time.Time // earliest observable record (start of retention)
+}
+
+type hostMonthKey struct {
+	host  model.MachineID
+	month time.Time
+}
+
+type placementRecord struct {
+	month time.Time // first day of month, UTC
+	host  model.MachineID
+}
+
+// New creates a database whose records begin at epoch and are retained for
+// the given duration (the paper's monitoring DBs keep two years).
+func New(epoch time.Time, retention time.Duration) *DB {
+	return &DB{
+		retention: retention,
+		series:    make(map[seriesKey][]Sample),
+		power:     make(map[model.MachineID][]PowerEvent),
+		placement: make(map[model.MachineID][]placementRecord),
+		hostLoad:  make(map[hostMonthKey]int),
+		firstSeen: make(map[model.MachineID]time.Time),
+		epoch:     epoch,
+	}
+}
+
+// Epoch returns the earliest observable record time; a machine whose first
+// record coincides with the epoch may predate the database (§III.B).
+func (db *DB) Epoch() time.Time { return db.epoch }
+
+// Add appends a usage sample. Samples before the epoch or beyond retention
+// are silently dropped, mirroring the real databases' truncation.
+func (db *DB) Add(id model.MachineID, metric Metric, s Sample) {
+	if s.Time.Before(db.epoch) || s.Time.After(db.epoch.Add(db.retention)) {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	k := seriesKey{id, metric}
+	db.series[k] = append(db.series[k], s)
+	db.noteSeenLocked(id, s.Time)
+}
+
+func (db *DB) noteSeenLocked(id model.MachineID, t time.Time) {
+	if first, ok := db.firstSeen[id]; !ok || t.Before(first) {
+		db.firstSeen[id] = t
+	}
+}
+
+// AddPowerEvent records a power-state transition.
+func (db *DB) AddPowerEvent(id model.MachineID, ev PowerEvent) {
+	if ev.Time.Before(db.epoch) || ev.Time.After(db.epoch.Add(db.retention)) {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.power[id] = append(db.power[id], ev)
+	db.noteSeenLocked(id, ev.Time)
+}
+
+// SetPlacement records that the VM resided on host during the month
+// containing t.
+func (db *DB) SetPlacement(vm, host model.MachineID, t time.Time) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	m := monthStart(t)
+	recs := db.placement[vm]
+	for i := range recs {
+		if recs[i].month.Equal(m) {
+			db.hostLoad[hostMonthKey{recs[i].host, m}]--
+			recs[i].host = host
+			db.hostLoad[hostMonthKey{host, m}]++
+			return
+		}
+	}
+	db.placement[vm] = append(recs, placementRecord{month: m, host: host})
+	db.hostLoad[hostMonthKey{host, m}]++
+	db.noteSeenLocked(vm, m)
+}
+
+func monthStart(t time.Time) time.Time {
+	y, m, _ := t.UTC().Date()
+	return time.Date(y, m, 1, 0, 0, 0, 0, time.UTC)
+}
+
+// FirstSeen returns the earliest record for the machine; ok is false when
+// the machine never appears in the database.
+func (db *DB) FirstSeen(id model.MachineID) (time.Time, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.firstSeen[id]
+	return t, ok
+}
+
+// Samples returns the samples of one series inside the window, time-sorted.
+func (db *DB) Samples(id model.MachineID, metric Metric, w model.Window) []Sample {
+	db.mu.RLock()
+	all := db.series[seriesKey{id, metric}]
+	db.mu.RUnlock()
+	sorted := append([]Sample(nil), all...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Time.Before(sorted[j].Time) })
+	var out []Sample
+	for _, s := range sorted {
+		if w.Contains(s.Time) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Average returns the mean of a series over the window; ok is false when
+// the series has no samples there.
+func (db *DB) Average(id model.MachineID, metric Metric, w model.Window) (float64, bool) {
+	samples := db.Samples(id, metric, w)
+	if len(samples) == 0 {
+		return 0, false
+	}
+	sum := 0.0
+	for _, s := range samples {
+		sum += s.Value
+	}
+	return sum / float64(len(samples)), true
+}
+
+// Rollup aggregates a series into buckets of the given width over the
+// window, returning the per-bucket averages (empty buckets are skipped).
+// This is the hourly/daily/weekly/monthly view of §III.A.
+func (db *DB) Rollup(id model.MachineID, metric Metric, w model.Window, bucket time.Duration) []Sample {
+	if bucket <= 0 {
+		return nil
+	}
+	samples := db.Samples(id, metric, w)
+	if len(samples) == 0 {
+		return nil
+	}
+	type acc struct {
+		sum float64
+		n   int
+	}
+	buckets := make(map[int64]*acc)
+	for _, s := range samples {
+		idx := int64(s.Time.Sub(w.Start) / bucket)
+		a := buckets[idx]
+		if a == nil {
+			a = &acc{}
+			buckets[idx] = a
+		}
+		a.sum += s.Value
+		a.n++
+	}
+	idxs := make([]int64, 0, len(buckets))
+	for i := range buckets {
+		idxs = append(idxs, i)
+	}
+	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+	out := make([]Sample, 0, len(idxs))
+	for _, i := range idxs {
+		a := buckets[i]
+		out = append(out, Sample{
+			Time:  w.Start.Add(time.Duration(i) * bucket),
+			Value: a.sum / float64(a.n),
+		})
+	}
+	return out
+}
+
+// OnOffCount screens the power log at 15-minute granularity over the
+// window and returns the number of off→on transitions detected, mimicking
+// the paper's use of 15-min usage data to track VM on/off (§III.B). Two
+// transitions inside one 15-minute slot are indistinguishable and count
+// once, exactly as they would be in the sampled data.
+func (db *DB) OnOffCount(id model.MachineID, w model.Window) int {
+	db.mu.RLock()
+	events := append([]PowerEvent(nil), db.power[id]...)
+	db.mu.RUnlock()
+	sort.Slice(events, func(i, j int) bool { return events[i].Time.Before(events[j].Time) })
+
+	const slot = 15 * time.Minute
+	count := 0
+	lastState := true // machines start powered on unless the log says otherwise
+	lastSlot := int64(-1)
+	for _, ev := range events {
+		if ev.Time.Before(w.Start) {
+			lastState = ev.On
+			continue
+		}
+		if !ev.Time.Before(w.End) {
+			break
+		}
+		slotIdx := int64(ev.Time.Sub(w.Start) / slot)
+		if ev.On && !lastState && slotIdx != lastSlot {
+			count++
+			lastSlot = slotIdx
+		}
+		lastState = ev.On
+	}
+	return count
+}
+
+// HostOf returns the VM's host during the month containing t.
+func (db *DB) HostOf(vm model.MachineID, t time.Time) (model.MachineID, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	m := monthStart(t)
+	for _, rec := range db.placement[vm] {
+		if rec.month.Equal(m) {
+			return rec.host, true
+		}
+	}
+	return "", false
+}
+
+// ConsolidationLevel returns the number of VMs (including vm itself) that
+// shared vm's host during the month containing t; ok is false when the VM
+// has no placement record for that month.
+func (db *DB) ConsolidationLevel(vm model.MachineID, t time.Time) (int, bool) {
+	host, ok := db.HostOf(vm, t)
+	if !ok {
+		return 0, false
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.hostLoad[hostMonthKey{host, monthStart(t)}], true
+}
+
+// AvgConsolidation returns the VM's average monthly consolidation level
+// over the window (§VI.A), and false when no placement records exist.
+func (db *DB) AvgConsolidation(vm model.MachineID, w model.Window) (float64, bool) {
+	db.mu.RLock()
+	recs := append([]placementRecord(nil), db.placement[vm]...)
+	db.mu.RUnlock()
+	sum, n := 0.0, 0
+	for _, rec := range recs {
+		if rec.month.Before(w.Start) || !rec.month.Before(w.End) {
+			continue
+		}
+		if lvl, ok := db.ConsolidationLevel(vm, rec.month); ok {
+			sum += float64(lvl)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// Machines returns the IDs of all machines with at least one record.
+func (db *DB) Machines() []model.MachineID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]model.MachineID, 0, len(db.firstSeen))
+	for id := range db.firstSeen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,242 @@
+package monitordb
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"failscope/internal/model"
+	"failscope/internal/xrand"
+)
+
+var (
+	epoch = time.Date(2011, 7, 1, 0, 0, 0, 0, time.UTC)
+	obs   = model.Window{
+		Start: time.Date(2012, 7, 1, 0, 0, 0, 0, time.UTC),
+		End:   time.Date(2013, 7, 1, 0, 0, 0, 0, time.UTC),
+	}
+)
+
+func newDB() *DB { return New(epoch, 2*365*24*time.Hour) }
+
+func TestAddAndAverage(t *testing.T) {
+	db := newDB()
+	id := model.MachineID("m1")
+	for i := 0; i < 10; i++ {
+		db.Add(id, MetricCPUUtil, Sample{Time: obs.Start.Add(time.Duration(i) * 24 * time.Hour), Value: float64(i)})
+	}
+	avg, ok := db.Average(id, MetricCPUUtil, obs)
+	if !ok || avg != 4.5 {
+		t.Fatalf("Average = %v, %v", avg, ok)
+	}
+	if _, ok := db.Average(id, MetricMemUtil, obs); ok {
+		t.Fatal("Average on empty series reported ok")
+	}
+	if _, ok := db.Average("nope", MetricCPUUtil, obs); ok {
+		t.Fatal("Average on unknown machine reported ok")
+	}
+}
+
+func TestRetentionDropsOutOfRange(t *testing.T) {
+	db := newDB()
+	id := model.MachineID("m1")
+	db.Add(id, MetricCPUUtil, Sample{Time: epoch.Add(-time.Hour), Value: 1})
+	db.Add(id, MetricCPUUtil, Sample{Time: epoch.Add(3 * 365 * 24 * time.Hour), Value: 1})
+	if _, ok := db.FirstSeen(id); ok {
+		t.Fatal("out-of-retention samples were stored")
+	}
+}
+
+func TestFirstSeen(t *testing.T) {
+	db := newDB()
+	id := model.MachineID("m1")
+	late := obs.Start.Add(100 * 24 * time.Hour)
+	early := obs.Start.Add(10 * 24 * time.Hour)
+	db.Add(id, MetricCPUUtil, Sample{Time: late, Value: 1})
+	db.Add(id, MetricMemUtil, Sample{Time: early, Value: 1})
+	first, ok := db.FirstSeen(id)
+	if !ok || !first.Equal(early) {
+		t.Fatalf("FirstSeen = %v, %v", first, ok)
+	}
+}
+
+func TestRollupConsistency(t *testing.T) {
+	// Property: the average of rollup-bucket means weighted by bucket
+	// sample count equals the overall average.
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		db := newDB()
+		id := model.MachineID("m")
+		n := 50 + r.Intn(100)
+		var sum float64
+		for i := 0; i < n; i++ {
+			v := r.Float64() * 100
+			sum += v
+			at := obs.Start.Add(time.Duration(r.Intn(90*24)) * time.Hour)
+			db.Add(id, MetricCPUUtil, Sample{Time: at, Value: v})
+		}
+		want := sum / float64(n)
+		buckets := db.Rollup(id, MetricCPUUtil, obs, 7*24*time.Hour)
+		// Weighted mean of buckets: recompute weights via Samples.
+		var wsum, wtotal float64
+		for _, b := range buckets {
+			w := model.Window{Start: b.Time, End: b.Time.Add(7 * 24 * time.Hour)}
+			cnt := len(db.Samples(id, MetricCPUUtil, w))
+			wsum += b.Value * float64(cnt)
+			wtotal += float64(cnt)
+		}
+		if wtotal == 0 {
+			return false
+		}
+		got := wsum / wtotal
+		return got > want-1e-9 && got < want+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRollupEmptyAndInvalid(t *testing.T) {
+	db := newDB()
+	if got := db.Rollup("m", MetricCPUUtil, obs, time.Hour); got != nil {
+		t.Errorf("rollup of empty series: %v", got)
+	}
+	db.Add("m", MetricCPUUtil, Sample{Time: obs.Start, Value: 1})
+	if got := db.Rollup("m", MetricCPUUtil, obs, 0); got != nil {
+		t.Errorf("rollup with zero bucket: %v", got)
+	}
+}
+
+func TestSamplesSortedAndWindowed(t *testing.T) {
+	db := newDB()
+	id := model.MachineID("m")
+	times := []time.Duration{72, 24, 48}
+	for _, h := range times {
+		db.Add(id, MetricNetKbps, Sample{Time: obs.Start.Add(h * time.Hour), Value: float64(h)})
+	}
+	db.Add(id, MetricNetKbps, Sample{Time: obs.End.Add(time.Hour), Value: 999})
+	got := db.Samples(id, MetricNetKbps, obs)
+	if len(got) != 3 {
+		t.Fatalf("got %d samples", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Time.Before(got[i-1].Time) {
+			t.Fatal("samples not sorted")
+		}
+	}
+}
+
+func TestOnOffCount(t *testing.T) {
+	db := newDB()
+	id := model.MachineID("vm")
+	base := obs.Start
+	// off at +1h, on at +2h  -> one off→on transition
+	db.AddPowerEvent(id, PowerEvent{Time: base.Add(1 * time.Hour), On: false})
+	db.AddPowerEvent(id, PowerEvent{Time: base.Add(2 * time.Hour), On: true})
+	// off at +3h, on at +3h05 (same 15-min slot as the off? different slots)
+	db.AddPowerEvent(id, PowerEvent{Time: base.Add(3 * time.Hour), On: false})
+	db.AddPowerEvent(id, PowerEvent{Time: base.Add(3*time.Hour + 5*time.Minute), On: true})
+	if got := db.OnOffCount(id, obs); got != 2 {
+		t.Fatalf("OnOffCount = %d, want 2", got)
+	}
+}
+
+func TestOnOffCountQuantization(t *testing.T) {
+	db := newDB()
+	id := model.MachineID("vm")
+	base := obs.Start.Add(10 * time.Hour)
+	// Two full off/on cycles inside one 15-minute slot look like one.
+	db.AddPowerEvent(id, PowerEvent{Time: base, On: false})
+	db.AddPowerEvent(id, PowerEvent{Time: base.Add(2 * time.Minute), On: true})
+	db.AddPowerEvent(id, PowerEvent{Time: base.Add(4 * time.Minute), On: false})
+	db.AddPowerEvent(id, PowerEvent{Time: base.Add(6 * time.Minute), On: true})
+	if got := db.OnOffCount(id, obs); got != 1 {
+		t.Fatalf("OnOffCount = %d, want 1 (15-min screening)", got)
+	}
+}
+
+func TestOnOffCountWindowEdges(t *testing.T) {
+	db := newDB()
+	id := model.MachineID("vm")
+	// Transition before the window sets the state; the on inside counts.
+	db.AddPowerEvent(id, PowerEvent{Time: obs.Start.Add(-24 * time.Hour), On: false})
+	db.AddPowerEvent(id, PowerEvent{Time: obs.Start.Add(time.Hour), On: true})
+	w := model.Window{Start: obs.Start, End: obs.Start.Add(48 * time.Hour)}
+	if got := db.OnOffCount(id, w); got != 1 {
+		t.Fatalf("OnOffCount = %d, want 1", got)
+	}
+	if got := db.OnOffCount("unknown", w); got != 0 {
+		t.Fatalf("OnOffCount(unknown) = %d", got)
+	}
+}
+
+func TestPlacementAndConsolidation(t *testing.T) {
+	db := newDB()
+	month := time.Date(2012, 9, 1, 0, 0, 0, 0, time.UTC)
+	db.SetPlacement("vm-1", "box-1", month)
+	db.SetPlacement("vm-2", "box-1", month)
+	db.SetPlacement("vm-3", "box-2", month)
+
+	if host, ok := db.HostOf("vm-1", month.Add(5*24*time.Hour)); !ok || host != "box-1" {
+		t.Fatalf("HostOf = %v, %v", host, ok)
+	}
+	if lvl, ok := db.ConsolidationLevel("vm-1", month); !ok || lvl != 2 {
+		t.Fatalf("ConsolidationLevel = %d, %v", lvl, ok)
+	}
+	if lvl, ok := db.ConsolidationLevel("vm-3", month); !ok || lvl != 1 {
+		t.Fatalf("ConsolidationLevel(vm-3) = %d, %v", lvl, ok)
+	}
+	if _, ok := db.ConsolidationLevel("vm-1", month.AddDate(0, 1, 0)); ok {
+		t.Fatal("consolidation for month without placement reported ok")
+	}
+}
+
+func TestPlacementUpdateMaintainsCounts(t *testing.T) {
+	db := newDB()
+	month := time.Date(2012, 9, 15, 0, 0, 0, 0, time.UTC) // mid-month input
+	db.SetPlacement("vm-1", "box-1", month)
+	db.SetPlacement("vm-2", "box-1", month)
+	// Migrate vm-1 within the same month: box-1 count must drop to 1.
+	db.SetPlacement("vm-1", "box-2", month)
+	if lvl, _ := db.ConsolidationLevel("vm-2", month); lvl != 1 {
+		t.Fatalf("after migration box-1 level = %d, want 1", lvl)
+	}
+	if lvl, _ := db.ConsolidationLevel("vm-1", month); lvl != 1 {
+		t.Fatalf("after migration box-2 level = %d, want 1", lvl)
+	}
+}
+
+func TestAvgConsolidation(t *testing.T) {
+	db := newDB()
+	m1 := time.Date(2012, 8, 1, 0, 0, 0, 0, time.UTC)
+	m2 := time.Date(2012, 9, 1, 0, 0, 0, 0, time.UTC)
+	db.SetPlacement("vm-1", "box-1", m1)
+	db.SetPlacement("vm-2", "box-1", m1)
+	db.SetPlacement("vm-1", "box-1", m2) // alone in month 2
+	avg, ok := db.AvgConsolidation("vm-1", obs)
+	if !ok || avg != 1.5 {
+		t.Fatalf("AvgConsolidation = %v, %v, want 1.5", avg, ok)
+	}
+	if _, ok := db.AvgConsolidation("vm-x", obs); ok {
+		t.Fatal("AvgConsolidation for unknown VM reported ok")
+	}
+}
+
+func TestMachinesList(t *testing.T) {
+	db := newDB()
+	db.Add("b", MetricCPUUtil, Sample{Time: obs.Start, Value: 1})
+	db.Add("a", MetricCPUUtil, Sample{Time: obs.Start, Value: 1})
+	got := db.Machines()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Machines = %v", got)
+	}
+}
+
+func TestMetricStrings(t *testing.T) {
+	if MetricCPUUtil.String() != "cpu_util" || Metric(99).String() == "" {
+		t.Error("metric strings wrong")
+	}
+	if len(Metrics()) != 4 {
+		t.Errorf("Metrics() = %d", len(Metrics()))
+	}
+}

@@ -1,0 +1,133 @@
+package predict
+
+import (
+	"math"
+	"sort"
+)
+
+// Scorer maps a feature vector to a risk score; *Model implements it, as
+// do the baselines.
+type Scorer interface {
+	Score(features []float64) float64
+}
+
+// ScorerFunc adapts a function to the Scorer interface.
+type ScorerFunc func(features []float64) float64
+
+// Score implements Scorer.
+func (f ScorerFunc) Score(features []float64) float64 { return f(features) }
+
+// HistoryBaseline scores machines by past failure count alone — the
+// operator heuristic the learned model must beat to be worth anything.
+func HistoryBaseline() Scorer {
+	idx := featureIndex("past_failures")
+	return ScorerFunc(func(features []float64) float64 {
+		if idx < len(features) {
+			return features[idx]
+		}
+		return 0
+	})
+}
+
+func featureIndex(name string) int {
+	for i, n := range FeatureNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Evaluation summarizes a scorer's performance on a test set.
+type Evaluation struct {
+	N         int
+	Positives int
+	AUC       float64
+	// PrecisionAt10 is the precision among the top-10% riskiest machines;
+	// Lift10 is that precision divided by the base failure rate.
+	PrecisionAt10 float64
+	Lift10        float64
+	// RecallAt10 is the fraction of failing machines captured in the
+	// top-10%.
+	RecallAt10 float64
+}
+
+// Evaluate scores every test example and computes ranking metrics.
+func Evaluate(s Scorer, test []Example) Evaluation {
+	ev := Evaluation{N: len(test)}
+	if len(test) == 0 {
+		ev.AUC = math.NaN()
+		return ev
+	}
+	scores := make([]float64, len(test))
+	labels := make([]bool, len(test))
+	for i, ex := range test {
+		scores[i] = s.Score(ex.Features)
+		labels[i] = ex.Label
+		if ex.Label {
+			ev.Positives++
+		}
+	}
+	ev.AUC = AUC(scores, labels)
+
+	k := len(test) / 10
+	if k < 1 {
+		k = 1
+	}
+	order := make([]int, len(test))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	hits := 0
+	for _, i := range order[:k] {
+		if labels[i] {
+			hits++
+		}
+	}
+	ev.PrecisionAt10 = float64(hits) / float64(k)
+	if ev.Positives > 0 {
+		base := float64(ev.Positives) / float64(len(test))
+		ev.Lift10 = ev.PrecisionAt10 / base
+		ev.RecallAt10 = float64(hits) / float64(ev.Positives)
+	}
+	return ev
+}
+
+// AUC computes the area under the ROC curve via the rank-sum formulation,
+// handling tied scores with midranks. NaN when one class is absent.
+func AUC(scores []float64, labels []bool) float64 {
+	n := len(scores)
+	if n == 0 || n != len(labels) {
+		return math.NaN()
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+
+	var rankSum float64
+	var positives int
+	i := 0
+	for i < n {
+		j := i
+		for j+1 < n && scores[idx[j+1]] == scores[idx[i]] {
+			j++
+		}
+		midrank := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			if labels[idx[k]] {
+				rankSum += midrank
+				positives++
+			}
+		}
+		i = j + 1
+	}
+	negatives := n - positives
+	if positives == 0 || negatives == 0 {
+		return math.NaN()
+	}
+	return (rankSum - float64(positives)*float64(positives+1)/2) /
+		(float64(positives) * float64(negatives))
+}

@@ -1,0 +1,268 @@
+package predict
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"failscope/internal/core"
+	"failscope/internal/dcsim"
+	"failscope/internal/ingest"
+	"failscope/internal/xrand"
+)
+
+func TestAUCKnownValues(t *testing.T) {
+	// Perfect ranking.
+	if got := AUC([]float64{0.1, 0.2, 0.8, 0.9}, []bool{false, false, true, true}); got != 1 {
+		t.Errorf("perfect AUC = %v", got)
+	}
+	// Inverted ranking.
+	if got := AUC([]float64{0.9, 0.8, 0.2, 0.1}, []bool{false, false, true, true}); got != 0 {
+		t.Errorf("inverted AUC = %v", got)
+	}
+	// All tied: AUC 0.5.
+	if got := AUC([]float64{1, 1, 1, 1}, []bool{false, true, false, true}); got != 0.5 {
+		t.Errorf("tied AUC = %v", got)
+	}
+	// Degenerate labels.
+	if !math.IsNaN(AUC([]float64{1, 2}, []bool{true, true})) {
+		t.Error("single-class AUC should be NaN")
+	}
+	if !math.IsNaN(AUC(nil, nil)) {
+		t.Error("empty AUC should be NaN")
+	}
+}
+
+func TestAUCAgainstBruteForce(t *testing.T) {
+	r := xrand.New(9)
+	scores := make([]float64, 200)
+	labels := make([]bool, 200)
+	for i := range scores {
+		scores[i] = math.Floor(r.Float64()*20) / 20 // force ties
+		labels[i] = r.Bool(0.3)
+	}
+	// Brute force: P(score_pos > score_neg) + 0.5 P(tie).
+	var wins, ties, pairs float64
+	for i := range scores {
+		if !labels[i] {
+			continue
+		}
+		for j := range scores {
+			if labels[j] {
+				continue
+			}
+			pairs++
+			switch {
+			case scores[i] > scores[j]:
+				wins++
+			case scores[i] == scores[j]:
+				ties++
+			}
+		}
+	}
+	want := (wins + ties/2) / pairs
+	if got := AUC(scores, labels); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("AUC = %v, brute force %v", got, want)
+	}
+}
+
+func TestTrainLogisticSeparable(t *testing.T) {
+	// One informative feature: label = feature > 0.
+	r := xrand.New(4)
+	var train []Example
+	for i := 0; i < 500; i++ {
+		x := r.Norm()
+		train = append(train, Example{
+			Features: []float64{x, r.Norm()}, // second feature is noise
+			Label:    x > 0,
+		})
+	}
+	m, err := TrainLogistic(train, DefaultTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Evaluate(m, train)
+	if ev.AUC < 0.95 {
+		t.Fatalf("AUC on separable data %.3f", ev.AUC)
+	}
+	if math.Abs(m.Weights[0]) < 3*math.Abs(m.Weights[1]) {
+		t.Errorf("informative weight %.3f not dominating noise %.3f", m.Weights[0], m.Weights[1])
+	}
+}
+
+func TestTrainLogisticErrors(t *testing.T) {
+	if _, err := TrainLogistic(nil, DefaultTrainOptions()); err == nil {
+		t.Error("empty training set accepted")
+	}
+	bad := []Example{
+		{Features: []float64{1, 2}},
+		{Features: []float64{1}},
+	}
+	if _, err := TrainLogistic(bad, DefaultTrainOptions()); err == nil {
+		t.Error("inconsistent dimensions accepted")
+	}
+}
+
+func TestModelScoreMonotoneInRiskFeature(t *testing.T) {
+	train := []Example{
+		{Features: []float64{0}, Label: false},
+		{Features: []float64{1}, Label: false},
+		{Features: []float64{4}, Label: true},
+		{Features: []float64{5}, Label: true},
+	}
+	m, err := TrainLogistic(train, DefaultTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Score([]float64{0}) >= m.Score([]float64{5}) {
+		t.Fatal("score not monotone in the informative feature")
+	}
+}
+
+func TestTopFactors(t *testing.T) {
+	m := &Model{Weights: []float64{0.1, -2, 0.5}, Mean: make([]float64, 3), Std: []float64{1, 1, 1}}
+	got := m.TopFactors([]string{"a", "b", "c"})
+	if got[0] != "b" || got[1] != "c" || got[2] != "a" {
+		t.Fatalf("TopFactors = %v", got)
+	}
+	unnamed := m.TopFactors(nil)
+	if unnamed[0] != "f1" {
+		t.Fatalf("unnamed factors = %v", unnamed)
+	}
+}
+
+func TestHistoryBaseline(t *testing.T) {
+	idx := featureIndex("past_failures")
+	if idx < 0 {
+		t.Fatal("past_failures missing from FeatureNames")
+	}
+	features := make([]float64, len(FeatureNames))
+	features[idx] = 7
+	if got := HistoryBaseline().Score(features); got != 7 {
+		t.Fatalf("history baseline score %v", got)
+	}
+}
+
+// generated dataset shared across the heavier tests.
+var (
+	dsOnce sync.Once
+	dsIn   core.Input
+	dsErr  error
+)
+
+func generatedInput(t *testing.T) core.Input {
+	t.Helper()
+	dsOnce.Do(func() {
+		cfg := dcsim.SmallConfig()
+		out, err := dcsim.Generate(cfg)
+		if err != nil {
+			dsErr = err
+			return
+		}
+		opts := ingest.DefaultOptions(cfg.Observation, cfg.FineWindow)
+		opts.SkipClassification = true
+		col, err := ingest.Collect(out.Data, out.Tickets, out.Monitor, opts)
+		if err != nil {
+			dsErr = err
+			return
+		}
+		dsIn = core.Input{Data: col.Data, Attrs: col.Attrs}
+	})
+	if dsErr != nil {
+		t.Fatal(dsErr)
+	}
+	return dsIn
+}
+
+func splitTime(in core.Input) time.Time {
+	obs := in.Data.Observation
+	return obs.Start.Add(obs.Duration() / 2)
+}
+
+func TestBuildDataset(t *testing.T) {
+	in := generatedInput(t)
+	ds, err := BuildDataset(in, splitTime(in), 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Train) == 0 || len(ds.Test) == 0 {
+		t.Fatalf("split: %d/%d", len(ds.Train), len(ds.Test))
+	}
+	// Deterministic assignment.
+	ds2, err := BuildDataset(in, splitTime(in), 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds2.Train) != len(ds.Train) {
+		t.Fatal("split not deterministic")
+	}
+	for _, ex := range ds.Train {
+		if len(ex.Features) != len(FeatureNames) {
+			t.Fatalf("feature dimension %d != %d", len(ex.Features), len(FeatureNames))
+		}
+	}
+	// Both classes must be present for the task to make sense.
+	pos := 0
+	for _, ex := range ds.Test {
+		if ex.Label {
+			pos++
+		}
+	}
+	if pos == 0 || pos == len(ds.Test) {
+		t.Fatalf("degenerate labels: %d of %d", pos, len(ds.Test))
+	}
+}
+
+func TestBuildDatasetErrors(t *testing.T) {
+	in := generatedInput(t)
+	if _, err := BuildDataset(in, in.Data.Observation.Start, 0.6); err == nil {
+		t.Error("split at window start accepted")
+	}
+	if _, err := BuildDataset(in, splitTime(in), 1.5); err == nil {
+		t.Error("train share > 1 accepted")
+	}
+}
+
+func TestPredictionBeatsRandomAndTracksHistory(t *testing.T) {
+	in := generatedInput(t)
+	ds, err := BuildDataset(in, splitTime(in), 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := TrainLogistic(ds.Train, DefaultTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	learned := Evaluate(m, ds.Test)
+	history := Evaluate(HistoryBaseline(), ds.Test)
+
+	if learned.AUC < 0.6 {
+		t.Errorf("learned AUC %.3f — barely better than random", learned.AUC)
+	}
+	if learned.AUC < history.AUC-0.05 {
+		t.Errorf("learned AUC %.3f clearly below the history baseline %.3f", learned.AUC, history.AUC)
+	}
+	if learned.Lift10 < 1.5 {
+		t.Errorf("top-decile lift %.2f — ranking adds no value", learned.Lift10)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	ev := Evaluate(HistoryBaseline(), nil)
+	if ev.N != 0 || !math.IsNaN(ev.AUC) {
+		t.Fatalf("empty evaluation: %+v", ev)
+	}
+}
+
+func TestHashShareRange(t *testing.T) {
+	for _, s := range []string{"", "a", "pm-1-0001", "vm-3-01234"} {
+		v := hashShare(s)
+		if v < 0 || v >= 1 {
+			t.Fatalf("hashShare(%q) = %v", s, v)
+		}
+	}
+	if hashShare("x") == hashShare("y") {
+		t.Fatal("suspicious hash collision")
+	}
+}

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"failscope/internal/core"
+	"failscope/internal/stats"
+)
+
+// CSV export for the figure panels, so the series can be re-plotted with
+// external tooling.
+
+// WriteBinnedRatesCSV writes one Fig. 7/8/9/10 panel as CSV: one row per
+// bin with lo, hi, servers, failures, mean/p25/p75 rates.
+func WriteBinnedRatesCSV(w io.Writer, br core.BinnedRates) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"lo", "hi", "servers", "failures", "rate_mean", "rate_p25", "rate_p75"}); err != nil {
+		return fmt.Errorf("report: csv header: %w", err)
+	}
+	for _, b := range br.Bins {
+		rec := []string{
+			formatFloat(b.Lo), formatFloat(b.Hi),
+			strconv.Itoa(b.Servers), strconv.Itoa(b.Failures),
+			formatFloat(b.Rate.Mean), formatFloat(b.Rate.P25), formatFloat(b.Rate.P75),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("report: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCDFCSV writes ECDF points (x, F(x)) as CSV, for Figs. 3/4/6 curves.
+func WriteCDFCSV(w io.Writer, points []stats.Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"x", "cdf"}); err != nil {
+		return fmt.Errorf("report: csv header: %w", err)
+	}
+	for _, p := range points {
+		if err := cw.Write([]string{formatFloat(p.X), formatFloat(p.Y)}); err != nil {
+			return fmt.Errorf("report: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteHazardCSV writes the age-hazard series as CSV.
+func WriteHazardCSV(w io.Writer, res core.HazardResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"age_lo_days", "age_hi_days", "failures", "exposure_vm_years", "hazard_per_vm_year"}); err != nil {
+		return fmt.Errorf("report: csv header: %w", err)
+	}
+	for _, b := range res.Bins {
+		rec := []string{
+			formatFloat(b.LoDays), formatFloat(b.HiDays),
+			strconv.Itoa(b.Failures), formatFloat(b.ExposureYears), formatFloat(b.Rate),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("report: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }

@@ -1,0 +1,350 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"failscope/internal/core"
+	"failscope/internal/model"
+)
+
+// sysName renders the "All" pseudo-system.
+func sysName(s model.System) string {
+	if s == 0 {
+		return "All"
+	}
+	return s.String()
+}
+
+// DatasetStats renders Table II.
+func DatasetStats(rows []core.SystemStats) string {
+	t := NewTable("Table II — dataset statistics",
+		"", "PMs", "VMs", "All tickets", "% crash", "% crash (PMs)", "% crash (VMs)")
+	for _, s := range rows {
+		name := sysName(s.System)
+		if s.System == 0 {
+			name = "Total"
+		}
+		t.AddRow(name, D(s.PMs), D(s.VMs), D(s.AllTickets),
+			Pct(s.CrashShare), Pct(s.PMShare), Pct(s.VMShare))
+	}
+	return t.String()
+}
+
+// ClassDistribution renders Fig. 1 as a table of per-system class shares.
+func ClassDistribution(rows []core.ClassShare) string {
+	bySystem := make(map[model.System]map[model.FailureClass]core.ClassShare)
+	var systems []model.System
+	for _, r := range rows {
+		if bySystem[r.System] == nil {
+			bySystem[r.System] = make(map[model.FailureClass]core.ClassShare)
+			systems = append(systems, r.System)
+		}
+		bySystem[r.System][r.Class] = r
+	}
+	sort.Slice(systems, func(i, j int) bool { return systems[i] < systems[j] })
+	header := []string{""}
+	for _, c := range model.Classes() {
+		header = append(header, c.String())
+	}
+	t := NewTable("Fig. 1 — ticket distribution across failure classes (share of crash tickets)", header...)
+	for _, sys := range systems {
+		row := []string{sysName(sys)}
+		for _, c := range model.Classes() {
+			row = append(row, Pct(bySystem[sys][c].Share))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// WeeklyRates renders Fig. 2.
+func WeeklyRates(rows []core.RateSummary) string {
+	t := NewTable("Fig. 2 — weekly failure rates (mean [p25, p75])",
+		"population", "servers", "mean", "p25", "p75")
+	for _, r := range rows {
+		label := fmt.Sprintf("%s %s", r.Kind, sysName(r.System))
+		t.AddRow(label, D(r.Servers), F(r.Summary.Mean), F(r.Summary.P25), F(r.Summary.P75))
+	}
+	return t.String()
+}
+
+// InterFailure renders Fig. 3 for one kind: summary, fit ranking and a
+// compact CDF.
+func InterFailure(res core.InterFailureResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 3 — inter-failure times (%s): n=%d mean=%.1f d median=%.1f d\n",
+		res.Kind, res.Summary.N, res.Summary.Mean, res.Summary.Median)
+	fmt.Fprintf(&b, "  servers failing once: %d of %d failing servers\n",
+		res.SingleFailureServers, res.FailingServers)
+	if res.KS.N > 0 {
+		fmt.Fprintf(&b, "  KS vs best fit: D=%.3f p=%.3f\n", res.KS.Statistic, res.KS.PValue)
+	}
+	for i, fr := range res.Fits.Results {
+		marker := "  "
+		if i == 0 {
+			marker = "* "
+		}
+		fmt.Fprintf(&b, "  %s%-12s logL=%.1f AIC=%.1f %v\n", marker, fr.Dist.Name(), fr.LogLikelihood, fr.AIC, fr.Dist)
+	}
+	if res.ECDF != nil {
+		b.WriteString("  CDF: ")
+		for _, p := range res.ECDF.Points(9) {
+			fmt.Fprintf(&b, "(%.1fd, %.2f) ", p.X, p.Y)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// InterFailureByClass renders Table III.
+func InterFailureByClass(rows []core.ClassGapStats) string {
+	header := []string{""}
+	for _, r := range rows {
+		header = append(header, r.Class.String())
+	}
+	t := NewTable("Table III — inter-failure times by class [days]", header...)
+	add := func(label string, get func(core.ClassGapStats) float64) {
+		row := []string{label}
+		for _, r := range rows {
+			row = append(row, F(get(r)))
+		}
+		t.AddRow(row...)
+	}
+	add("operator mean", func(r core.ClassGapStats) float64 { return r.OperatorMean })
+	add("operator median", func(r core.ClassGapStats) float64 { return r.OperatorMedian })
+	add("server mean", func(r core.ClassGapStats) float64 { return r.ServerMean })
+	add("server median", func(r core.ClassGapStats) float64 { return r.ServerMedian })
+	return t.String()
+}
+
+// Repair renders Fig. 4 for one kind.
+func Repair(res core.RepairResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 4 — repair times (%s): n=%d mean=%.1f h median=%.1f h reboot share=%.0f%%\n",
+		res.Kind, res.Summary.N, res.Summary.Mean, res.Summary.Median, 100*res.RebootShare)
+	if res.KS.N > 0 {
+		fmt.Fprintf(&b, "  KS vs best fit: D=%.3f p=%.3f\n", res.KS.Statistic, res.KS.PValue)
+	}
+	for i, fr := range res.Fits.Results {
+		marker := "  "
+		if i == 0 {
+			marker = "* "
+		}
+		fmt.Fprintf(&b, "  %s%-12s logL=%.1f AIC=%.1f %v\n", marker, fr.Dist.Name(), fr.LogLikelihood, fr.AIC, fr.Dist)
+	}
+	return b.String()
+}
+
+// RepairByClass renders Table IV.
+func RepairByClass(rows []core.ClassRepairStats) string {
+	header := []string{""}
+	for _, r := range rows {
+		header = append(header, r.Class.String())
+	}
+	t := NewTable("Table IV — repair times by class [hours]", header...)
+	addF := func(label string, get func(core.ClassRepairStats) float64) {
+		row := []string{label}
+		for _, r := range rows {
+			row = append(row, F(get(r)))
+		}
+		t.AddRow(row...)
+	}
+	addF("mean", func(r core.ClassRepairStats) float64 { return r.Mean })
+	addF("median", func(r core.ClassRepairStats) float64 { return r.Median })
+	addF("CoV", func(r core.ClassRepairStats) float64 { return r.CoefficientOfVariation })
+	return t.String()
+}
+
+// Recurrence renders Fig. 5 for both kinds.
+func Recurrence(pm, vm core.RecurrenceResult) string {
+	t := NewTable("Fig. 5 — recurrent failure probabilities",
+		"kind", "within day", "within week", "within month")
+	t.AddRow("PM", F(pm.WithinDay), F(pm.WithinWeek), F(pm.WithinMonth))
+	t.AddRow("VM", F(vm.WithinDay), F(vm.WithinWeek), F(vm.WithinMonth))
+	return t.String()
+}
+
+// RandomVsRecurrent renders Table V.
+func RandomVsRecurrent(rows []core.RandomVsRecurrent) string {
+	var b strings.Builder
+	for _, kind := range []model.MachineKind{model.PM, model.VM} {
+		t := NewTable(fmt.Sprintf("Table V — weekly random vs recurrent (%ss)", kind),
+			"", "random", "recurrent", "ratio")
+		for _, r := range rows {
+			if r.Kind != kind {
+				continue
+			}
+			ratio := "N.A."
+			if r.Ratio > 0 {
+				ratio = fmt.Sprintf("%.1fx", r.Ratio)
+			}
+			t.AddRow(sysName(r.System), F(r.Random), F(r.Recurrent), ratio)
+		}
+		b.WriteString(t.String())
+	}
+	return b.String()
+}
+
+// Spatial renders Table VI.
+func Spatial(res core.SpatialResult) string {
+	t := NewTable(fmt.Sprintf("Table VI — incident fan-out (%d incidents, max %d servers in one %v incident)",
+		res.Incidents, res.MaxServers, res.MaxServersClass),
+		"view", "0", "1", ">=2", "dependent share")
+	t.AddRow("PM and VM", Pct(0), Pct(res.ShareOne), Pct(res.ShareTwoPlus), "")
+	t.AddRow("PM only", Pct(res.PMZero), Pct(res.PMOne), Pct(res.PMTwoPlus), Pct(res.DependentPMShare))
+	t.AddRow("VM only", Pct(res.VMZero), Pct(res.VMOne), Pct(res.VMTwoPlus), Pct(res.DependentVMShare))
+	return t.String()
+}
+
+// SpatialByClass renders Table VII.
+func SpatialByClass(rows []core.ClassSpatialStats) string {
+	header := []string{""}
+	for _, r := range rows {
+		header = append(header, r.Class.String())
+	}
+	t := NewTable("Table VII — servers involved per incident, by class", header...)
+	meanRow := []string{"mean"}
+	maxRow := []string{"max"}
+	for _, r := range rows {
+		meanRow = append(meanRow, F(r.Mean))
+		maxRow = append(maxRow, D(r.Max))
+	}
+	t.AddRow(meanRow...)
+	t.AddRow(maxRow...)
+	return t.String()
+}
+
+// Age renders Fig. 6.
+func Age(res core.AgeResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 6 — VM failures vs age: n=%d failures on %d/%d age-eligible VMs\n",
+		len(res.AgesDays), res.EligibleVMs, res.TotalVMs)
+	fmt.Fprintf(&b, "  KS distance to uniform: %.3f (diagonal CDF when small)\n", res.KSUniform)
+	fmt.Fprintf(&b, "  density trend slope: %+.5f per bin; bathtub score: %.2f (bathtub if >> 1)\n",
+		res.TrendSlope, res.BathtubScore)
+	if res.Histogram != nil {
+		b.WriteString("  PDF: ")
+		for _, d := range res.Histogram.Densities() {
+			fmt.Fprintf(&b, "%.3f ", d)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Hazard renders the exposure-normalized age-hazard extension.
+func Hazard(res core.HazardResult) string {
+	t := NewTable(fmt.Sprintf("Age hazard — failures per VM-year of exposure (%d age-known VMs)", res.EligibleVMs),
+		"age [days]", "failures", "exposure [VM-yr]", "hazard")
+	for _, b := range res.Bins {
+		t.AddRow(fmt.Sprintf("[%g,%g)", b.LoDays, b.HiDays),
+			D(b.Failures), F(b.ExposureYears), F(b.Rate))
+	}
+	return t.String() + fmt.Sprintf("trend slope: %+.4f per bin; bathtub score: %.2f\n",
+		res.TrendSlope, res.BathtubScore)
+}
+
+// Profile renders a per-system operator one-pager.
+func Profile(p core.SystemProfile) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "System profile — %s\n", p.System)
+	fmt.Fprintf(&b, "  machines: %d PMs, %d VMs; tickets: %d (%d crashes)\n",
+		p.PMs, p.VMs, p.AllTickets, p.CrashTickets)
+	fmt.Fprintf(&b, "  weekly failure rate: PM %s, VM %s\n", F(p.PMRate.Mean), F(p.VMRate.Mean))
+	fmt.Fprintf(&b, "  mean repair: PM %.1f h, VM %.1f h\n", p.PMRepair.Mean, p.VMRepair.Mean)
+	fmt.Fprintf(&b, "  weekly recurrence: PM %s, VM %s\n", F(p.PMRecurrence), F(p.VMRecurrence))
+	if p.DominantClass != 0 {
+		fmt.Fprintf(&b, "  dominant named failure class: %v (%.0f%% of crashes)\n",
+			p.DominantClass, 100*p.ClassShares[p.DominantClass])
+	}
+	b.WriteString("  class mix:")
+	for _, class := range model.Classes() {
+		fmt.Fprintf(&b, " %v=%s", class, Pct(p.ClassShares[class]))
+	}
+	b.WriteByte('\n')
+	if len(p.TopFailingServers) > 0 {
+		b.WriteString("  worst offenders:\n")
+		for _, s := range p.TopFailingServers {
+			fmt.Fprintf(&b, "    %-14s %-3s %d failures\n", s.ID, s.Kind, s.Failures)
+		}
+	}
+	return b.String()
+}
+
+// FleetSeries renders the fleet-level burstiness extension.
+func FleetSeries(res core.WeeklySeries) string {
+	var b strings.Builder
+	b.WriteString("Fleet-level weekly failure counts — temporal clustering beyond single servers\n")
+	fmt.Fprintf(&b, "  index of dispersion (Var/Mean; Poisson = 1): %.2f\n", res.IndexOfDispersion)
+	b.WriteString("  autocorrelation:")
+	for lag, ac := range res.Autocorrelation {
+		fmt.Fprintf(&b, " lag%d=%+.2f", lag+1, ac)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// ClassRecurrences renders the per-class recurrence extension.
+func ClassRecurrences(rows []core.ClassRecurrence) string {
+	t := NewTable("Per-class recurrence — P(follow-up within a week | failure of class)",
+		"class", "triggers", "any class", "same class")
+	for _, r := range rows {
+		t.AddRow(r.Class.String(), D(r.Triggers), F(r.AnyWithinWeek), F(r.SameWithinWeek))
+	}
+	return t.String()
+}
+
+// BinnedRates renders one Fig. 7/8/9/10 panel.
+func BinnedRates(title string, br core.BinnedRates) string {
+	t := NewTable(title, "bin", "servers", "failures", "rate mean", "p25", "p75")
+	for _, b := range br.Bins {
+		t.AddRow(b.Label, D(b.Servers), D(b.Failures), F(b.Rate.Mean), F(b.Rate.P25), F(b.Rate.P75))
+	}
+	s := t.String()
+	return s + fmt.Sprintf("increment factor: %.1fx; Spearman trend: %+.2f\n", br.IncrementFactor, br.Spearman)
+}
+
+// Full renders the complete report in paper order.
+func Full(r *core.Report) string {
+	var b strings.Builder
+	sections := []string{
+		DatasetStats(r.DatasetStats),
+		ClassDistribution(r.ClassDistribution),
+		WeeklyRates(r.WeeklyRates),
+		InterFailure(r.InterFailurePM),
+		InterFailure(r.InterFailureVM),
+		InterFailureByClass(r.InterFailureClass),
+		Repair(r.RepairPM),
+		Repair(r.RepairVM),
+		RepairByClass(r.RepairClass),
+		Recurrence(r.RecurrencePM, r.RecurrenceVM),
+		RandomVsRecurrent(r.RandomRecurrent),
+		Spatial(r.Spatial),
+		SpatialByClass(r.SpatialClass),
+		Age(r.Age),
+		Hazard(r.AgeHazard),
+		FleetSeries(r.FleetSeries),
+		ClassRecurrences(r.ClassRecurrences),
+	}
+	for _, key := range []string{"pm_cpu", "vm_cpu", "pm_mem", "vm_mem", "vm_diskcap", "vm_diskcount"} {
+		if br, ok := r.Capacity[key]; ok {
+			sections = append(sections, BinnedRates("Fig. 7 — weekly failure rate vs "+key, br))
+		}
+	}
+	for _, key := range []string{"pm_cpuutil", "vm_cpuutil", "pm_memutil", "vm_memutil", "vm_diskutil", "vm_net"} {
+		if br, ok := r.Usage[key]; ok {
+			sections = append(sections, BinnedRates("Fig. 8 — weekly failure rate vs "+key, br))
+		}
+	}
+	sections = append(sections,
+		BinnedRates("Fig. 9 — weekly failure rate vs consolidation level", r.ConsolidationFig),
+		BinnedRates("Fig. 10 — weekly failure rate vs on/off per month", r.OnOffFig),
+	)
+	for _, s := range sections {
+		b.WriteString(s)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,165 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"failscope/internal/core"
+	"failscope/internal/dist"
+	"failscope/internal/model"
+	"failscope/internal/stats"
+)
+
+// sampleReport builds a minimal but fully populated analysis report so
+// every renderer can be exercised directly.
+func sampleReport(t *testing.T) *core.Report {
+	t.Helper()
+	gaps := []float64{1, 2, 3, 5, 8, 13, 21, 34, 55, 89}
+	ecdf, err := stats.NewECDF(gaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fits := dist.FitAll(gaps)
+	ifr := core.InterFailureResult{
+		Kind: model.PM, GapsDays: gaps, Summary: stats.Summarize(gaps),
+		ECDF: ecdf, Fits: fits, FailingServers: 12, SingleFailureServers: 7,
+	}
+	if best, ok := fits.Best(); ok {
+		ifr.KS = dist.KSTest(best.Dist, gaps)
+	}
+	rep := core.RepairResult{
+		Kind: model.VM, Hours: gaps, Summary: stats.Summarize(gaps),
+		ECDF: ecdf, Fits: fits, RebootShare: 0.3,
+	}
+	br := core.BinnedRates{
+		Kind: model.VM, Attribute: "cpu",
+		Bins: []core.AttrBin{{Label: "[1,2)", Lo: 1, Hi: 2, Servers: 9, Failures: 2,
+			Rate: stats.Summary{Mean: 0.004, N: 52}}},
+		IncrementFactor: 2, Spearman: 0.5,
+	}
+	return &core.Report{
+		DatasetStats: []core.SystemStats{
+			{System: model.SysI, PMs: 5, VMs: 9, AllTickets: 70, CrashTickets: 7, CrashShare: 0.1, PMShare: 0.6, VMShare: 0.4},
+			{PMs: 5, VMs: 9, AllTickets: 70, CrashTickets: 7, CrashShare: 0.1, PMShare: 0.6, VMShare: 0.4},
+		},
+		ClassDistribution: []core.ClassShare{
+			{System: 0, Class: model.ClassSoftware, Count: 4, Share: 0.55},
+			{System: model.SysI, Class: model.ClassSoftware, Count: 4, Share: 0.55},
+		},
+		WeeklyRates: []core.RateSummary{
+			{Kind: model.PM, System: 0, Servers: 5, Summary: stats.Summary{Mean: 0.005, N: 52}},
+		},
+		InterFailurePM: ifr,
+		InterFailureVM: ifr,
+		InterFailureClass: []core.ClassGapStats{
+			{Class: model.ClassSoftware, OperatorMean: 2.8, OperatorMedian: 0.3, ServerMean: 21.6, ServerMedian: 8},
+		},
+		RepairPM: rep,
+		RepairVM: rep,
+		RepairClass: []core.ClassRepairStats{
+			{Class: model.ClassPower, Mean: 12.2, Median: 0.83, CoefficientOfVariation: 2.5, N: 10},
+		},
+		RecurrencePM:    core.RecurrenceResult{Kind: model.PM, WithinDay: 0.1, WithinWeek: 0.2, WithinMonth: 0.3},
+		RecurrenceVM:    core.RecurrenceResult{Kind: model.VM, WithinDay: 0.05, WithinWeek: 0.15, WithinMonth: 0.25},
+		RandomRecurrent: []core.RandomVsRecurrent{{Kind: model.PM, System: 0, Random: 0.006, Recurrent: 0.22, Ratio: 36.7}},
+		Spatial: core.SpatialResult{
+			Incidents: 100, ShareOne: 0.78, ShareTwoPlus: 0.22,
+			MaxServers: 34, MaxServersClass: model.ClassOther,
+		},
+		SpatialClass: []core.ClassSpatialStats{{Class: model.ClassPower, Incidents: 9, Mean: 2.7, Max: 21}},
+		Age: core.AgeResult{
+			AgesDays: gaps, ECDF: ecdf, KSUniform: 0.12, MaxAgeDays: 89,
+			TrendSlope: 0.001, BathtubScore: 0.8, EligibleVMs: 9, TotalVMs: 12,
+		},
+		AgeHazard: core.HazardResult{
+			Bins:        []core.HazardBin{{LoDays: 0, HiDays: 60, Failures: 3, ExposureYears: 12, Rate: 0.25}},
+			EligibleVMs: 9,
+		},
+		FleetSeries: core.WeeklySeries{
+			Counts: []int{1, 2, 3}, IndexOfDispersion: 2.5,
+			Autocorrelation: []float64{0.3, 0.1},
+		},
+		ClassRecurrences: []core.ClassRecurrence{
+			{Class: model.ClassSoftware, Triggers: 40, AnyWithinWeek: 0.2, SameWithinWeek: 0.1},
+		},
+		Capacity:         map[string]core.BinnedRates{"vm_cpu": br},
+		Usage:            map[string]core.BinnedRates{"vm_cpuutil": br},
+		ConsolidationFig: br,
+		OnOffFig:         br,
+	}
+}
+
+func TestAllRenderersProduceOutput(t *testing.T) {
+	r := sampleReport(t)
+	sections := map[string]string{
+		"ClassDistribution":   ClassDistribution(r.ClassDistribution),
+		"InterFailure":        InterFailure(r.InterFailurePM),
+		"InterFailureByClass": InterFailureByClass(r.InterFailureClass),
+		"Repair":              Repair(r.RepairPM),
+		"RepairByClass":       RepairByClass(r.RepairClass),
+		"Recurrence":          Recurrence(r.RecurrencePM, r.RecurrenceVM),
+		"RandomVsRecurrent":   RandomVsRecurrent(r.RandomRecurrent),
+		"SpatialByClass":      SpatialByClass(r.SpatialClass),
+		"Age":                 Age(r.Age),
+		"FleetSeries":         FleetSeries(r.FleetSeries),
+		"ClassRecurrences":    ClassRecurrences(r.ClassRecurrences),
+	}
+	for name, out := range sections {
+		if len(strings.TrimSpace(out)) == 0 {
+			t.Errorf("%s produced empty output", name)
+		}
+	}
+	if !strings.Contains(sections["InterFailure"], "KS vs best fit") {
+		t.Error("InterFailure missing the KS line")
+	}
+	if !strings.Contains(sections["Recurrence"], "within week") {
+		t.Error("Recurrence missing columns")
+	}
+	if !strings.Contains(sections["RandomVsRecurrent"], "36.7x") {
+		t.Error("RandomVsRecurrent missing the ratio")
+	}
+	if !strings.Contains(sections["FleetSeries"], "lag1=+0.30") {
+		t.Errorf("FleetSeries missing autocorrelation:\n%s", sections["FleetSeries"])
+	}
+}
+
+func TestRandomVsRecurrentNA(t *testing.T) {
+	out := RandomVsRecurrent([]core.RandomVsRecurrent{
+		{Kind: model.VM, System: model.SysII, Random: 0, Recurrent: 0, Ratio: 0},
+	})
+	if !strings.Contains(out, "N.A.") {
+		t.Errorf("zero ratio should render as N.A.:\n%s", out)
+	}
+}
+
+func TestFullReportContainsAllSections(t *testing.T) {
+	out := Full(sampleReport(t))
+	for _, want := range []string{
+		"Table II", "Fig. 1", "Fig. 2", "Fig. 3", "Table III", "Fig. 4",
+		"Table IV", "Fig. 5", "Table V", "Table VI", "Table VII", "Fig. 6",
+		"Age hazard", "Fleet-level", "Per-class recurrence",
+		"Fig. 7", "Fig. 8", "Fig. 9", "Fig. 10",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Full report missing %q", want)
+		}
+	}
+}
+
+func TestProfileRender(t *testing.T) {
+	p := core.SystemProfile{
+		System: model.SysIII, PMs: 10, VMs: 20, AllTickets: 500, CrashTickets: 12,
+		PMRate: stats.Summary{Mean: 0.01, N: 52}, VMRate: stats.Summary{Mean: 0.004, N: 52},
+		ClassShares:   map[model.FailureClass]float64{model.ClassSoftware: 0.4, model.ClassOther: 0.6},
+		DominantClass: model.ClassSoftware,
+		PMRepair:      stats.Summary{Mean: 30, N: 5}, VMRepair: stats.Summary{Mean: 15, N: 7},
+		PMRecurrence: 0.2, VMRecurrence: 0.1,
+		TopFailingServers: []core.ServerFailures{{ID: "vm-1", Kind: model.VM, Failures: 4}},
+	}
+	out := Profile(p)
+	for _, want := range []string{"Sys III", "dominant named failure class: SW", "vm-1", "4 failures", "worst offenders"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"failscope/internal/core"
+	"failscope/internal/model"
+	"failscope/internal/stats"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "a", "bb", "ccc")
+	tb.AddRow("1", "2", "3")
+	tb.AddRow("longer") // short row padded
+	out := tb.String()
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "bb") {
+		t.Fatalf("missing header content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(0.00123456) != "0.001235" {
+		t.Errorf("F = %q", F(0.00123456))
+	}
+	if Pct(0.5) != "50.0%" {
+		t.Errorf("Pct = %q", Pct(0.5))
+	}
+	if D(42) != "42" {
+		t.Errorf("D = %q", D(42))
+	}
+}
+
+func TestDatasetStatsRender(t *testing.T) {
+	rows := []core.SystemStats{
+		{System: model.SysI, PMs: 10, VMs: 20, AllTickets: 100, CrashTickets: 5, CrashShare: 0.05, PMShare: 0.6, VMShare: 0.4},
+		{PMs: 10, VMs: 20, AllTickets: 100, CrashTickets: 5, CrashShare: 0.05},
+	}
+	out := DatasetStats(rows)
+	for _, want := range []string{"Table II", "Sys I", "Total", "5.0%", "60.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWeeklyRatesRender(t *testing.T) {
+	rows := []core.RateSummary{
+		{Kind: model.PM, System: 0, Servers: 100, Summary: stats.Summary{Mean: 0.005, P25: 0.003, P75: 0.007, N: 52}},
+	}
+	out := WeeklyRates(rows)
+	if !strings.Contains(out, "PM All") || !strings.Contains(out, "0.005") {
+		t.Errorf("bad render:\n%s", out)
+	}
+}
+
+func TestSpatialRender(t *testing.T) {
+	out := Spatial(core.SpatialResult{
+		Incidents: 100, ShareOne: 0.78, ShareTwoPlus: 0.22,
+		PMZero: 0.62, PMOne: 0.30, PMTwoPlus: 0.08, DependentPMShare: 0.16,
+		VMZero: 0.32, VMOne: 0.57, VMTwoPlus: 0.11, DependentVMShare: 0.26,
+		MaxServers: 34, MaxServersClass: model.ClassOther,
+	})
+	for _, want := range []string{"Table VI", "78.0%", "VM only", "26.0%", "34"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestBinnedRatesRender(t *testing.T) {
+	br := core.BinnedRates{
+		Kind: model.VM, Attribute: "cpu",
+		Bins: []core.AttrBin{
+			{Label: "[1,2)", Lo: 1, Hi: 2, Servers: 10, Failures: 3, Rate: stats.Summary{Mean: 0.002, N: 52}},
+		},
+		IncrementFactor: 2.5, Spearman: 0.8,
+	}
+	out := BinnedRates("Fig. 7 — cpu", br)
+	for _, want := range []string{"Fig. 7", "[1,2)", "2.5x", "+0.80"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSysNameAll(t *testing.T) {
+	if sysName(0) != "All" || sysName(model.SysIII) != "Sys III" {
+		t.Error("sysName wrong")
+	}
+}
+
+func TestWriteBinnedRatesCSV(t *testing.T) {
+	br := core.BinnedRates{Bins: []core.AttrBin{
+		{Lo: 1, Hi: 2, Servers: 10, Failures: 3, Rate: stats.Summary{Mean: 0.002, P25: 0.001, P75: 0.003}},
+	}}
+	var buf strings.Builder
+	if err := WriteBinnedRatesCSV(&buf, br); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"lo,hi,servers", "1,2,10,3,0.002"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestWriteCDFCSV(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteCDFCSV(&buf, []stats.Point{{X: 1, Y: 0.5}, {X: 2, Y: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1,0.5") {
+		t.Errorf("bad CSV: %q", buf.String())
+	}
+}
+
+func TestWriteHazardCSV(t *testing.T) {
+	res := core.HazardResult{Bins: []core.HazardBin{
+		{LoDays: 0, HiDays: 30, Failures: 2, ExposureYears: 10, Rate: 0.2},
+	}}
+	var buf strings.Builder
+	if err := WriteHazardCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0,30,2,10,0.2") {
+		t.Errorf("bad CSV: %q", buf.String())
+	}
+}
+
+func TestHazardRender(t *testing.T) {
+	res := core.HazardResult{
+		EligibleVMs: 5,
+		Bins: []core.HazardBin{
+			{LoDays: 0, HiDays: 30, Failures: 2, ExposureYears: 10, Rate: 0.2},
+		},
+		TrendSlope: 0.01, BathtubScore: 0.9,
+	}
+	out := Hazard(res)
+	for _, want := range []string{"Age hazard", "[0,30)", "0.2", "bathtub score"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"failscope/internal/xrand"
+)
+
+// Pearson returns the Pearson linear correlation coefficient of two
+// equal-length samples, or NaN if undefined.
+func Pearson(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns the Spearman rank correlation coefficient, robust to the
+// monotone-but-nonlinear trends (bathtub curves, knees) the paper reports.
+func Spearman(xs, ys []float64) float64 {
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+// ranks returns fractional (midrank) ranks, handling ties.
+func ranks(data []float64) []float64 {
+	n := len(data)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return data[idx[a]] < data[idx[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && data[idx[j+1]] == data[idx[i]] {
+			j++
+		}
+		r := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = r
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// BootstrapCI returns a percentile bootstrap confidence interval for a
+// statistic at the given confidence level (e.g. 0.95), using iters
+// resamples drawn with r.
+func BootstrapCI(data []float64, stat func([]float64) float64, level float64, iters int, r *xrand.RNG) (lo, hi float64) {
+	if len(data) == 0 || iters < 2 {
+		return math.NaN(), math.NaN()
+	}
+	estimates := make([]float64, iters)
+	resample := make([]float64, len(data))
+	for i := 0; i < iters; i++ {
+		for j := range resample {
+			resample[j] = data[r.Intn(len(data))]
+		}
+		estimates[i] = stat(resample)
+	}
+	alpha := (1 - level) / 2
+	return Percentile(estimates, 100*alpha), Percentile(estimates, 100*(1-alpha))
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"failscope/internal/xrand"
+)
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Pearson = %v, want 1", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, neg); math.Abs(got+1) > 1e-12 {
+		t.Errorf("Pearson = %v, want -1", got)
+	}
+}
+
+func TestPearsonUndefined(t *testing.T) {
+	if !math.IsNaN(Pearson([]float64{1, 2}, []float64{1})) {
+		t.Error("length mismatch should be NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{1, 1}, []float64{1, 2})) {
+		t.Error("zero variance should be NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{1}, []float64{1})) {
+		t.Error("n<2 should be NaN")
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Nonlinear but monotone: Spearman should be exactly 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	if got := Spearman(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Spearman = %v, want 1", got)
+	}
+}
+
+func TestSpearmanHandlesTies(t *testing.T) {
+	xs := []float64{1, 2, 2, 3}
+	ys := []float64{1, 2, 2, 3}
+	if got := Spearman(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Spearman with ties = %v, want 1", got)
+	}
+}
+
+func TestRanksMidrank(t *testing.T) {
+	got := ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ranks[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBootstrapCICoversTruth(t *testing.T) {
+	r := xrand.New(8)
+	data := make([]float64, 500)
+	for i := range data {
+		data[i] = r.Norm()*2 + 10
+	}
+	lo, hi := BootstrapCI(data, Mean, 0.95, 500, r)
+	if lo > 10 || hi < 10 {
+		t.Errorf("95%% CI [%v, %v] misses the true mean 10", lo, hi)
+	}
+	if hi-lo > 1 {
+		t.Errorf("CI too wide: [%v, %v]", lo, hi)
+	}
+}
+
+func TestBootstrapCIEmpty(t *testing.T) {
+	lo, hi := BootstrapCI(nil, Mean, 0.95, 100, xrand.New(1))
+	if !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Error("empty bootstrap should return NaNs")
+	}
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Bin is one histogram bucket: [Lo, Hi) except the last bin, which is
+// closed on the right.
+type Bin struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Histogram is an empirical PDF over explicit bin edges.
+type Histogram struct {
+	Bins []Bin
+}
+
+// NewHistogram bins data over the given strictly increasing edges. Values
+// outside [edges[0], edges[len-1]] are clamped into the first/last bin,
+// which matches how the paper tabulates open-ended capacity ranges
+// (e.g. "disk size >= 4 TB").
+func NewHistogram(data []float64, edges []float64) (*Histogram, error) {
+	if len(edges) < 2 {
+		return nil, fmt.Errorf("stats: need at least 2 edges, got %d", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			return nil, fmt.Errorf("stats: edges not strictly increasing at %d", i)
+		}
+	}
+	h := &Histogram{Bins: make([]Bin, len(edges)-1)}
+	for i := range h.Bins {
+		h.Bins[i].Lo = edges[i]
+		h.Bins[i].Hi = edges[i+1]
+	}
+	for _, v := range data {
+		h.Bins[locateBin(edges, v)].Count++
+	}
+	return h, nil
+}
+
+func locateBin(edges []float64, v float64) int {
+	idx := sort.SearchFloat64s(edges, v)
+	// SearchFloat64s returns the first i with edges[i] >= v; convert to the
+	// bin index of the half-open interval containing v, clamping outliers.
+	if idx > 0 && (idx == len(edges) || edges[idx] != v) {
+		idx--
+	}
+	if idx >= len(edges)-1 {
+		idx = len(edges) - 2
+	}
+	return idx
+}
+
+// Total returns the number of binned observations.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, b := range h.Bins {
+		t += b.Count
+	}
+	return t
+}
+
+// Densities returns the bin probabilities (counts normalized to sum to 1).
+func (h *Histogram) Densities() []float64 {
+	t := h.Total()
+	out := make([]float64, len(h.Bins))
+	if t == 0 {
+		return out
+	}
+	for i, b := range h.Bins {
+		out[i] = float64(b.Count) / float64(t)
+	}
+	return out
+}
+
+// LogEdges returns n+1 edges spanning [lo, hi] spaced evenly in log2, the
+// binning the paper effectively uses for capacities (1, 2, 4, ... CPUs;
+// 256 MB, 512 MB, ... memory).
+func LogEdges(lo, hi float64, n int) []float64 {
+	if lo <= 0 || hi <= lo || n < 1 {
+		return nil
+	}
+	edges := make([]float64, n+1)
+	l0, l1 := math.Log2(lo), math.Log2(hi)
+	for i := 0; i <= n; i++ {
+		edges[i] = math.Exp2(l0 + (l1-l0)*float64(i)/float64(n))
+	}
+	return edges
+}
+
+// LinearEdges returns n+1 evenly spaced edges spanning [lo, hi]; used for
+// utilization-percentage binning (0–10%, 10–20%, ...).
+func LinearEdges(lo, hi float64, n int) []float64 {
+	if hi <= lo || n < 1 {
+		return nil
+	}
+	edges := make([]float64, n+1)
+	for i := 0; i <= n; i++ {
+		edges[i] = lo + (hi-lo)*float64(i)/float64(n)
+	}
+	return edges
+}
+
+// GroupBy partitions observations into bins by a key value and returns the
+// per-bin samples; the backbone of every "failure rate vs attribute" figure.
+func GroupBy(keys, values []float64, edges []float64) ([][]float64, error) {
+	if len(keys) != len(values) {
+		return nil, fmt.Errorf("stats: keys/values length mismatch %d != %d", len(keys), len(values))
+	}
+	if len(edges) < 2 {
+		return nil, fmt.Errorf("stats: need at least 2 edges")
+	}
+	groups := make([][]float64, len(edges)-1)
+	for i, k := range keys {
+		groups[locateBin(edges, k)] = append(groups[locateBin(edges, k)], values[i])
+	}
+	return groups, nil
+}

@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	h, err := NewHistogram([]float64{0.5, 1.5, 1.7, 2.5}, []float64{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 1}
+	for i, b := range h.Bins {
+		if b.Count != want[i] {
+			t.Errorf("bin %d count %d, want %d", i, b.Count, want[i])
+		}
+	}
+	if h.Total() != 4 {
+		t.Errorf("total %d", h.Total())
+	}
+}
+
+func TestHistogramClampsOutliers(t *testing.T) {
+	h, err := NewHistogram([]float64{-5, 100}, []float64{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Bins[0].Count != 1 || h.Bins[1].Count != 1 {
+		t.Errorf("outliers not clamped: %+v", h.Bins)
+	}
+}
+
+func TestHistogramEdgeValueGoesToUpperBin(t *testing.T) {
+	h, err := NewHistogram([]float64{1.0}, []float64{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Bins[1].Count != 1 {
+		t.Errorf("edge value 1.0 should fall in [1,2): %+v", h.Bins)
+	}
+}
+
+func TestHistogramRejectsBadEdges(t *testing.T) {
+	if _, err := NewHistogram(nil, []float64{1}); err == nil {
+		t.Error("single edge accepted")
+	}
+	if _, err := NewHistogram(nil, []float64{1, 1}); err == nil {
+		t.Error("non-increasing edges accepted")
+	}
+	if _, err := NewHistogram(nil, []float64{2, 1}); err == nil {
+		t.Error("decreasing edges accepted")
+	}
+}
+
+func TestDensitiesSumToOne(t *testing.T) {
+	h, _ := NewHistogram([]float64{0.1, 0.2, 1.5, 2.9}, []float64{0, 1, 2, 3})
+	sum := 0.0
+	for _, d := range h.Densities() {
+		sum += d
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("densities sum to %v", sum)
+	}
+	empty, _ := NewHistogram(nil, []float64{0, 1})
+	for _, d := range empty.Densities() {
+		if d != 0 {
+			t.Errorf("empty histogram density %v", d)
+		}
+	}
+}
+
+func TestLogEdges(t *testing.T) {
+	edges := LogEdges(1, 16, 4)
+	want := []float64{1, 2, 4, 8, 16}
+	if len(edges) != len(want) {
+		t.Fatalf("got %v", edges)
+	}
+	for i := range want {
+		if math.Abs(edges[i]-want[i]) > 1e-9 {
+			t.Errorf("edge %d = %v, want %v", i, edges[i], want[i])
+		}
+	}
+	if LogEdges(0, 10, 3) != nil || LogEdges(10, 5, 3) != nil || LogEdges(1, 10, 0) != nil {
+		t.Error("invalid LogEdges inputs should return nil")
+	}
+}
+
+func TestLinearEdges(t *testing.T) {
+	edges := LinearEdges(0, 100, 4)
+	want := []float64{0, 25, 50, 75, 100}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Errorf("edge %d = %v, want %v", i, edges[i], want[i])
+		}
+	}
+	if LinearEdges(5, 5, 2) != nil {
+		t.Error("degenerate range accepted")
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	keys := []float64{0.5, 1.5, 1.6, 5}
+	values := []float64{10, 20, 30, 40}
+	groups, err := GroupBy(keys, values, []float64{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups[0]) != 1 || groups[0][0] != 10 {
+		t.Errorf("group 0: %v", groups[0])
+	}
+	if len(groups[1]) != 3 { // 1.5, 1.6 and the clamped 5
+		t.Errorf("group 1: %v", groups[1])
+	}
+}
+
+func TestGroupByErrors(t *testing.T) {
+	if _, err := GroupBy([]float64{1}, []float64{1, 2}, []float64{0, 1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := GroupBy(nil, nil, []float64{0}); err == nil {
+		t.Error("single edge accepted")
+	}
+}

@@ -1,0 +1,188 @@
+// Package stats provides the descriptive statistics used throughout the
+// analysis: means, medians, percentiles, empirical CDFs/PDFs, histograms
+// with configurable binning, correlation coefficients, bootstrap confidence
+// intervals and Kolmogorov–Smirnov distances.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by statistics that are undefined on empty samples.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean, or NaN for an empty sample.
+func Mean(data []float64) float64 {
+	if len(data) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range data {
+		sum += v
+	}
+	return sum / float64(len(data))
+}
+
+// Variance returns the unbiased sample variance, or NaN for n < 2.
+func Variance(data []float64) float64 {
+	n := len(data)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(data)
+	ss := 0.0
+	for _, v := range data {
+		d := v - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(data []float64) float64 { return math.Sqrt(Variance(data)) }
+
+// CoefficientOfVariation returns StdDev/Mean; the paper uses it to contrast
+// repair-time variability across failure classes.
+func CoefficientOfVariation(data []float64) float64 {
+	m := Mean(data)
+	if m == 0 {
+		return math.NaN()
+	}
+	return StdDev(data) / m
+}
+
+// Median returns the 50th percentile.
+func Median(data []float64) float64 { return Percentile(data, 50) }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by linear
+// interpolation between closest ranks, or NaN for an empty sample.
+func Percentile(data []float64, p float64) float64 {
+	if len(data) == 0 || p < 0 || p > 100 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted is Percentile on an already-sorted sample.
+func percentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary bundles the location statistics every figure in the paper
+// reports: mean with the 25th and 75th percentiles.
+type Summary struct {
+	N            int
+	Mean, Median float64
+	P25, P75     float64
+	Min, Max     float64
+	StdDev       float64
+}
+
+// Summarize computes a Summary. The zero Summary (N == 0) means the sample
+// was empty.
+func Summarize(data []float64) Summary {
+	if len(data) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	return Summary{
+		N:      len(sorted),
+		Mean:   Mean(sorted),
+		Median: percentileSorted(sorted, 50),
+		P25:    percentileSorted(sorted, 25),
+		P75:    percentileSorted(sorted, 75),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		StdDev: StdDev(sorted),
+	}
+}
+
+// ECDF is an empirical cumulative distribution function.
+type ECDF struct {
+	xs []float64 // sorted sample
+}
+
+// NewECDF builds an ECDF from a sample. It returns ErrEmpty for an empty
+// sample.
+func NewECDF(data []float64) (*ECDF, error) {
+	if len(data) == 0 {
+		return nil, ErrEmpty
+	}
+	xs := append([]float64(nil), data...)
+	sort.Float64s(xs)
+	return &ECDF{xs: xs}, nil
+}
+
+// At returns the fraction of the sample <= x.
+func (e *ECDF) At(x float64) float64 {
+	idx := sort.SearchFloat64s(e.xs, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(e.xs))
+}
+
+// Quantile returns the empirical p-quantile, 0 <= p <= 1.
+func (e *ECDF) Quantile(p float64) float64 {
+	if p < 0 || p > 1 {
+		return math.NaN()
+	}
+	return percentileSorted(e.xs, p*100)
+}
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.xs) }
+
+// Points returns up to max (x, F(x)) pairs evenly spaced through the sorted
+// sample, suitable for plotting the CDF curves in Figs. 3, 4 and 6.
+func (e *ECDF) Points(max int) []Point {
+	n := len(e.xs)
+	if max <= 0 || max > n {
+		max = n
+	}
+	pts := make([]Point, 0, max)
+	for i := 0; i < max; i++ {
+		idx := i * (n - 1) / maxInt(max-1, 1)
+		pts = append(pts, Point{X: e.xs[idx], Y: float64(idx+1) / float64(n)})
+	}
+	return pts
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Point is a single (x, y) sample of a curve.
+type Point struct {
+	X, Y float64
+}
+
+// KSDistance returns the Kolmogorov–Smirnov statistic between the empirical
+// distribution and a theoretical CDF, sup |F_n(x) − F(x)|.
+func (e *ECDF) KSDistance(cdf func(float64) float64) float64 {
+	n := float64(len(e.xs))
+	d := 0.0
+	for i, x := range e.xs {
+		f := cdf(x)
+		lo := math.Abs(f - float64(i)/n)
+		hi := math.Abs(float64(i+1)/n - f)
+		d = math.Max(d, math.Max(lo, hi))
+	}
+	return d
+}

@@ -1,0 +1,257 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		data []float64
+		want float64
+	}{
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{5}, 5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.data); got != c.want {
+			t.Errorf("Mean(%v) = %v, want %v", c.data, got, c.want)
+		}
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	data := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(data); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7)
+	}
+	if got := StdDev(data); math.Abs(got-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("StdDev = %v", got)
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of single value should be NaN")
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	data := []float64{10, 10, 10, 10}
+	if got := CoefficientOfVariation(data); got != 0 {
+		t.Errorf("CoV of constants = %v", got)
+	}
+	if !math.IsNaN(CoefficientOfVariation([]float64{-1, 1})) {
+		t.Error("CoV with zero mean should be NaN")
+	}
+}
+
+func TestPercentileKnownValues(t *testing.T) {
+	data := []float64{15, 20, 35, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20}, {75, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(data, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	data := []float64{1, 2}
+	if got := Percentile(data, 50); got != 1.5 {
+		t.Errorf("Percentile(50) of {1,2} = %v, want 1.5", got)
+	}
+}
+
+func TestPercentileInvalid(t *testing.T) {
+	if !math.IsNaN(Percentile(nil, 50)) || !math.IsNaN(Percentile([]float64{1}, -1)) ||
+		!math.IsNaN(Percentile([]float64{1}, 101)) {
+		t.Error("invalid percentile inputs should yield NaN")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	data := []float64{3, 1, 2}
+	Percentile(data, 50)
+	if data[0] != 3 || data[1] != 1 || data[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileOrderingProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		data := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				data = append(data, v)
+			}
+		}
+		if len(data) == 0 {
+			return true
+		}
+		p1 := float64(a) / 255 * 100
+		p2 := float64(b) / 255 * 100
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return Percentile(data, p1) <= Percentile(data, p2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("bad summary: %+v", s)
+	}
+	if s.P25 != 2 || s.P75 != 4 {
+		t.Errorf("bad quartiles: %+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Errorf("empty summary N = %d", empty.N)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); got != c.want {
+			t.Errorf("ECDF.At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.N() != 4 {
+		t.Errorf("N = %d", e.N())
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	if _, err := NewECDF(nil); err == nil {
+		t.Fatal("NewECDF(nil) should fail")
+	}
+}
+
+func TestECDFProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		var data []float64
+		for _, v := range raw {
+			// Restrict to magnitudes where x±1 is representable; the
+			// analysis domain (days, hours, rates) is far inside this.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e15 {
+				data = append(data, v)
+			}
+		}
+		if len(data) == 0 {
+			return true
+		}
+		e, err := NewECDF(data)
+		if err != nil {
+			return false
+		}
+		sorted := append([]float64(nil), data...)
+		sort.Float64s(sorted)
+		// monotone and bounded
+		prev := 0.0
+		for _, x := range sorted {
+			v := e.At(x)
+			if v < prev-1e-12 || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		// below the min the CDF is 0, at the max it is 1
+		return e.At(sorted[0]-1) == 0 && e.At(sorted[len(sorted)-1]) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	e, _ := NewECDF([]float64{10, 20, 30, 40, 50})
+	if got := e.Quantile(0.5); got != 30 {
+		t.Errorf("Quantile(0.5) = %v", got)
+	}
+	if !math.IsNaN(e.Quantile(-0.1)) {
+		t.Error("Quantile(-0.1) should be NaN")
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e, _ := NewECDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	pts := e.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0].X != 1 || pts[len(pts)-1].X != 10 {
+		t.Errorf("points do not span the sample: %v", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y {
+			t.Errorf("points not monotone: %v", pts)
+		}
+	}
+	if got := e.Points(0); len(got) != 10 {
+		t.Errorf("Points(0) should return all points, got %d", len(got))
+	}
+}
+
+func TestKSDistanceSelf(t *testing.T) {
+	// KS distance of a sample against its own empirical CDF is ≤ 1/n.
+	data := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	e, _ := NewECDF(data)
+	d := e.KSDistance(func(x float64) float64 { return e.At(x) })
+	if d > 1.0/8+1e-12 {
+		t.Errorf("self KS distance %v", d)
+	}
+}
+
+func TestKSDistanceUniform(t *testing.T) {
+	// A perfectly spaced sample against its generating uniform CDF.
+	n := 1000
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = (float64(i) + 0.5) / float64(n)
+	}
+	e, _ := NewECDF(data)
+	d := e.KSDistance(func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	})
+	if d > 0.001 {
+		t.Errorf("uniform KS distance %v", d)
+	}
+}
+
+func TestMedianDirect(t *testing.T) {
+	if got := Median([]float64{9, 1, 5}); got != 5 {
+		t.Errorf("Median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even Median = %v", got)
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("Median(nil) should be NaN")
+	}
+}

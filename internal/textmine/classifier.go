@@ -1,0 +1,216 @@
+package textmine
+
+import (
+	"fmt"
+	"math"
+
+	"failscope/internal/xrand"
+)
+
+// Classifier assigns integer labels to documents by nearest k-means
+// centroid, with each cluster labeled by the majority ground-truth label of
+// a (possibly small) manually labeled subset — the "manual labeling and
+// k-means clustering ... in a best-effort manner" procedure of §III.A.
+type Classifier struct {
+	vocab     *Vocabulary
+	centroids [][]float64
+	norms     []float64 // squared norms of centroids, cached for Predict
+	labels    []int     // label per centroid
+}
+
+// TrainOptions controls classifier training.
+type TrainOptions struct {
+	Clusters int // number of k-means clusters; ≥ number of distinct labels
+	MaxIter  int // Lloyd iteration cap
+	MinDocs  int // vocabulary document-frequency floor
+	// LabeledFraction is the fraction of training documents whose ground
+	// truth is consulted when labeling clusters, simulating the limited
+	// manual labeling effort. 1.0 uses every label.
+	LabeledFraction float64
+	// BalancedVotes weights cluster-labeling votes by inverse class
+	// frequency so that rare classes (hardware, network) can claim the
+	// clusters they dominate relatively, instead of being outvoted by the
+	// bulk classes everywhere.
+	BalancedVotes bool
+}
+
+// DefaultTrainOptions mirrors the paper's setup: more clusters than
+// classes so heterogeneous phrasing can split, full manual check.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{Clusters: 64, MaxIter: 60, MinDocs: 2, LabeledFraction: 1.0, BalancedVotes: true}
+}
+
+// Train builds a classifier from documents and their ground-truth labels.
+func Train(texts []string, labels []int, opts TrainOptions, r *xrand.RNG) (*Classifier, error) {
+	if len(texts) != len(labels) {
+		return nil, fmt.Errorf("textmine: %d texts but %d labels", len(texts), len(labels))
+	}
+	if len(texts) == 0 {
+		return nil, ErrNoData
+	}
+	docs := make([][]string, len(texts))
+	for i, t := range texts {
+		docs[i] = Tokenize(t)
+	}
+	vocab := BuildVocabulary(docs, opts.MinDocs)
+	vectors := make([]SparseVector, len(docs))
+	for i, d := range docs {
+		vectors[i] = vocab.Vectorize(d)
+	}
+	k := opts.Clusters
+	if k > len(vectors) {
+		k = len(vectors)
+	}
+	res, err := KMeans(vectors, vocab.Size(), k, opts.MaxIter, r)
+	if err != nil {
+		return nil, err
+	}
+
+	// Majority-vote label per cluster over the manually labeled subset.
+	frac := opts.LabeledFraction
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+	votes := make([]map[int]float64, k)
+	for c := range votes {
+		votes[c] = make(map[int]float64)
+	}
+	classFreq := make(map[int]int)
+	for _, l := range labels {
+		classFreq[l]++
+	}
+	weight := func(lbl int) float64 {
+		if !opts.BalancedVotes || classFreq[lbl] == 0 {
+			return 1
+		}
+		return 1 / math.Sqrt(float64(classFreq[lbl]))
+	}
+	for i, c := range res.Assignments {
+		if frac < 1 && r.Float64() >= frac {
+			continue
+		}
+		votes[c][labels[i]] += weight(labels[i])
+	}
+	clusterLabels := make([]int, k)
+	globalMajority := majorityLabel(labels)
+	for c := range votes {
+		best, bestN := globalMajority, -1.0
+		for lbl, n := range votes[c] {
+			if n > bestN || (n == bestN && lbl < best) {
+				best, bestN = lbl, n
+			}
+		}
+		clusterLabels[c] = best
+	}
+	norms := make([]float64, len(res.Centroids))
+	for i, c := range res.Centroids {
+		for _, v := range c {
+			norms[i] += v * v
+		}
+	}
+	return &Classifier{vocab: vocab, centroids: res.Centroids, norms: norms, labels: clusterLabels}, nil
+}
+
+func majorityLabel(labels []int) int {
+	counts := make(map[int]int)
+	for _, l := range labels {
+		counts[l]++
+	}
+	best, bestN := 0, -1
+	for lbl, n := range counts {
+		if n > bestN || (n == bestN && lbl < best) {
+			best, bestN = lbl, n
+		}
+	}
+	return best
+}
+
+// Predict returns the label of the nearest centroid.
+func (c *Classifier) Predict(text string) int {
+	vec := c.vocab.Vectorize(Tokenize(text))
+	best, bestDist := 0, math.Inf(1)
+	for i, centroid := range c.centroids {
+		d := 1 + c.norms[i] - 2*vec.Dot(centroid)
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return c.labels[best]
+}
+
+// ConfusionMatrix tabulates predictions against ground truth.
+type ConfusionMatrix struct {
+	Labels []int
+	Counts map[[2]int]int // [truth, predicted] -> count
+	Total  int
+	Hits   int
+}
+
+// Evaluate scores the classifier on a labeled test set.
+func (c *Classifier) Evaluate(texts []string, truth []int) (*ConfusionMatrix, error) {
+	if len(texts) != len(truth) {
+		return nil, fmt.Errorf("textmine: %d texts but %d labels", len(texts), len(truth))
+	}
+	cm := &ConfusionMatrix{Counts: make(map[[2]int]int)}
+	seen := make(map[int]bool)
+	for i, t := range texts {
+		pred := c.Predict(t)
+		cm.Counts[[2]int{truth[i], pred}]++
+		cm.Total++
+		if pred == truth[i] {
+			cm.Hits++
+		}
+		if !seen[truth[i]] {
+			seen[truth[i]] = true
+			cm.Labels = append(cm.Labels, truth[i])
+		}
+		if !seen[pred] {
+			seen[pred] = true
+			cm.Labels = append(cm.Labels, pred)
+		}
+	}
+	sortInts(cm.Labels)
+	return cm, nil
+}
+
+// Accuracy returns the fraction of correct predictions.
+func (cm *ConfusionMatrix) Accuracy() float64 {
+	if cm.Total == 0 {
+		return math.NaN()
+	}
+	return float64(cm.Hits) / float64(cm.Total)
+}
+
+// Recall returns the per-label recall; NaN when the label never occurs.
+func (cm *ConfusionMatrix) Recall(label int) float64 {
+	total, hit := 0, 0
+	for key, n := range cm.Counts {
+		if key[0] == label {
+			total += n
+			if key[1] == label {
+				hit += n
+			}
+		}
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(hit) / float64(total)
+}
+
+// Precision returns the per-label precision; NaN when never predicted.
+func (cm *ConfusionMatrix) Precision(label int) float64 {
+	total, hit := 0, 0
+	for key, n := range cm.Counts {
+		if key[1] == label {
+			total += n
+			if key[0] == label {
+				hit += n
+			}
+		}
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(hit) / float64(total)
+}

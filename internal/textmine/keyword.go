@@ -1,0 +1,63 @@
+package textmine
+
+// KeywordRule scores a document for one label by counting keyword hits.
+type KeywordRule struct {
+	Label    int
+	Keywords []string
+}
+
+// KeywordClassifier is the rule-based baseline the k-means pipeline is
+// ablated against: label by the rule with the most keyword hits, falling
+// back to Default when nothing matches. It represents the "grep the ticket
+// text" approach an operator would hand-write.
+type KeywordClassifier struct {
+	Rules   []KeywordRule
+	Default int
+}
+
+// Predict labels one document.
+func (k *KeywordClassifier) Predict(text string) int {
+	tokens := Tokenize(text)
+	set := make(map[string]bool, len(tokens))
+	for _, tok := range tokens {
+		set[tok] = true
+	}
+	best, bestHits := k.Default, 0
+	for _, rule := range k.Rules {
+		hits := 0
+		for _, kw := range rule.Keywords {
+			if set[kw] {
+				hits++
+			}
+		}
+		if hits > bestHits {
+			best, bestHits = rule.Label, hits
+		}
+	}
+	return best
+}
+
+// Evaluate scores the classifier on a labeled set.
+func (k *KeywordClassifier) Evaluate(texts []string, truth []int) (*ConfusionMatrix, error) {
+	if len(texts) != len(truth) {
+		return nil, ErrNoData
+	}
+	cm := &ConfusionMatrix{Counts: make(map[[2]int]int)}
+	seen := make(map[int]bool)
+	for i, t := range texts {
+		pred := k.Predict(t)
+		cm.Counts[[2]int{truth[i], pred}]++
+		cm.Total++
+		if pred == truth[i] {
+			cm.Hits++
+		}
+		for _, l := range []int{truth[i], pred} {
+			if !seen[l] {
+				seen[l] = true
+				cm.Labels = append(cm.Labels, l)
+			}
+		}
+	}
+	sortInts(cm.Labels)
+	return cm, nil
+}

@@ -1,0 +1,51 @@
+package textmine
+
+import "testing"
+
+func testKeywordClassifier() *KeywordClassifier {
+	return &KeywordClassifier{
+		Default: 0,
+		Rules: []KeywordRule{
+			{Label: 1, Keywords: []string{"disk", "psu", "raid"}},
+			{Label: 2, Keywords: []string{"switch", "vlan", "nic"}},
+		},
+	}
+}
+
+func TestKeywordPredict(t *testing.T) {
+	k := testKeywordClassifier()
+	if got := k.Predict("replaced faulty disk and raid battery"); got != 1 {
+		t.Errorf("hardware text labeled %d", got)
+	}
+	if got := k.Predict("switch port flapping, vlan wrong"); got != 2 {
+		t.Errorf("network text labeled %d", got)
+	}
+	if got := k.Predict("password reset for user"); got != 0 {
+		t.Errorf("background text labeled %d", got)
+	}
+}
+
+func TestKeywordTieGoesToFirstBest(t *testing.T) {
+	k := testKeywordClassifier()
+	// One hit each: the first rule reaching the max wins deterministically.
+	if got := k.Predict("disk near the switch"); got != 1 {
+		t.Errorf("tie resolved to %d", got)
+	}
+}
+
+func TestKeywordEvaluate(t *testing.T) {
+	k := testKeywordClassifier()
+	cm, err := k.Evaluate(
+		[]string{"disk failed", "vlan broken", "hello world"},
+		[]int{1, 2, 0},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Accuracy() != 1.0 {
+		t.Errorf("accuracy %v", cm.Accuracy())
+	}
+	if _, err := k.Evaluate([]string{"x"}, []int{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

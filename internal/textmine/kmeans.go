@@ -1,0 +1,151 @@
+package textmine
+
+import (
+	"errors"
+	"math"
+
+	"failscope/internal/xrand"
+)
+
+// ErrNoData is returned when clustering is attempted on an empty corpus.
+var ErrNoData = errors.New("textmine: no documents to cluster")
+
+// KMeansResult is the outcome of one clustering run.
+type KMeansResult struct {
+	Assignments []int       // cluster index per document
+	Centroids   [][]float64 // dense centroids, unit space
+	Inertia     float64     // sum of squared distances to assigned centroid
+	Iterations  int
+}
+
+// KMeans clusters unit-normalized sparse vectors into k clusters using
+// k-means++ seeding and Lloyd iterations. Because the vectors are unit
+// length, squared Euclidean distance is 2 − 2·cosine, so this is spherical
+// k-means in effect — the standard choice for TF-IDF ticket text.
+func KMeans(vectors []SparseVector, dim, k, maxIter int, r *xrand.RNG) (*KMeansResult, error) {
+	n := len(vectors)
+	if n == 0 {
+		return nil, ErrNoData
+	}
+	if k <= 0 || k > n {
+		return nil, errors.New("textmine: k out of range")
+	}
+
+	centroids := seedPlusPlus(vectors, dim, k, r)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	var inertia float64
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		changed := false
+		inertia = 0
+		cNorm2 := make([]float64, k)
+		for c := range centroids {
+			for _, v := range centroids[c] {
+				cNorm2[c] += v * v
+			}
+		}
+		for i, vec := range vectors {
+			best, bestDist := -1, math.Inf(1)
+			for c := range centroids {
+				// ||x - c||^2 = ||x||^2 + ||c||^2 - 2 x·c, with ||x|| = 1.
+				d := 1 + cNorm2[c] - 2*vec.Dot(centroids[c])
+				if d < bestDist {
+					best, bestDist = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+			inertia += bestDist
+		}
+		if !changed {
+			break
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		for c := range centroids {
+			for j := range centroids[c] {
+				centroids[c][j] = 0
+			}
+		}
+		for i, vec := range vectors {
+			vec.AddTo(centroids[assign[i]])
+			counts[assign[i]]++
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random document.
+				copyInto(centroids[c], vectors[r.Intn(n)], dim)
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			for j := range centroids[c] {
+				centroids[c][j] *= inv
+			}
+		}
+	}
+	return &KMeansResult{Assignments: assign, Centroids: centroids, Inertia: inertia, Iterations: iter}, nil
+}
+
+func copyInto(dst []float64, src SparseVector, dim int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	src.AddTo(dst)
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ D² weighting.
+func seedPlusPlus(vectors []SparseVector, dim, k int, r *xrand.RNG) [][]float64 {
+	n := len(vectors)
+	centroids := make([][]float64, 0, k)
+	first := make([]float64, dim)
+	copyInto(first, vectors[r.Intn(n)], dim)
+	centroids = append(centroids, first)
+
+	dist2 := make([]float64, n)
+	for i := range dist2 {
+		dist2[i] = math.Inf(1)
+	}
+	for len(centroids) < k {
+		last := centroids[len(centroids)-1]
+		var lastNorm2 float64
+		for _, v := range last {
+			lastNorm2 += v * v
+		}
+		total := 0.0
+		for i, vec := range vectors {
+			d := 1 + lastNorm2 - 2*vec.Dot(last)
+			if d < 0 {
+				d = 0
+			}
+			if d < dist2[i] {
+				dist2[i] = d
+			}
+			total += dist2[i]
+		}
+		var pick int
+		if total <= 0 {
+			pick = r.Intn(n)
+		} else {
+			target := r.Float64() * total
+			acc := 0.0
+			pick = n - 1
+			for i, d := range dist2 {
+				acc += d
+				if target < acc {
+					pick = i
+					break
+				}
+			}
+		}
+		c := make([]float64, dim)
+		copyInto(c, vectors[pick], dim)
+		centroids = append(centroids, c)
+	}
+	return centroids
+}

@@ -1,0 +1,73 @@
+package textmine
+
+import "math"
+
+// SparseVector is a sparse feature vector with unit-normalization support.
+type SparseVector struct {
+	Idx []int
+	Val []float64
+}
+
+// Norm returns the Euclidean norm.
+func (s SparseVector) Norm() float64 {
+	ss := 0.0
+	for _, v := range s.Val {
+		ss += v * v
+	}
+	return math.Sqrt(ss)
+}
+
+// Vectorize converts a tokenized document to a unit-normalized TF-IDF
+// sparse vector over the vocabulary. Unknown tokens are ignored.
+func (v *Vocabulary) Vectorize(doc []string) SparseVector {
+	counts := make(map[int]float64)
+	for _, tok := range doc {
+		if idx, ok := v.Index[tok]; ok {
+			counts[idx]++
+		}
+	}
+	vec := SparseVector{
+		Idx: make([]int, 0, len(counts)),
+		Val: make([]float64, 0, len(counts)),
+	}
+	for idx := range counts {
+		vec.Idx = append(vec.Idx, idx)
+	}
+	// Deterministic ordering keeps clustering reproducible.
+	sortInts(vec.Idx)
+	for _, idx := range vec.Idx {
+		tf := counts[idx]
+		idf := math.Log(float64(v.Docs+1)/float64(v.DocFreq[idx]+1)) + 1
+		vec.Val = append(vec.Val, tf*idf)
+	}
+	if n := vec.Norm(); n > 0 {
+		for i := range vec.Val {
+			vec.Val[i] /= n
+		}
+	}
+	return vec
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Dot returns the dot product of a sparse vector with a dense vector.
+func (s SparseVector) Dot(dense []float64) float64 {
+	sum := 0.0
+	for i, idx := range s.Idx {
+		sum += s.Val[i] * dense[idx]
+	}
+	return sum
+}
+
+// AddTo accumulates the sparse vector into a dense vector.
+func (s SparseVector) AddTo(dense []float64) {
+	for i, idx := range s.Idx {
+		dense[idx] += s.Val[i]
+	}
+}

@@ -1,0 +1,88 @@
+// Package textmine implements the ticket-text mining of §III.A: a
+// tokenizer and TF-IDF vectorizer over ticket description/resolution text,
+// k-means++ clustering (Lloyd's algorithm), and a cluster-to-label
+// classifier whose accuracy is scored against ground truth exactly the way
+// the paper reports its 87% classification accuracy.
+package textmine
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// stopwords are high-frequency English and ticket-boilerplate terms that
+// carry no class signal.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "by": true, "for": true, "from": true, "has": true,
+	"in": true, "is": true, "it": true, "its": true, "of": true, "on": true,
+	"or": true, "that": true, "the": true, "this": true, "to": true,
+	"was": true, "were": true, "will": true, "with": true, "after": true,
+	"before": true, "per": true, "ticket": true, "issue": true,
+	"please": true, "team": true,
+}
+
+// Tokenize lower-cases text, splits on non-alphanumeric runes and drops
+// stopwords and single-character tokens.
+func Tokenize(text string) []string {
+	fields := strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+	out := fields[:0]
+	for _, f := range fields {
+		if len(f) < 2 || stopwords[f] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Vocabulary maps tokens to dense feature indices with document
+// frequencies, enabling TF-IDF weighting.
+type Vocabulary struct {
+	Index   map[string]int
+	Tokens  []string
+	DocFreq []int
+	Docs    int
+}
+
+// BuildVocabulary scans tokenized documents and returns a vocabulary of
+// tokens that appear in at least minDocs documents (noise filtering).
+func BuildVocabulary(docs [][]string, minDocs int) *Vocabulary {
+	if minDocs < 1 {
+		minDocs = 1
+	}
+	df := make(map[string]int)
+	for _, doc := range docs {
+		seen := make(map[string]bool, len(doc))
+		for _, tok := range doc {
+			if !seen[tok] {
+				seen[tok] = true
+				df[tok]++
+			}
+		}
+	}
+	tokens := make([]string, 0, len(df))
+	for tok, n := range df {
+		if n >= minDocs {
+			tokens = append(tokens, tok)
+		}
+	}
+	sort.Strings(tokens)
+	v := &Vocabulary{
+		Index:   make(map[string]int, len(tokens)),
+		Tokens:  tokens,
+		DocFreq: make([]int, len(tokens)),
+		Docs:    len(docs),
+	}
+	for i, tok := range tokens {
+		v.Index[tok] = i
+		v.DocFreq[i] = df[tok]
+	}
+	return v
+}
+
+// Size returns the number of features.
+func (v *Vocabulary) Size() int { return len(v.Tokens) }

@@ -1,0 +1,115 @@
+package ticketdb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"failscope/internal/model"
+)
+
+// Store is an in-memory ticket database with the query surface the
+// collection pipeline needs: by server, by time range, by crash flag.
+// It is safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	tickets []model.Ticket
+	nextID  int
+}
+
+// NewStore returns an empty ticket store.
+func NewStore() *Store { return &Store{} }
+
+// Append adds a ticket, assigning it a sequential ID if it has none, and
+// returns the stored ticket.
+func (s *Store) Append(t model.Ticket) model.Ticket {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.ID == "" {
+		s.nextID++
+		t.ID = fmt.Sprintf("T%07d", s.nextID)
+	}
+	s.tickets = append(s.tickets, t)
+	return t
+}
+
+// Len returns the number of stored tickets.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.tickets)
+}
+
+// All returns every ticket, time-sorted. The slice is a copy.
+func (s *Store) All() []model.Ticket {
+	s.mu.RLock()
+	out := append([]model.Ticket(nil), s.tickets...)
+	s.mu.RUnlock()
+	sortByOpen(out)
+	return out
+}
+
+// InWindow returns tickets opened within the window, time-sorted.
+func (s *Store) InWindow(w model.Window) []model.Ticket {
+	s.mu.RLock()
+	var out []model.Ticket
+	for _, t := range s.tickets {
+		if w.Contains(t.Opened) {
+			out = append(out, t)
+		}
+	}
+	s.mu.RUnlock()
+	sortByOpen(out)
+	return out
+}
+
+// ForServer returns the tickets of one server, time-sorted.
+func (s *Store) ForServer(id model.MachineID) []model.Ticket {
+	s.mu.RLock()
+	var out []model.Ticket
+	for _, t := range s.tickets {
+		if t.ServerID == id {
+			out = append(out, t)
+		}
+	}
+	s.mu.RUnlock()
+	sortByOpen(out)
+	return out
+}
+
+// Crashes returns the crash tickets (ground truth flag), time-sorted.
+func (s *Store) Crashes() []model.Ticket {
+	s.mu.RLock()
+	var out []model.Ticket
+	for _, t := range s.tickets {
+		if t.IsCrash {
+			out = append(out, t)
+		}
+	}
+	s.mu.RUnlock()
+	sortByOpen(out)
+	return out
+}
+
+func sortByOpen(ts []model.Ticket) {
+	sort.Slice(ts, func(i, j int) bool {
+		if !ts[i].Opened.Equal(ts[j].Opened) {
+			return ts[i].Opened.Before(ts[j].Opened)
+		}
+		return ts[i].ID < ts[j].ID
+	})
+}
+
+// CountOpenedBetween returns how many tickets opened in [from, to).
+func (s *Store) CountOpenedBetween(from, to time.Time) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, t := range s.tickets {
+		if !t.Opened.Before(from) && t.Opened.Before(to) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,256 @@
+// Package xrand provides a deterministic, seedable pseudo-random number
+// generator together with the distribution samplers the failure simulator
+// needs. Every experiment in this repository is reproducible from a single
+// 64-bit seed: the generator is xoshiro256** seeded through SplitMix64, and
+// independent substreams are derived with Split so that adding samples to
+// one component of the simulation does not perturb another.
+//
+// The package deliberately does not use math/rand: the simulator needs
+// stable streams across Go releases and cheap, collision-free substream
+// derivation, neither of which math/rand guarantees.
+package xrand
+
+import "math"
+
+// RNG is a xoshiro256** pseudo-random number generator. The zero value is
+// not usable; construct one with New.
+type RNG struct {
+	s [4]uint64
+
+	// spare/hasSpare cache the second variate produced by the polar
+	// normal sampler in Norm.
+	spare    float64
+	hasSpare bool
+}
+
+// New returns a generator seeded from seed via SplitMix64, which guarantees
+// a well-mixed non-zero internal state for any seed, including zero.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Split derives an independent substream labeled by label. Two substreams
+// with different labels (or derived from generators in different states)
+// produce statistically independent sequences.
+func (r *RNG) Split(label uint64) *RNG {
+	return New(r.Uint64() ^ (label * 0xd1342543de82ef95))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// OpenFloat64 returns a uniform value in (0, 1), never exactly zero, which
+// is what logarithm-based samplers require.
+func (r *RNG) OpenFloat64() float64 {
+	for {
+		v := r.Float64()
+		if v > 0 {
+			return v
+		}
+	}
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0, mirroring
+// math/rand semantics, because a non-positive bound is a programming error.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	bound := uint64(n)
+	x := r.Uint64()
+	hi, lo := mul64(x, bound)
+	if lo < bound {
+		threshold := (-bound) % bound
+		for lo < threshold {
+			x = r.Uint64()
+			hi, lo = mul64(x, bound)
+		}
+	}
+	return int(hi)
+}
+
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo*bHi + (aLo*bLo)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += aHi * bLo
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Norm returns a standard normal variate using the Marsaglia polar method.
+func (r *RNG) Norm() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		m := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * m
+		r.hasSpare = true
+		return u * m
+	}
+}
+
+// Exp returns an exponential variate with the given rate (mean 1/rate).
+func (r *RNG) Exp(rate float64) float64 {
+	return -math.Log(r.OpenFloat64()) / rate
+}
+
+// Gamma returns a Gamma(shape, scale) variate (mean shape*scale) using the
+// Marsaglia–Tsang squeeze method, with the Ahrens boost for shape < 1.
+func (r *RNG) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("xrand: Gamma with non-positive parameter")
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := r.OpenFloat64()
+		return r.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = r.Norm()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := r.OpenFloat64()
+		if u < 1-0.0331*x*x*x*x {
+			return scale * d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return scale * d * v
+		}
+	}
+}
+
+// Weibull returns a Weibull(shape, scale) variate by inversion.
+func (r *RNG) Weibull(shape, scale float64) float64 {
+	return scale * math.Pow(-math.Log(r.OpenFloat64()), 1/shape)
+}
+
+// LogNormal returns exp(N(mu, sigma)).
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.Norm())
+}
+
+// Poisson returns a Poisson(lambda) variate. Knuth multiplication for small
+// lambda; normal approximation with continuity correction for large lambda,
+// which is ample for event-count generation in the simulator.
+func (r *RNG) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	for {
+		v := math.Round(lambda + math.Sqrt(lambda)*r.Norm())
+		if v >= 0 {
+			return int(v)
+		}
+	}
+}
+
+// Categorical returns an index sampled according to the given non-negative
+// weights. It panics if all weights are zero or any is negative.
+func (r *RNG) Categorical(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("xrand: Categorical with negative or NaN weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("xrand: Categorical with zero total weight")
+	}
+	target := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if target < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle randomizes the order of n elements using the provided swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// Pareto returns a Pareto(xm, alpha) variate; used for long-tailed incident
+// fan-out sizes.
+func (r *RNG) Pareto(xm, alpha float64) float64 {
+	return xm / math.Pow(r.OpenFloat64(), 1/alpha)
+}

@@ -1,0 +1,289 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(123), New(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverge at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between different seeds", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("zero-seeded generator produced duplicates: %d distinct", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	s1 := root.Split(1)
+	s2 := root.Split(2)
+	same := 0
+	for i := 0; i < 200; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("substreams collide %d times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpenFloat64Positive(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		if v := r.OpenFloat64(); v <= 0 || v >= 1 {
+			t.Fatalf("OpenFloat64 out of (0,1): %v", v)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		bound := int(n%1000) + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(bound)
+			if v < 0 || v >= bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(5)
+	const n, iters = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < iters; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(iters) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d far from %f", i, c, want)
+		}
+	}
+}
+
+// moments checks a sampler's empirical mean and variance against theory.
+func moments(t *testing.T, name string, sample func(*RNG) float64, wantMean, wantVar float64) {
+	t.Helper()
+	r := New(99)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := sample(r)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean-wantMean) > 0.05*math.Max(1, math.Abs(wantMean)) {
+		t.Errorf("%s: mean %.4f, want %.4f", name, mean, wantMean)
+	}
+	if math.Abs(variance-wantVar) > 0.10*math.Max(1, wantVar) {
+		t.Errorf("%s: var %.4f, want %.4f", name, variance, wantVar)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	moments(t, "norm", func(r *RNG) float64 { return r.Norm() }, 0, 1)
+}
+
+func TestExpMoments(t *testing.T) {
+	moments(t, "exp", func(r *RNG) float64 { return r.Exp(2) }, 0.5, 0.25)
+}
+
+func TestGammaMoments(t *testing.T) {
+	moments(t, "gamma(3,2)", func(r *RNG) float64 { return r.Gamma(3, 2) }, 6, 12)
+	moments(t, "gamma(0.5,1)", func(r *RNG) float64 { return r.Gamma(0.5, 1) }, 0.5, 0.5)
+}
+
+func TestWeibullMoments(t *testing.T) {
+	// Weibull(2, 1): mean = Γ(1.5) ≈ 0.8862, var = Γ(2) − Γ(1.5)² ≈ 0.2146.
+	moments(t, "weibull(2,1)", func(r *RNG) float64 { return r.Weibull(2, 1) }, 0.8862, 0.2146)
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	// LogNormal(0, 0.5): mean = e^{0.125} ≈ 1.1331.
+	mean := math.Exp(0.125)
+	variance := (math.Exp(0.25) - 1) * math.Exp(0.25)
+	moments(t, "lognormal(0,0.5)", func(r *RNG) float64 { return r.LogNormal(0, 0.5) }, mean, variance)
+}
+
+func TestPoissonMoments(t *testing.T) {
+	moments(t, "poisson(4)", func(r *RNG) float64 { return float64(r.Poisson(4)) }, 4, 4)
+	moments(t, "poisson(50)", func(r *RNG) float64 { return float64(r.Poisson(50)) }, 50, 50)
+}
+
+func TestPoissonZeroLambda(t *testing.T) {
+	if got := New(1).Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", got)
+	}
+}
+
+func TestGammaPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gamma(0, 1) did not panic")
+		}
+	}()
+	New(1).Gamma(0, 1)
+}
+
+func TestCategorical(t *testing.T) {
+	r := New(3)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const iters = 40000
+	for i := 0; i < iters; i++ {
+		counts[r.Categorical(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight category sampled %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Errorf("weight-3 vs weight-1 ratio %.2f, want ~3", ratio)
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	for _, weights := range [][]float64{{0, 0}, {-1, 2}, {}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Categorical(%v) did not panic", weights)
+				}
+			}()
+			New(1).Categorical(weights)
+		}()
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		size := int(n%50) + 1
+		p := New(seed).Perm(size)
+		if len(p) != size {
+			return false
+		}
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := New(9)
+	data := []int{1, 2, 3, 4, 5, 6, 7}
+	sum := 0
+	r.Shuffle(len(data), func(i, j int) { data[i], data[j] = data[j], data[i] })
+	for _, v := range data {
+		sum += v
+	}
+	if sum != 28 {
+		t.Fatalf("shuffle lost elements: sum %d", sum)
+	}
+}
+
+func TestParetoAboveMinimum(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10000; i++ {
+		if v := r.Pareto(2, 1.5); v < 2 {
+			t.Fatalf("Pareto(2, 1.5) produced %v < xm", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(17)
+	hits := 0
+	const iters = 100000
+	for i := 0; i < iters; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / iters
+	if p < 0.29 || p > 0.31 {
+		t.Fatalf("Bool(0.3) hit rate %.4f", p)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkGamma(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Gamma(0.5, 2)
+	}
+}
