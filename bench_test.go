@@ -532,6 +532,114 @@ func BenchmarkGenerate(b *testing.B) {
 	}
 }
 
+// --- Parallel pipeline benchmarks ---------------------------------------
+//
+// Every stage produces byte-identical output at any worker count (see
+// TestParallelStudyByteIdentical), so these measure pure speedup: the
+// _Parallel1 variants are the sequential reference, _Parallel4 a fixed
+// four-worker pool, _ParallelMax one worker per CPU.
+
+func benchStudyRun(b *testing.B, parallelism int) {
+	b.Helper()
+	study := SmallStudy().WithParallelism(parallelism)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := study.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStudyRun_Parallel1(b *testing.B)   { benchStudyRun(b, 1) }
+func BenchmarkStudyRun_Parallel4(b *testing.B)   { benchStudyRun(b, 4) }
+func BenchmarkStudyRun_ParallelMax(b *testing.B) { benchStudyRun(b, 0) }
+
+func benchGenerateParallel(b *testing.B, parallelism int) {
+	b.Helper()
+	cfg := dcsim.SmallConfig()
+	cfg.Parallelism = parallelism
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dcsim.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerate_Parallel1(b *testing.B)   { benchGenerateParallel(b, 1) }
+func BenchmarkGenerate_Parallel4(b *testing.B)   { benchGenerateParallel(b, 4) }
+func BenchmarkGenerate_ParallelMax(b *testing.B) { benchGenerateParallel(b, 0) }
+
+// smallField caches a small-scale field dataset for the stage benchmarks.
+var (
+	smallFieldOnce sync.Once
+	smallFieldOut  *dcsim.Output
+	smallFieldErr  error
+)
+
+func smallField(b *testing.B) *dcsim.Output {
+	b.Helper()
+	smallFieldOnce.Do(func() {
+		smallFieldOut, smallFieldErr = dcsim.Generate(dcsim.SmallConfig())
+	})
+	if smallFieldErr != nil {
+		b.Fatal(smallFieldErr)
+	}
+	return smallFieldOut
+}
+
+// benchKMeans measures the clustering kernel on the real ticket corpus.
+func benchKMeans(b *testing.B, parallelism int) {
+	b.Helper()
+	out := smallField(b)
+	cfg := dcsim.SmallConfig()
+	tickets := out.Tickets.InWindow(cfg.Observation)
+	docs := make([][]string, len(tickets))
+	for i, t := range tickets {
+		docs[i] = textmine.Tokenize(t.Description + " " + t.Resolution)
+	}
+	vocab := textmine.BuildVocabulary(docs, 2)
+	vectors := make([]textmine.SparseVector, len(docs))
+	for i, d := range docs {
+		vectors[i] = vocab.Vectorize(d)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := textmine.KMeansParallel(vectors, vocab.Size(), 32, 20, xrand.New(1), parallelism); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKMeans_Parallel1(b *testing.B)   { benchKMeans(b, 1) }
+func BenchmarkKMeans_Parallel4(b *testing.B)   { benchKMeans(b, 4) }
+func BenchmarkKMeans_ParallelMax(b *testing.B) { benchKMeans(b, 0) }
+
+// benchJoin measures the collection pipeline without classification — the
+// monitoring join dominates.
+func benchJoin(b *testing.B, parallelism int) {
+	b.Helper()
+	out := smallField(b)
+	cfg := dcsim.SmallConfig()
+	opts := ingest.DefaultOptions(cfg.Observation, cfg.FineWindow)
+	opts.SkipClassification = true
+	opts.Parallelism = parallelism
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ingest.Collect(out.Data, out.Tickets, out.Monitor, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoin_Parallel1(b *testing.B)   { benchJoin(b, 1) }
+func BenchmarkJoin_Parallel4(b *testing.B)   { benchJoin(b, 4) }
+func BenchmarkJoin_ParallelMax(b *testing.B) { benchJoin(b, 0) }
+
 func BenchmarkCollect(b *testing.B) {
 	cfg := dcsim.PaperConfig()
 	out, err := dcsim.Generate(cfg)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dcgen [-seed N] [-scale small|paper] [-o dataset.jsonl] [-monitor monitor.jsonl]
+//	dcgen [-seed N] [-scale small|paper] [-parallelism P] [-o dataset.jsonl] [-monitor monitor.jsonl]
 package main
 
 import (
@@ -25,10 +25,11 @@ func main() {
 
 func run() error {
 	var (
-		seed    = flag.Uint64("seed", 0, "generator seed (0 keeps the calibrated default)")
-		scale   = flag.String("scale", "paper", "dataset scale: paper (~10K machines) or small (~1.2K)")
-		out     = flag.String("o", "dataset.jsonl", "output path (- for stdout)")
-		monitor = flag.String("monitor", "", "also write the monitoring database to this path")
+		seed     = flag.Uint64("seed", 0, "generator seed (0 keeps the calibrated default)")
+		scale    = flag.String("scale", "paper", "dataset scale: paper (~10K machines) or small (~1.2K)")
+		out      = flag.String("o", "dataset.jsonl", "output path (- for stdout)")
+		monitor  = flag.String("monitor", "", "also write the monitoring database to this path")
+		parallel = flag.Int("parallelism", 0, "worker count (0 = all CPUs, 1 = sequential; output is identical)")
 	)
 	flag.Parse()
 
@@ -44,6 +45,7 @@ func run() error {
 	if *seed != 0 {
 		study.Generator.Seed = *seed
 	}
+	study.Generator.Parallelism = *parallel
 
 	field, err := failscope.Generate(study.Generator)
 	if err != nil {

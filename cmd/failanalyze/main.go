@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	failanalyze [-seed N] [-scale small|paper] [-classify] [-section NAME]
+//	failanalyze [-seed N] [-scale small|paper] [-classify] [-section NAME] [-parallelism P]
 //	failanalyze -input dataset.jsonl [-monitor monitor.jsonl] [-csv outdir]
 package main
 
@@ -34,6 +34,7 @@ func run() error {
 		monPath   = flag.String("monitor", "", "monitoring database (JSONL) to join when -input is used")
 		csvDir    = flag.String("csv", "", "also export every figure panel as CSV into this directory")
 		profile   = flag.Int("profile", 0, "print the operator profile of one subsystem (1-5) instead of the report")
+		parallel  = flag.Int("parallelism", 0, "worker count for the study pipeline (0 = all CPUs, 1 = sequential; the report is identical)")
 	)
 	flag.Parse()
 
@@ -49,6 +50,7 @@ func run() error {
 	if *seed != 0 {
 		study.Generator.Seed = *seed
 	}
+	study = study.WithParallelism(*parallel)
 	study.Collect.SkipClassification = !*classify
 
 	var res *failscope.Result

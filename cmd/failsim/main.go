@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	failsim [-seed N] [-replicas K] [-hosts H] [-years Y] [-runs R] [-independent]
+//	failsim [-seed N] [-replicas K] [-hosts H] [-years Y] [-runs R] [-independent] [-parallelism P]
 package main
 
 import (
@@ -32,10 +32,11 @@ func run() error {
 		years       = flag.Float64("years", 5, "simulated horizon in years")
 		runs        = flag.Int("runs", 200, "independent simulation runs")
 		independent = flag.Bool("independent", false, "disable host-correlated failures (the naive model)")
+		parallel    = flag.Int("parallelism", 0, "worker count for the study pipeline (0 = all CPUs, 1 = sequential; results are identical)")
 	)
 	flag.Parse()
 
-	study := failscope.PaperStudy()
+	study := failscope.PaperStudy().WithParallelism(*parallel)
 	if *seed != 0 {
 		study.Generator.Seed = *seed
 	}

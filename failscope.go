@@ -206,6 +206,23 @@ const (
 type Study struct {
 	Generator GeneratorConfig
 	Collect   CollectOptions
+
+	// Parallelism, when non-zero, overrides the worker count of both the
+	// generator and the collection pipeline for this run: 0 leaves the
+	// per-stage settings alone, 1 forces the sequential reference path, and
+	// any other value fans the per-machine/per-ticket work across that many
+	// goroutines. Every setting produces byte-identical results — see the
+	// "Concurrency model" section of DESIGN.md.
+	Parallelism int
+}
+
+// WithParallelism returns a copy of the study with the worker count of
+// every stage set to p (0 = GOMAXPROCS, 1 = sequential).
+func (s Study) WithParallelism(p int) Study {
+	s.Parallelism = p
+	s.Generator.Parallelism = p
+	s.Collect.Parallelism = p
+	return s
 }
 
 // PaperStudy returns the study calibrated to the paper's published
@@ -238,6 +255,10 @@ type Result struct {
 // Run executes the full pipeline: generate field data, run the collection
 // pipeline, and analyze.
 func (s Study) Run() (*Result, error) {
+	if s.Parallelism != 0 {
+		s.Generator.Parallelism = s.Parallelism
+		s.Collect.Parallelism = s.Parallelism
+	}
 	field, err := Generate(s.Generator)
 	if err != nil {
 		return nil, err

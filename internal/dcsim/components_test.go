@@ -202,8 +202,7 @@ func TestConsolidationLevelMix(t *testing.T) {
 
 func TestUsageProfilesInRange(t *testing.T) {
 	cfg := tinyConfig()
-	rng := xrand.New(4)
-	systems := buildTopology(cfg, rng)
+	systems := buildTopology(cfg)
 	for _, ss := range systems {
 		for _, st := range append(append([]*machineState{}, ss.pms...), ss.vms...) {
 			if st.cpuUtil <= 0 || st.cpuUtil > 100 {
@@ -223,8 +222,7 @@ func TestPMMemUtilSkewsHigh(t *testing.T) {
 	// §V.B: the number of PMs increases with memory utilization; the
 	// number of VMs decreases.
 	cfg := tinyConfig()
-	rng := xrand.New(9)
-	systems := buildTopology(cfg, rng)
+	systems := buildTopology(cfg)
 	var pmHigh, pmN, vmLow, vmN int
 	for _, ss := range systems {
 		for _, st := range ss.pms {
@@ -250,8 +248,7 @@ func TestPMMemUtilSkewsHigh(t *testing.T) {
 
 func TestAppGroupsKindHomogeneous(t *testing.T) {
 	cfg := tinyConfig()
-	rng := xrand.New(10)
-	systems := buildTopology(cfg, rng)
+	systems := buildTopology(cfg)
 	for _, ss := range systems {
 		kinds := make(map[int]model.MachineKind)
 		for _, st := range append(append([]*machineState{}, ss.pms...), ss.vms...) {
@@ -305,10 +302,9 @@ func TestVictimEventsFilters(t *testing.T) {
 func TestMassEventsDisabled(t *testing.T) {
 	cfg := tinyConfig() // MassEventsPerYear = 0
 	rng := xrand.New(12)
-	systems := buildTopology(cfg, rng)
-	calibrateRates(cfg, systems[0], rng)
-	next := 1
-	if got := massEvents(cfg, systems[0], rng, &next); got != nil {
+	systems := buildTopology(cfg)
+	calibrateRates(cfg, systems[0])
+	if got := massEvents(cfg, systems[0], rng); got != nil {
 		t.Fatalf("mass events generated despite zero rate: %d", len(got))
 	}
 }

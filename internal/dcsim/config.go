@@ -154,6 +154,12 @@ type CurveSet struct {
 type Config struct {
 	Seed uint64
 
+	// Parallelism is the worker count used for per-machine, per-event and
+	// per-ticket work: 0 means GOMAXPROCS, 1 the sequential reference path.
+	// The generated output is byte-identical at every setting because all
+	// randomness comes from streams derived from (Seed, stage, entity).
+	Parallelism int
+
 	// Observation is the paper's one-year study window; MonitorEpoch is
 	// the earlier start of the monitoring database's two-year retention.
 	Observation      model.Window

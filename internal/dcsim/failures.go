@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"failscope/internal/model"
+	"failscope/internal/par"
 	"failscope/internal/xrand"
 )
 
@@ -28,7 +29,7 @@ type event struct {
 // weekly failure rate so that the system-level expected crash-ticket counts
 // match the Table II targets after recurrence cascades and spatial fan-out
 // inflate the primary events.
-func calibrateRates(cfg Config, ss *systemState, rng *xrand.RNG) {
+func calibrateRates(cfg Config, ss *systemState) {
 	// Expected total crash tickets for this system, split by kind.
 	crash := ss.cfg.crashTickets()
 	pmTarget := crash * ss.cfg.PMCrashShare
@@ -70,13 +71,16 @@ func calibrateRates(cfg Config, ss *systemState, rng *xrand.RNG) {
 		}
 	}
 
-	calibrateKind(cfg, ss.pms, pmTarget/(cascadePM*fanout), cfg.Observation.Weeks(), rng)
-	calibrateKind(cfg, ss.vms, vmTarget/(cascadeVM*fanout), cfg.Observation.Weeks(), rng)
+	calibrateKind(cfg, ss.pms, pmTarget/(cascadePM*fanout), cfg.Observation.Weeks())
+	calibrateKind(cfg, ss.vms, vmTarget/(cascadeVM*fanout), cfg.Observation.Weeks())
 }
 
 // calibrateKind distributes a total primary-event budget over machines in
-// proportion to their attribute factors and lemon multipliers.
-func calibrateKind(cfg Config, machines []*machineState, targetEvents, weeks float64, rng *xrand.RNG) {
+// proportion to their attribute factors and lemon multipliers. Lemon draws
+// come from per-machine streams and the normalizing sum folds per-machine
+// contributions in inventory order, so the calibration is bit-identical at
+// every parallelism level.
+func calibrateKind(cfg Config, machines []*machineState, targetEvents, weeks float64) {
 	if len(machines) == 0 {
 		return
 	}
@@ -91,10 +95,15 @@ func calibrateKind(cfg Config, machines []*machineState, targetEvents, weeks flo
 	if machines[0].m.Kind == model.VM {
 		shape = cfg.HeterogeneityShapeVM
 	}
+	contrib := make([]float64, len(machines))
+	par.ForEach(cfg.Parallelism, len(machines), func(i int) {
+		st := machines[i]
+		st.lemon = machineRNG(cfg, streamLemon, st.m.ID).Gamma(shape, 1/shape)
+		contrib[i] = cfg.rateFactor(st) * st.lemon * exposureWeeks(cfg, st) / weeks
+	})
 	sum := 0.0
-	for _, st := range machines {
-		st.lemon = rng.Gamma(shape, 1/shape)
-		sum += cfg.rateFactor(st) * st.lemon * exposureWeeks(cfg, st) / weeks
+	for _, c := range contrib {
+		sum += c
 	}
 	if sum <= 0 {
 		return
@@ -151,67 +160,98 @@ func (c Config) rateFactor(st *machineState) float64 {
 	return f
 }
 
-// generateEvents produces the full failure-event log of one system.
-func generateEvents(cfg Config, ss *systemState, rng *xrand.RNG, nextIncident *int) []event {
+// eventGroup is one incident's events: the trigger first, its fan-out
+// victims after. Groups are generated with incident 0 on any number of
+// workers; incident IDs are assigned afterwards in inventory order, which
+// keeps the numbering identical at every parallelism level.
+type eventGroup []event
+
+// generateEvents produces the full failure-event log of one system. Each
+// machine's failure process draws from its own stream, so machines shard
+// freely across workers.
+func generateEvents(cfg Config, ss *systemState, nextIncident *int) []event {
+	machines := allMachines(ss)
+	perMachine := make([][]eventGroup, len(machines))
+	par.ForEach(cfg.Parallelism, len(machines), func(i int) {
+		perMachine[i] = machineEventGroups(cfg, ss, machines[i])
+	})
+
+	groups := make([]eventGroup, 0, len(machines))
+	for _, gs := range perMachine {
+		groups = append(groups, gs...)
+	}
+	groups = append(groups, massEvents(cfg, ss, systemRNG(cfg, streamMass, ss.cfg.System))...)
+
 	var events []event
-	obs := cfg.Observation
-
-	machines := make([]*machineState, 0, len(ss.pms)+len(ss.vms))
-	machines = append(machines, ss.pms...)
-	machines = append(machines, ss.vms...)
-
-	for _, st := range machines {
-		rate := st.weeklyRate
-		weeks := exposureWeeks(cfg, st)
-		if rate <= 0 || weeks <= 0 {
-			continue
-		}
-		n := rng.Poisson(rate * weeks)
-		start := obs.Start
-		if st.m.Created.After(start) {
-			start = st.m.Created
-		}
-		span := obs.End.Sub(start)
-		recurProb := cfg.Recurrence.PMProb
-		if st.m.Kind == model.VM {
-			recurProb = cfg.Recurrence.VMProb
-		}
-		for i := 0; i < n; i++ {
-			t := start.Add(time.Duration(rng.Float64() * float64(span)))
-			cause := drawCause(cfg, ss.cfg, st, rng)
-			primary := event{st: st, t: t, cause: cause, label: labelFor(cause, ss.cfg, rng), incident: *nextIncident}
-			*nextIncident++
-			events = append(events, primary)
-			events = append(events, fanOut(cfg, ss, primary, rng)...)
-
-			// Temporal recurrence cascade (§IV.D): geometric chain of
-			// follow-up failures at short Gamma-distributed lags. A
-			// follow-up repeats the trigger's cause with a per-class
-			// probability (chronic software recurs as software) and is
-			// otherwise a fresh draw.
-			cur := t
-			prev := cause
-			for rng.Bool(recurProb) {
-				lagDays := rng.Gamma(cfg.Recurrence.LagShape, cfg.Recurrence.LagMeanDays/cfg.Recurrence.LagShape)
-				cur = cur.Add(time.Duration(lagDays * 24 * float64(time.Hour)))
-				if !cur.Before(obs.End) {
-					break
-				}
-				fc := prev
-				if !rng.Bool(cfg.Recurrence.SameCauseProb[prev]) {
-					fc = drawCause(cfg, ss.cfg, st, rng)
-				}
-				follow := event{st: st, t: cur, cause: fc, label: labelFor(fc, ss.cfg, rng), incident: *nextIncident}
-				*nextIncident++
-				events = append(events, follow)
-				events = append(events, fanOut(cfg, ss, follow, rng)...)
-				prev = fc
-			}
+	for _, g := range groups {
+		id := *nextIncident
+		*nextIncident++
+		for _, ev := range g {
+			ev.incident = id
+			events = append(events, ev)
 		}
 	}
-	events = append(events, massEvents(cfg, ss, rng, nextIncident)...)
-	sort.Slice(events, func(i, j int) bool { return events[i].t.Before(events[j].t) })
+	sort.Slice(events, func(i, j int) bool {
+		if !events[i].t.Equal(events[j].t) {
+			return events[i].t.Before(events[j].t)
+		}
+		if events[i].incident != events[j].incident {
+			return events[i].incident < events[j].incident
+		}
+		return events[i].st.m.ID < events[j].st.m.ID
+	})
 	return events
+}
+
+// machineEventGroups runs one machine's failure process: primary events at
+// the calibrated rate, each with its spatial fan-out, plus the temporal
+// recurrence cascade (§IV.D) — a geometric chain of follow-up failures at
+// short Gamma-distributed lags. A follow-up repeats the trigger's cause
+// with a per-class probability (chronic software recurs as software) and is
+// otherwise a fresh draw.
+func machineEventGroups(cfg Config, ss *systemState, st *machineState) []eventGroup {
+	rate := st.weeklyRate
+	weeks := exposureWeeks(cfg, st)
+	if rate <= 0 || weeks <= 0 {
+		return nil
+	}
+	obs := cfg.Observation
+	rng := machineRNG(cfg, streamEvents, st.m.ID)
+	n := rng.Poisson(rate * weeks)
+	start := obs.Start
+	if st.m.Created.After(start) {
+		start = st.m.Created
+	}
+	span := obs.End.Sub(start)
+	recurProb := cfg.Recurrence.PMProb
+	if st.m.Kind == model.VM {
+		recurProb = cfg.Recurrence.VMProb
+	}
+	var groups []eventGroup
+	for i := 0; i < n; i++ {
+		t := start.Add(time.Duration(rng.Float64() * float64(span)))
+		cause := drawCause(cfg, ss.cfg, st, rng)
+		primary := event{st: st, t: t, cause: cause, label: labelFor(cause, ss.cfg, rng)}
+		groups = append(groups, append(eventGroup{primary}, fanOut(cfg, ss, primary, rng)...))
+
+		cur := t
+		prev := cause
+		for rng.Bool(recurProb) {
+			lagDays := rng.Gamma(cfg.Recurrence.LagShape, cfg.Recurrence.LagMeanDays/cfg.Recurrence.LagShape)
+			cur = cur.Add(time.Duration(lagDays * 24 * float64(time.Hour)))
+			if !cur.Before(obs.End) {
+				break
+			}
+			fc := prev
+			if !rng.Bool(cfg.Recurrence.SameCauseProb[prev]) {
+				fc = drawCause(cfg, ss.cfg, st, rng)
+			}
+			follow := event{st: st, t: cur, cause: fc, label: labelFor(fc, ss.cfg, rng)}
+			groups = append(groups, append(eventGroup{follow}, fanOut(cfg, ss, follow, rng)...))
+			prev = fc
+		}
+	}
+	return groups
 }
 
 // drawCause samples the true root cause of a failure on st from the five
@@ -289,8 +329,9 @@ func fanOut(cfg Config, ss *systemState, ev event, rng *xrand.RNG) []event {
 }
 
 // massEvents injects the rare, large, unclassifiable incidents (§IV.E: the
-// 34-server maximum is attributed to the "other" class).
-func massEvents(cfg Config, ss *systemState, rng *xrand.RNG, nextIncident *int) []event {
+// 34-server maximum is attributed to the "other" class). They are few per
+// system, so the walk stays sequential on the system's own stream.
+func massEvents(cfg Config, ss *systemState, rng *xrand.RNG) []eventGroup {
 	if !cfg.Spatial.Enabled || cfg.Spatial.MassEventsPerYear <= 0 {
 		return nil
 	}
@@ -300,7 +341,7 @@ func massEvents(cfg Config, ss *systemState, rng *xrand.RNG, nextIncident *int) 
 	if len(pool) == 0 {
 		return nil
 	}
-	var out []event
+	var out []eventGroup
 	for i := 0; i < n; i++ {
 		trigger := pool[rng.Intn(len(pool))]
 		if trigger.weeklyRate <= 0 {
@@ -308,12 +349,10 @@ func massEvents(cfg Config, ss *systemState, rng *xrand.RNG, nextIncident *int) 
 		}
 		t := cfg.Observation.Start.Add(time.Duration(rng.Float64() * float64(cfg.Observation.Duration())))
 		cause := drawCause(cfg, ss.cfg, trigger, rng)
-		ev := event{st: trigger, t: t, cause: cause, label: model.ClassOther, incident: *nextIncident}
-		*nextIncident++
-		out = append(out, ev)
+		ev := event{st: trigger, t: t, cause: cause, label: model.ClassOther}
 		maxServers := cfg.Spatial.MassEventMaxServers
 		extra := maxServers/2 + rng.Intn(maxServers/2+1)
-		out = append(out, victimEvents(cfg, ev, pool, extra, rng)...)
+		out = append(out, append(eventGroup{ev}, victimEvents(cfg, ev, pool, extra, rng)...))
 	}
 	return out
 }

@@ -7,6 +7,7 @@ import (
 
 	"failscope/internal/model"
 	"failscope/internal/monitordb"
+	"failscope/internal/par"
 	"failscope/internal/ticketdb"
 	"failscope/internal/xrand"
 )
@@ -21,45 +22,47 @@ type Output struct {
 }
 
 // Generate runs the simulator and returns the field data. It is
-// deterministic in cfg.Seed.
+// deterministic in cfg.Seed: every random draw comes from a stream derived
+// from (Seed, stage, entity), so the output is byte-identical at every
+// cfg.Parallelism setting — machines, events and tickets merely shard
+// across more workers.
 func Generate(cfg Config) (*Output, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	root := xrand.New(cfg.Seed)
-	systems := buildTopology(cfg, root.Split(1))
+	systems := buildTopology(cfg)
 
 	monitor := monitordb.New(cfg.MonitorEpoch, cfg.MonitorRetention)
 	store := ticketdb.NewStore()
-	renderer := ticketdb.NewRenderer(root.Split(2), cfg.VagueTextProb)
+	renderer := ticketdb.NewRenderer(xrand.Derive(cfg.Seed, streamTicket), cfg.VagueTextProb)
 
 	// Calibrate failure rates, then generate the event log.
-	rateRNG := root.Split(3)
 	for _, ss := range systems {
-		calibrateRates(cfg, ss, rateRNG.Split(uint64(ss.cfg.System)))
+		calibrateRates(cfg, ss)
 	}
 	nextIncident := 1
 	var allEvents []event
-	eventRNG := root.Split(4)
 	for _, ss := range systems {
-		allEvents = append(allEvents, generateEvents(cfg, ss, eventRNG.Split(uint64(ss.cfg.System)), &nextIncident)...)
+		allEvents = append(allEvents, generateEvents(cfg, ss, &nextIncident)...)
 	}
 
-	// Render crash tickets and the incident log.
-	repairRNG := root.Split(5)
-	incidents := make(map[int]*model.Incident)
-	var tickets []model.Ticket
-	for _, ev := range allEvents {
+	// Render crash tickets. Each event's repair draw and ticket text come
+	// from a stream keyed by the event's position in the (deterministic)
+	// event log, so rendering shards freely across workers.
+	tickets := make([]model.Ticket, len(allEvents))
+	par.ForEach(cfg.Parallelism, len(allEvents), func(i int) {
+		ev := allEvents[i]
+		rng := xrand.Derive(cfg.Seed, streamTicket, uint64(i))
 		// Repair effort follows the physical cause; the ticket label (and
 		// its text quality) follows what the writer revealed.
-		repair := cfg.Repair[ev.cause].Sample(repairRNG)
+		repair := cfg.Repair[ev.cause].Sample(rng)
 		if ev.st.m.Kind == model.VM {
 			if scale, ok := cfg.VMRepairScale[ev.cause]; ok && scale > 0 {
 				repair *= scale
 			}
 		}
-		desc, res := renderer.Crash(ev.label, ev.st.m.ID)
-		t := model.Ticket{
+		desc, res := renderer.CrashWith(rng, ev.label, ev.st.m.ID)
+		tickets[i] = model.Ticket{
 			ServerID:    ev.st.m.ID,
 			IncidentID:  "I" + strconv.Itoa(ev.incident),
 			System:      ev.st.m.System,
@@ -70,7 +73,11 @@ func Generate(cfg Config) (*Output, error) {
 			IsCrash:     true,
 			Class:       ev.label,
 		}
-		tickets = append(tickets, t)
+	})
+
+	// Incident log, folded sequentially in event order.
+	incidents := make(map[int]*model.Incident)
+	for _, ev := range allEvents {
 		inc := incidents[ev.incident]
 		if inc == nil {
 			inc = &model.Incident{
@@ -84,15 +91,13 @@ func Generate(cfg Config) (*Output, error) {
 	}
 
 	// Background (non-crash) ticket traffic.
-	bgRNG := root.Split(6)
 	for _, ss := range systems {
-		tickets = append(tickets, backgroundTickets(cfg, ss, renderer, bgRNG.Split(uint64(ss.cfg.System)))...)
+		tickets = append(tickets, backgroundTickets(cfg, ss, renderer)...)
 	}
 
 	// Monitoring database: usage series, placements, power events.
-	monRNG := root.Split(7)
 	for _, ss := range systems {
-		writeMonitoring(cfg, ss, monitor, monRNG.Split(uint64(ss.cfg.System)))
+		writeMonitoring(cfg, ss, monitor)
 	}
 
 	// Assemble and validate the dataset.
@@ -126,21 +131,23 @@ func Generate(cfg Config) (*Output, error) {
 }
 
 // backgroundTickets generates the >94% of problem tickets that are not
-// server failures.
-func backgroundTickets(cfg Config, ss *systemState, renderer *ticketdb.Renderer, rng *xrand.RNG) []model.Ticket {
+// server failures. Every ticket draws from its own (system, index) stream.
+func backgroundTickets(cfg Config, ss *systemState, renderer *ticketdb.Renderer) []model.Ticket {
 	n := int(float64(ss.cfg.AllTickets) * (1 - ss.cfg.CrashShare))
 	machines := allMachines(ss)
 	if len(machines) == 0 || n <= 0 {
 		return nil
 	}
 	span := cfg.Observation.Duration()
-	out := make([]model.Ticket, 0, n)
-	for i := 0; i < n; i++ {
+	sys := uint64(ss.cfg.System)
+	out := make([]model.Ticket, n)
+	par.ForEach(cfg.Parallelism, n, func(i int) {
+		rng := xrand.Derive(cfg.Seed, streamBackground, sys, uint64(i))
 		st := machines[rng.Intn(len(machines))]
 		opened := cfg.Observation.Start.Add(time.Duration(rng.Float64() * float64(span)))
 		repair := cfg.NonCrashRepair.Sample(rng)
-		desc, res := renderer.NonCrash(st.m.ID)
-		out = append(out, model.Ticket{
+		desc, res := renderer.NonCrashWith(rng, st.m.ID)
+		out[i] = model.Ticket{
 			ServerID:    st.m.ID,
 			System:      ss.cfg.System,
 			Opened:      opened,
@@ -148,78 +155,104 @@ func backgroundTickets(cfg Config, ss *systemState, renderer *ticketdb.Renderer,
 			Description: desc,
 			Resolution:  res,
 			IsCrash:     false,
-		})
-	}
+		}
+	})
 	return out
 }
 
 // writeMonitoring populates the monitoring database for one system: a
 // birth-marker sample at each machine's first observable moment, weekly
 // usage averages across the observation year, monthly VM placements (with
-// occasional migrations) and power events inside the fine window.
-func writeMonitoring(cfg Config, ss *systemState, db *monitordb.DB, rng *xrand.RNG) {
-	writeUsage := func(st *machineState) {
-		first := st.m.Created
-		if first.Before(cfg.MonitorEpoch) {
-			first = cfg.MonitorEpoch
-		}
-		// Birth marker: the machine's first heartbeat in the database,
-		// which is what the paper uses as the VM creation date.
-		db.Add(st.m.ID, monitordb.MetricCPUUtil, monitordb.Sample{Time: first, Value: noisy(rng, st.cpuUtil, 2)})
+// occasional migrations) and power events inside the fine window. Each
+// machine's draws come from its own streams and land as batched writes, so
+// machines shard across workers; the DB's content is order-independent
+// (one writer per series, commutative first-seen minimum and host-load
+// counts) and its encoder sorts, so the persisted bytes are identical at
+// every parallelism level.
+func writeMonitoring(cfg Config, ss *systemState, db *monitordb.DB) {
+	machines := allMachines(ss)
+	par.ForEach(cfg.Parallelism, len(machines), func(i int) {
+		writeUsage(cfg, machines[i], db)
+	})
+	par.ForEach(cfg.Parallelism, len(ss.vms), func(i int) {
+		st := ss.vms[i]
+		writePlacements(cfg, ss, st, db)
+		writePowerEvents(cfg, st, db)
+	})
+}
 
-		start := cfg.Observation.Start
-		if st.m.Created.After(start) {
-			start = st.m.Created
-		}
-		for t := start; t.Before(cfg.Observation.End); t = t.Add(7 * 24 * time.Hour) {
-			db.Add(st.m.ID, monitordb.MetricCPUUtil, monitordb.Sample{Time: t, Value: noisy(rng, st.cpuUtil, 2)})
-			db.Add(st.m.ID, monitordb.MetricMemUtil, monitordb.Sample{Time: t, Value: noisy(rng, st.memUtil, 2)})
-			db.Add(st.m.ID, monitordb.MetricDiskUtil, monitordb.Sample{Time: t, Value: noisy(rng, st.diskUtil, 1.5)})
-			db.Add(st.m.ID, monitordb.MetricNetKbps, monitordb.Sample{Time: t, Value: st.netKbps * (0.85 + 0.3*rng.Float64())})
-		}
+// writeUsage emits one machine's birth marker and weekly usage series.
+func writeUsage(cfg Config, st *machineState, db *monitordb.DB) {
+	rng := machineRNG(cfg, streamUsage, st.m.ID)
+	first := st.m.Created
+	if first.Before(cfg.MonitorEpoch) {
+		first = cfg.MonitorEpoch
 	}
-	for _, st := range ss.pms {
-		writeUsage(st)
-	}
-	for _, st := range ss.vms {
-		writeUsage(st)
-	}
+	weeks := int(cfg.Observation.Duration().Hours()/(24*7)) + 2
+	cpu := make([]monitordb.Sample, 0, weeks)
+	mem := make([]monitordb.Sample, 0, weeks)
+	dsk := make([]monitordb.Sample, 0, weeks)
+	net := make([]monitordb.Sample, 0, weeks)
 
-	// Monthly placements over the observation year, with rare migrations.
-	for _, b := range ss.boxes {
-		for _, st := range b.vms {
-			cur := b
-			for t := cfg.Observation.Start; t.Before(cfg.Observation.End); t = t.AddDate(0, 1, 0) {
-				if st.m.Created.After(t) {
-					continue
-				}
-				if rng.Bool(cfg.Spatial.MigrationProb) && len(ss.boxes) > 1 {
-					cur = ss.boxes[rng.Intn(len(ss.boxes))]
-				}
-				db.SetPlacement(st.m.ID, cur.m.ID, t)
-			}
-		}
-	}
+	// Birth marker: the machine's first heartbeat in the database,
+	// which is what the paper uses as the VM creation date.
+	cpu = append(cpu, monitordb.Sample{Time: first, Value: noisy(rng, st.cpuUtil, 2)})
 
-	// Power events (on/off) inside the fine 15-minute window only — the
-	// paper has two months of fine-grained data.
-	fine := cfg.FineWindow
-	months := fine.Duration().Hours() / (24 * 30)
-	for _, st := range ss.vms {
-		if st.onOffPerMonth <= 0 {
+	start := cfg.Observation.Start
+	if st.m.Created.After(start) {
+		start = st.m.Created
+	}
+	for t := start; t.Before(cfg.Observation.End); t = t.Add(7 * 24 * time.Hour) {
+		cpu = append(cpu, monitordb.Sample{Time: t, Value: noisy(rng, st.cpuUtil, 2)})
+		mem = append(mem, monitordb.Sample{Time: t, Value: noisy(rng, st.memUtil, 2)})
+		dsk = append(dsk, monitordb.Sample{Time: t, Value: noisy(rng, st.diskUtil, 1.5)})
+		net = append(net, monitordb.Sample{Time: t, Value: st.netKbps * (0.85 + 0.3*rng.Float64())})
+	}
+	db.AddSeries(st.m.ID, monitordb.MetricCPUUtil, cpu)
+	db.AddSeries(st.m.ID, monitordb.MetricMemUtil, mem)
+	db.AddSeries(st.m.ID, monitordb.MetricDiskUtil, dsk)
+	db.AddSeries(st.m.ID, monitordb.MetricNetKbps, net)
+}
+
+// writePlacements emits one VM's monthly placements over the observation
+// year, with rare migrations.
+func writePlacements(cfg Config, ss *systemState, st *machineState, db *monitordb.DB) {
+	rng := machineRNG(cfg, streamPlacement, st.m.ID)
+	cur := ss.boxes[st.boxIdx]
+	steps := make([]monitordb.PlacementStep, 0, 13)
+	for t := cfg.Observation.Start; t.Before(cfg.Observation.End); t = t.AddDate(0, 1, 0) {
+		if st.m.Created.After(t) {
 			continue
 		}
-		cycles := rng.Poisson(st.onOffPerMonth * months)
-		for i := 0; i < cycles; i++ {
-			off := fine.Start.Add(time.Duration(rng.Float64() * float64(fine.Duration())))
-			downFor := time.Duration((0.5 + 6*rng.Float64()) * float64(time.Hour))
-			on := off.Add(downFor)
-			db.AddPowerEvent(st.m.ID, monitordb.PowerEvent{Time: off, On: false})
-			if on.Before(fine.End) {
-				db.AddPowerEvent(st.m.ID, monitordb.PowerEvent{Time: on, On: true})
-			}
+		if rng.Bool(cfg.Spatial.MigrationProb) && len(ss.boxes) > 1 {
+			cur = ss.boxes[rng.Intn(len(ss.boxes))]
+		}
+		steps = append(steps, monitordb.PlacementStep{Host: cur.m.ID, Time: t})
+	}
+	db.SetPlacements(st.m.ID, steps)
+}
+
+// writePowerEvents emits one VM's power-state transitions inside the fine
+// 15-minute window only — the paper has two months of fine-grained data.
+func writePowerEvents(cfg Config, st *machineState, db *monitordb.DB) {
+	if st.onOffPerMonth <= 0 {
+		return
+	}
+	rng := machineRNG(cfg, streamPower, st.m.ID)
+	fine := cfg.FineWindow
+	months := fine.Duration().Hours() / (24 * 30)
+	cycles := rng.Poisson(st.onOffPerMonth * months)
+	events := make([]monitordb.PowerEvent, 0, 2*cycles)
+	for i := 0; i < cycles; i++ {
+		off := fine.Start.Add(time.Duration(rng.Float64() * float64(fine.Duration())))
+		downFor := time.Duration((0.5 + 6*rng.Float64()) * float64(time.Hour))
+		on := off.Add(downFor)
+		events = append(events, monitordb.PowerEvent{Time: off, On: false})
+		if on.Before(fine.End) {
+			events = append(events, monitordb.PowerEvent{Time: on, On: true})
 		}
 	}
+	db.AddPowerEvents(st.m.ID, events)
 }
 
 func noisy(rng *xrand.RNG, v, sd float64) float64 {

@@ -29,7 +29,7 @@ func PaperConfig() Config {
 	epoch := time.Date(2011, 7, 1, 0, 0, 0, 0, time.UTC)
 
 	return Config{
-		Seed:             3,
+		Seed:             26,
 		Observation:      model.Window{Start: obsStart, End: obsEnd},
 		MonitorEpoch:     epoch,
 		MonitorRetention: 2 * 365 * 24 * time.Hour,

@@ -1,0 +1,42 @@
+package dcsim
+
+import (
+	"failscope/internal/model"
+	"failscope/internal/xrand"
+)
+
+// Stream labels for xrand.Derive. Every random draw in the generator comes
+// from a stream that is a pure function of (cfg.Seed, stage, entity), so
+// machines, events and tickets can be processed on any number of workers in
+// any order and still reproduce the exact sequential output. Adding draws
+// to one entity's stream never perturbs another's.
+//
+// The labels are part of the generator's determinism contract: renumbering
+// them changes every generated dataset, so new stages must be appended.
+const (
+	streamTopoMachine uint64 = iota + 1 // per-machine capacity/lifecycle/usage draws
+	streamTopoBoxes                     // per-system box structure (level mix)
+	streamTopoDomains                   // per-system blast-domain shuffles
+	streamLemon                         // per-machine heterogeneity multiplier
+	streamEvents                        // per-machine failure-event process
+	streamMass                          // per-system mass incidents
+	streamTicket                        // per-event crash-ticket rendering
+	streamBackground                    // per-ticket background traffic
+	streamUsage                         // per-machine monitoring usage series
+	streamPlacement                     // per-VM placement/migration schedule
+	streamPower                         // per-VM power-event log
+)
+
+// machineRNG derives the stream for one (stage, machine) pair. Keying by
+// the machine's stable ID rather than a slice position keeps streams
+// invariant under any future reordering of the inventory.
+func machineRNG(cfg Config, stage uint64, id model.MachineID) *xrand.RNG {
+	return xrand.Derive(cfg.Seed, stage, xrand.HashString(string(id)))
+}
+
+// systemRNG derives the stream for one (stage, system) pair; used for the
+// few draws that are inherently sequential within a system (box structure,
+// domain shuffles, mass events).
+func systemRNG(cfg Config, stage uint64, sys model.System) *xrand.RNG {
+	return xrand.Derive(cfg.Seed, stage, uint64(sys))
+}

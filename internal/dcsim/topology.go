@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"failscope/internal/model"
+	"failscope/internal/par"
 	"failscope/internal/xrand"
 )
 
@@ -94,22 +95,27 @@ var (
 )
 
 // buildTopology constructs the machine inventory and hidden state for all
-// systems.
-func buildTopology(cfg Config, rng *xrand.RNG) []*systemState {
+// systems. Per-machine draws come from streams keyed by the machine's ID
+// and run on cfg.Parallelism workers; the result is identical at every
+// worker count.
+func buildTopology(cfg Config) []*systemState {
 	systems := make([]*systemState, 0, len(cfg.Systems))
 	for _, sc := range cfg.Systems {
-		systems = append(systems, buildSystem(cfg, sc, rng.Split(uint64(sc.System))))
+		systems = append(systems, buildSystem(cfg, sc))
 	}
 	return systems
 }
 
-func buildSystem(cfg Config, sc SystemConfig, rng *xrand.RNG) *systemState {
+func buildSystem(cfg Config, sc SystemConfig) *systemState {
 	ss := &systemState{cfg: sc}
 
 	// PMs: long-lived physical servers, in place well before the epoch.
-	for i := 0; i < sc.PMs; i++ {
+	ss.pms = make([]*machineState, sc.PMs)
+	par.ForEach(cfg.Parallelism, sc.PMs, func(i int) {
+		id := model.MachineID(fmt.Sprintf("pm-%d-%04d", sc.System, i))
+		rng := machineRNG(cfg, streamTopoMachine, id)
 		m := &model.Machine{
-			ID:     model.MachineID(fmt.Sprintf("pm-%d-%04d", sc.System, i)),
+			ID:     id,
 			Kind:   model.PM,
 			System: sc.System,
 			Capacity: model.Capacity{
@@ -120,19 +126,23 @@ func buildSystem(cfg Config, sc SystemConfig, rng *xrand.RNG) *systemState {
 		}
 		st := &machineState{m: m, boxIdx: -1, consFactor: 1}
 		drawUsage(st, rng)
-		ss.pms = append(ss.pms, st)
-	}
+		ss.pms[i] = st
+	})
 
 	// Boxes sized by the consolidation-level mix, then VMs placed on them.
 	// The configured weights are per-VM population shares; a box of level L
-	// holds L VMs, so box draws use weight share/L.
+	// holds L VMs, so box draws use weight share/L. The level sequence
+	// decides how many boxes exist, so this walk is inherently sequential;
+	// it draws from the system's own stream and is cheap (one box per ~10
+	// VMs).
+	boxRNG := systemRNG(cfg, streamTopoBoxes, sc.System)
 	levelWeights := make([]float64, len(consolidationLevels))
 	for i, cl := range consolidationLevels {
 		levelWeights[i] = cl.weight / float64(cl.level)
 	}
 	remaining := sc.VMs
 	for remaining > 0 {
-		level := consolidationLevels[rng.Categorical(levelWeights)].level
+		level := consolidationLevels[boxRNG.Categorical(levelWeights)].level
 		if level > remaining {
 			level = remaining
 		}
@@ -142,10 +152,10 @@ func buildSystem(cfg Config, sc SystemConfig, rng *xrand.RNG) *systemState {
 				Kind:   model.Box,
 				System: sc.System,
 				Capacity: model.Capacity{
-					CPUs:     pmCPUChoices[rng.Categorical(pmCPUWeights)],
-					MemoryGB: pmMemChoices[rng.Categorical(pmMemWeights)],
+					CPUs:     pmCPUChoices[boxRNG.Categorical(pmCPUWeights)],
+					MemoryGB: pmMemChoices[boxRNG.Categorical(pmMemWeights)],
 				},
-				Created: cfg.MonitorEpoch.Add(-time.Duration(1+rng.Intn(3*365*24)) * time.Hour),
+				Created: cfg.MonitorEpoch.Add(-time.Duration(1+boxRNG.Intn(3*365*24)) * time.Hour),
 			},
 			size: level,
 		}
@@ -153,42 +163,53 @@ func buildSystem(cfg Config, sc SystemConfig, rng *xrand.RNG) *systemState {
 		remaining -= level
 	}
 
-	// VMs: creation dates split between "before the epoch" (first record
-	// clamps to the epoch, so the ingest age filter drops them) and a
-	// batched spread across the two-year monitoring window.
-	vmIdx := 0
+	// VMs: which box a VM lands on is a pure function of the box sizes, so
+	// the per-VM draws (creation date, capacity, on/off class, usage) can
+	// run in parallel on per-machine streams. Creation dates split between
+	// "before the epoch" (first record clamps to the epoch, so the ingest
+	// age filter drops them) and a batched spread across the two-year
+	// monitoring window.
+	vmBox := make([]int, 0, sc.VMs)
 	for bi, b := range ss.boxes {
 		for v := 0; v < b.size; v++ {
-			created := drawVMCreation(cfg, rng)
-			m := &model.Machine{
-				ID:     model.MachineID(fmt.Sprintf("vm-%d-%05d", sc.System, vmIdx)),
-				Kind:   model.VM,
-				System: sc.System,
-				Capacity: model.Capacity{
-					CPUs:     vmCPUChoices[rng.Categorical(vmCPUWeights)],
-					MemoryGB: vmMemChoices[rng.Categorical(vmMemWeights)],
-					DiskGB:   vmDiskCapChoices[rng.Categorical(vmDiskCapWeights)],
-					Disks:    vmDiskCountChoices[rng.Categorical(vmDiskCountWeights)],
-				},
-				HostID:  b.m.ID,
-				Created: created,
-			}
-			st := &machineState{
-				m:             m,
-				boxIdx:        bi,
-				consFactor:    cfg.Curves.Consolidation.At(float64(b.size)),
-				onOffPerMonth: onOffChoices[rng.Categorical(onOffWeights)],
-			}
-			drawUsage(st, rng)
-			b.vms = append(b.vms, st)
-			ss.vms = append(ss.vms, st)
-			vmIdx++
+			vmBox = append(vmBox, bi)
 		}
+	}
+	ss.vms = make([]*machineState, len(vmBox))
+	par.ForEach(cfg.Parallelism, len(vmBox), func(i int) {
+		b := ss.boxes[vmBox[i]]
+		id := model.MachineID(fmt.Sprintf("vm-%d-%05d", sc.System, i))
+		rng := machineRNG(cfg, streamTopoMachine, id)
+		created := drawVMCreation(cfg, rng)
+		m := &model.Machine{
+			ID:     id,
+			Kind:   model.VM,
+			System: sc.System,
+			Capacity: model.Capacity{
+				CPUs:     vmCPUChoices[rng.Categorical(vmCPUWeights)],
+				MemoryGB: vmMemChoices[rng.Categorical(vmMemWeights)],
+				DiskGB:   vmDiskCapChoices[rng.Categorical(vmDiskCapWeights)],
+				Disks:    vmDiskCountChoices[rng.Categorical(vmDiskCountWeights)],
+			},
+			HostID:  b.m.ID,
+			Created: created,
+		}
+		st := &machineState{
+			m:             m,
+			boxIdx:        vmBox[i],
+			consFactor:    cfg.Curves.Consolidation.At(float64(b.size)),
+			onOffPerMonth: onOffChoices[rng.Categorical(onOffWeights)],
+		}
+		drawUsage(st, rng)
+		ss.vms[i] = st
+	})
+	for i, st := range ss.vms {
+		ss.boxes[vmBox[i]].vms = append(ss.boxes[vmBox[i]].vms, st)
 	}
 
 	// Blast domains: power domains span PMs, boxes and their VMs within
 	// the system; application groups mix PMs and VMs.
-	assignDomains(cfg, ss, rng)
+	assignDomains(cfg, ss, systemRNG(cfg, streamTopoDomains, sc.System))
 	return ss
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"failscope/internal/model"
 	"failscope/internal/monitordb"
+	"failscope/internal/par"
 	"failscope/internal/textmine"
 	"failscope/internal/ticketdb"
 	"failscope/internal/xrand"
@@ -45,6 +46,11 @@ type Options struct {
 	// error change the study's findings? The paper instead manually
 	// verified all tickets (the default here too).
 	UsePredictedLabels bool
+
+	// Parallelism is the worker count for classifier training, test-set
+	// prediction and the monitoring join: 0 means GOMAXPROCS, 1 the
+	// sequential reference. The collection is identical at every setting.
+	Parallelism int
 }
 
 // DefaultOptions returns the pipeline defaults.
@@ -193,6 +199,7 @@ func classify(tickets []model.Ticket, opts Options) (*ClassifierReport, []int, e
 	// tickets among all tickets, then classify the crash tickets into the
 	// six finer-grained classes based on their resolutions.
 	topts := textmine.DefaultTrainOptions()
+	topts.Parallelism = opts.Parallelism
 	if opts.Clusters > 0 {
 		topts.Clusters = opts.Clusters
 	}
@@ -220,13 +227,22 @@ func classify(tickets []model.Ticket, opts Options) (*ClassifierReport, []int, e
 		return nil, nil, fmt.Errorf("stage 2 (crash classification): %w", err)
 	}
 
+	// Predicting the test set is embarrassingly parallel: both stages only
+	// read their classifier. The confusion matrix is tabulated afterwards
+	// in test order so its contents don't depend on worker scheduling.
+	testPreds := make([]int, len(testTexts))
+	par.ForEach(opts.Parallelism, len(testTexts), func(i int) {
+		pred := 0
+		if stage1.Predict(testTexts[i]) == 1 {
+			pred = stage2.Predict(testTexts[i])
+		}
+		testPreds[i] = pred
+	})
+
 	cm := &textmine.ConfusionMatrix{Counts: make(map[[2]int]int)}
 	seen := make(map[int]bool)
-	for i, text := range testTexts {
-		pred := 0
-		if stage1.Predict(text) == 1 {
-			pred = stage2.Predict(text)
-		}
+	for i := range testTexts {
+		pred := testPreds[i]
 		preds[testIdx[i]] = pred
 		truth := testLabels[i]
 		cm.Counts[[2]int{truth, pred}]++
@@ -281,12 +297,16 @@ func classify(tickets []model.Ticket, opts Options) (*ClassifierReport, []int, e
 }
 
 // joinAttributes pulls the measurements of interest for every machine from
-// the monitoring database.
+// the monitoring database. Machines are joined by independent workers into
+// an index-addressed slice (all monitordb reads take the read lock), and
+// the map is assembled afterwards, so the result is worker-count
+// independent.
 func joinAttributes(data *model.Dataset, monitor *monitordb.DB, opts Options) map[model.MachineID]model.Attributes {
-	attrs := make(map[model.MachineID]model.Attributes, len(data.Machines))
 	obs := opts.Observation
 	fineMonths := opts.FineWindow.Duration().Hours() / (24 * 30)
-	for _, m := range data.Machines {
+	joined := make([]model.Attributes, len(data.Machines))
+	par.ForEach(opts.Parallelism, len(data.Machines), func(i int) {
+		m := data.Machines[i]
 		var a model.Attributes
 
 		cpu, okCPU := monitor.Average(m.ID, monitordb.MetricCPUUtil, obs)
@@ -315,7 +335,11 @@ func joinAttributes(data *model.Dataset, monitor *monitordb.DB, opts Options) ma
 			// the earliest observable data — they may predate the records.
 			a.AgeKnown = first.After(monitor.Epoch().Add(24 * time.Hour))
 		}
-		attrs[m.ID] = a
+		joined[i] = a
+	})
+	attrs := make(map[model.MachineID]model.Attributes, len(data.Machines))
+	for i, m := range data.Machines {
+		attrs[m.ID] = joined[i]
 	}
 	return attrs
 }

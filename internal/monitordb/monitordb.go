@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"failscope/internal/model"
+	"failscope/internal/par"
 )
 
 // Metric identifies one monitored quantity.
@@ -130,15 +131,51 @@ func (db *DB) noteSeenLocked(id model.MachineID, t time.Time) {
 	}
 }
 
-// AddPowerEvent records a power-state transition.
-func (db *DB) AddPowerEvent(id model.MachineID, ev PowerEvent) {
-	if ev.Time.Before(db.epoch) || ev.Time.After(db.epoch.Add(db.retention)) {
+// AddSeries appends a batch of usage samples to one series under a single
+// lock acquisition — the bulk-write path for parallel generators. Samples
+// outside the retention window are dropped exactly as Add drops them.
+func (db *DB) AddSeries(id model.MachineID, metric Metric, samples []Sample) {
+	if len(samples) == 0 {
 		return
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.power[id] = append(db.power[id], ev)
-	db.noteSeenLocked(id, ev.Time)
+	k := seriesKey{id, metric}
+	for _, s := range samples {
+		if s.Time.Before(db.epoch) || s.Time.After(db.epoch.Add(db.retention)) {
+			continue
+		}
+		db.series[k] = append(db.series[k], s)
+		db.noteSeenLocked(id, s.Time)
+	}
+}
+
+// AddPowerEvent records a power-state transition.
+func (db *DB) AddPowerEvent(id model.MachineID, ev PowerEvent) {
+	db.AddPowerEvents(id, []PowerEvent{ev})
+}
+
+// AddPowerEvents records a batch of power-state transitions under a single
+// lock acquisition.
+func (db *DB) AddPowerEvents(id model.MachineID, events []PowerEvent) {
+	if len(events) == 0 {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, ev := range events {
+		if ev.Time.Before(db.epoch) || ev.Time.After(db.epoch.Add(db.retention)) {
+			continue
+		}
+		db.power[id] = append(db.power[id], ev)
+		db.noteSeenLocked(id, ev.Time)
+	}
+}
+
+// PlacementStep is one month's placement of a VM, for batch writes.
+type PlacementStep struct {
+	Host model.MachineID
+	Time time.Time
 }
 
 // SetPlacement records that the VM resided on host during the month
@@ -146,6 +183,23 @@ func (db *DB) AddPowerEvent(id model.MachineID, ev PowerEvent) {
 func (db *DB) SetPlacement(vm, host model.MachineID, t time.Time) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.setPlacementLocked(vm, host, t)
+}
+
+// SetPlacements records a VM's placement schedule under a single lock
+// acquisition.
+func (db *DB) SetPlacements(vm model.MachineID, steps []PlacementStep) {
+	if len(steps) == 0 {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, s := range steps {
+		db.setPlacementLocked(vm, s.Host, s.Time)
+	}
+}
+
+func (db *DB) setPlacementLocked(vm, host model.MachineID, t time.Time) {
 	m := monthStart(t)
 	recs := db.placement[vm]
 	for i := range recs {
@@ -326,6 +380,26 @@ func (db *DB) AvgConsolidation(vm model.MachineID, w model.Window) (float64, boo
 		return 0, false
 	}
 	return sum / float64(n), true
+}
+
+// RollupAll computes the bucketed rollup of one metric for every machine in
+// the database over the window, sharding machines across
+// par.Workers(parallelism) goroutines (readers only take the shared read
+// lock). Machines without samples in the window are omitted. This is the
+// multi-granularity fleet view of §III.A at scale.
+func (db *DB) RollupAll(metric Metric, w model.Window, bucket time.Duration, parallelism int) map[model.MachineID][]Sample {
+	ids := db.Machines()
+	rollups := make([][]Sample, len(ids))
+	par.ForEach(parallelism, len(ids), func(i int) {
+		rollups[i] = db.Rollup(ids[i], metric, w, bucket)
+	})
+	out := make(map[model.MachineID][]Sample, len(ids))
+	for i, id := range ids {
+		if len(rollups[i]) > 0 {
+			out[id] = rollups[i]
+		}
+	}
+	return out
 }
 
 // Machines returns the IDs of all machines with at least one record.

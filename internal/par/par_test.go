@@ -1,0 +1,127 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != 1 {
+		t.Fatalf("Workers(-3) = %d, want 1", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d, want 7", got)
+	}
+}
+
+// TestForEachVisitsEachIndexOnce checks the exactly-once contract at several
+// worker counts and sizes that straddle grain boundaries.
+func TestForEachVisitsEachIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, n := range []int{0, 1, grain - 1, grain, grain + 1, 5*grain + 3, 1000} {
+			visits := make([]int32, n)
+			ForEach(workers, n, func(i int) {
+				atomic.AddInt32(&visits[i], 1)
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestForEachBlockBoundariesFixed asserts the block decomposition is a
+// function of n only: the same (b, lo, hi) triples at every worker count.
+func TestForEachBlockBoundariesFixed(t *testing.T) {
+	const n = 3*BlockSize + 17
+	collect := func(workers int) [][3]int {
+		out := make([][3]int, Blocks(n))
+		ForEachBlock(workers, n, func(b, lo, hi int) {
+			out[b] = [3]int{b, lo, hi}
+		})
+		return out
+	}
+	ref := collect(1)
+	for _, workers := range []int{2, 4, 16} {
+		got := collect(workers)
+		for b := range ref {
+			if got[b] != ref[b] {
+				t.Fatalf("workers=%d: block %d = %v, want %v", workers, b, got[b], ref[b])
+			}
+		}
+	}
+	last := ref[len(ref)-1]
+	if last[2] != n {
+		t.Fatalf("last block ends at %d, want %d", last[2], n)
+	}
+}
+
+// TestForEachBlockOrderedSum demonstrates the deterministic float reduction
+// pattern: per-block partials merged in block order give bit-identical
+// totals at every parallelism level.
+func TestForEachBlockOrderedSum(t *testing.T) {
+	const n = 10_000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 1.0 / float64(i+3)
+	}
+	sum := func(workers int) float64 {
+		partial := make([]float64, Blocks(n))
+		ForEachBlock(workers, n, func(b, lo, hi int) {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += xs[i]
+			}
+			partial[b] = s
+		})
+		total := 0.0
+		for _, p := range partial {
+			total += p
+		}
+		return total
+	}
+	ref := sum(1)
+	for _, workers := range []int{2, 3, 8} {
+		if got := sum(workers); got != ref {
+			t.Fatalf("workers=%d: sum %v differs from sequential %v", workers, got, ref)
+		}
+	}
+}
+
+// TestForEachPanicPropagates verifies a worker panic is re-raised on the
+// caller after the pool drains, not lost in a goroutine.
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Fatalf("workers=%d: recovered %v, want \"boom\"", workers, r)
+				}
+			}()
+			ForEach(workers, 100, func(i int) {
+				if i == 37 {
+					panic("boom")
+				}
+			})
+			t.Fatalf("workers=%d: ForEach returned without panicking", workers)
+		}()
+	}
+}
+
+func TestForEachSequentialInline(t *testing.T) {
+	// With one worker the loop must run on the calling goroutine so that
+	// callers may use non-thread-safe state in fn.
+	var order []int
+	ForEach(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential path visited %v, want ascending order", order)
+		}
+	}
+}

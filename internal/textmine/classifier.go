@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"failscope/internal/par"
 	"failscope/internal/xrand"
 )
 
@@ -32,6 +33,10 @@ type TrainOptions struct {
 	// clusters they dominate relatively, instead of being outvoted by the
 	// bulk classes everywhere.
 	BalancedVotes bool
+	// Parallelism is the worker count for tokenization, vectorization and
+	// the k-means sweeps: 0 means GOMAXPROCS, 1 the sequential reference.
+	// The trained classifier is identical at every setting.
+	Parallelism int
 }
 
 // DefaultTrainOptions mirrors the paper's setup: more clusters than
@@ -49,19 +54,19 @@ func Train(texts []string, labels []int, opts TrainOptions, r *xrand.RNG) (*Clas
 		return nil, ErrNoData
 	}
 	docs := make([][]string, len(texts))
-	for i, t := range texts {
-		docs[i] = Tokenize(t)
-	}
+	par.ForEach(opts.Parallelism, len(texts), func(i int) {
+		docs[i] = Tokenize(texts[i])
+	})
 	vocab := BuildVocabulary(docs, opts.MinDocs)
 	vectors := make([]SparseVector, len(docs))
-	for i, d := range docs {
-		vectors[i] = vocab.Vectorize(d)
-	}
+	par.ForEach(opts.Parallelism, len(docs), func(i int) {
+		vectors[i] = vocab.Vectorize(docs[i])
+	})
 	k := opts.Clusters
 	if k > len(vectors) {
 		k = len(vectors)
 	}
-	res, err := KMeans(vectors, vocab.Size(), k, opts.MaxIter, r)
+	res, err := KMeansParallel(vectors, vocab.Size(), k, opts.MaxIter, r, opts.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +130,8 @@ func majorityLabel(labels []int) int {
 	return best
 }
 
-// Predict returns the label of the nearest centroid.
+// Predict returns the label of the nearest centroid. It only reads the
+// classifier, so callers may predict from concurrent workers.
 func (c *Classifier) Predict(text string) int {
 	vec := c.vocab.Vectorize(Tokenize(text))
 	best, bestDist := 0, math.Inf(1)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 
+	"failscope/internal/par"
 	"failscope/internal/xrand"
 )
 
@@ -22,7 +23,20 @@ type KMeansResult struct {
 // k-means++ seeding and Lloyd iterations. Because the vectors are unit
 // length, squared Euclidean distance is 2 − 2·cosine, so this is spherical
 // k-means in effect — the standard choice for TF-IDF ticket text.
+//
+// KMeans is the sequential reference; KMeansParallel produces the same
+// result bit for bit at any worker count.
 func KMeans(vectors []SparseVector, dim, k, maxIter int, r *xrand.RNG) (*KMeansResult, error) {
+	return KMeansParallel(vectors, dim, k, maxIter, r, 1)
+}
+
+// KMeansParallel is KMeans with the assignment step (the O(n·k·nnz) bulk of
+// the work) and the k-means++ D² update fanned out over parallelism workers.
+// Documents are partitioned into fixed par.BlockSize blocks regardless of
+// worker count and the per-block inertia partials are merged in block
+// order, so the float arithmetic — and therefore every assignment, centroid
+// and the RNG draw sequence — is identical to the sequential path.
+func KMeansParallel(vectors []SparseVector, dim, k, maxIter int, r *xrand.RNG, parallelism int) (*KMeansResult, error) {
 	n := len(vectors)
 	if n == 0 {
 		return nil, ErrNoData
@@ -31,24 +45,27 @@ func KMeans(vectors []SparseVector, dim, k, maxIter int, r *xrand.RNG) (*KMeansR
 		return nil, errors.New("textmine: k out of range")
 	}
 
-	centroids := seedPlusPlus(vectors, dim, k, r)
+	centroids := seedPlusPlus(vectors, dim, k, r, parallelism)
 	assign := make([]int, n)
 	for i := range assign {
 		assign[i] = -1
 	}
 
-	var inertia float64
-	iter := 0
-	for ; iter < maxIter; iter++ {
+	// Buffers reused across iterations; blockInertia/blockChanged are
+	// written once per block per sweep, so workers never share an element.
+	cNorm2 := make([]float64, k)
+	counts := make([]int, k)
+	nb := par.Blocks(n)
+	blockInertia := make([]float64, nb)
+	blockChanged := make([]bool, nb)
+
+	// One closure for every sweep (instead of one per iteration) keeps the
+	// iteration loop allocation-free.
+	sweep := func(b, lo, hi int) {
+		partial := 0.0
 		changed := false
-		inertia = 0
-		cNorm2 := make([]float64, k)
-		for c := range centroids {
-			for _, v := range centroids[c] {
-				cNorm2[c] += v * v
-			}
-		}
-		for i, vec := range vectors {
+		for i := lo; i < hi; i++ {
+			vec := vectors[i]
 			best, bestDist := -1, math.Inf(1)
 			for c := range centroids {
 				// ||x - c||^2 = ||x||^2 + ||c||^2 - 2 x·c, with ||x|| = 1.
@@ -61,13 +78,36 @@ func KMeans(vectors []SparseVector, dim, k, maxIter int, r *xrand.RNG) (*KMeansR
 				assign[i] = best
 				changed = true
 			}
-			inertia += bestDist
+			partial += bestDist
+		}
+		blockInertia[b] = partial
+		blockChanged[b] = changed
+	}
+
+	var inertia float64
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		for c := range centroids {
+			cNorm2[c] = 0
+			for _, v := range centroids[c] {
+				cNorm2[c] += v * v
+			}
+		}
+		par.ForEachBlock(parallelism, n, sweep)
+		inertia = 0
+		changed := false
+		for b := 0; b < nb; b++ {
+			inertia += blockInertia[b]
+			changed = changed || blockChanged[b]
 		}
 		if !changed {
 			break
 		}
-		// Recompute centroids.
-		counts := make([]int, k)
+		// Recompute centroids. Sequential: a factor k cheaper than the
+		// assignment sweep and trivially deterministic this way.
+		for c := range counts {
+			counts[c] = 0
+		}
 		for c := range centroids {
 			for j := range centroids[c] {
 				centroids[c][j] = 0
@@ -80,7 +120,7 @@ func KMeans(vectors []SparseVector, dim, k, maxIter int, r *xrand.RNG) (*KMeansR
 		for c := range centroids {
 			if counts[c] == 0 {
 				// Re-seed an empty cluster at a random document.
-				copyInto(centroids[c], vectors[r.Intn(n)], dim)
+				copyInto(centroids[c], vectors[r.Intn(n)])
 				continue
 			}
 			inv := 1 / float64(counts[c])
@@ -92,7 +132,7 @@ func KMeans(vectors []SparseVector, dim, k, maxIter int, r *xrand.RNG) (*KMeansR
 	return &KMeansResult{Assignments: assign, Centroids: centroids, Inertia: inertia, Iterations: iter}, nil
 }
 
-func copyInto(dst []float64, src SparseVector, dim int) {
+func copyInto(dst []float64, src SparseVector) {
 	for i := range dst {
 		dst[i] = 0
 	}
@@ -100,33 +140,54 @@ func copyInto(dst []float64, src SparseVector, dim int) {
 }
 
 // seedPlusPlus picks k initial centroids with the k-means++ D² weighting.
-func seedPlusPlus(vectors []SparseVector, dim, k int, r *xrand.RNG) [][]float64 {
+// All k centroids share one contiguous allocation, and the D² refresh after
+// each pick runs across parallelism workers with per-block totals merged in
+// block order — same bits as the sequential loop.
+func seedPlusPlus(vectors []SparseVector, dim, k int, r *xrand.RNG, parallelism int) [][]float64 {
 	n := len(vectors)
+	backing := make([]float64, k*dim)
 	centroids := make([][]float64, 0, k)
-	first := make([]float64, dim)
-	copyInto(first, vectors[r.Intn(n)], dim)
+	next := func() []float64 {
+		lo := len(centroids) * dim
+		return backing[lo : lo+dim : lo+dim]
+	}
+
+	first := next()
+	copyInto(first, vectors[r.Intn(n)])
 	centroids = append(centroids, first)
 
 	dist2 := make([]float64, n)
 	for i := range dist2 {
 		dist2[i] = math.Inf(1)
 	}
-	for len(centroids) < k {
-		last := centroids[len(centroids)-1]
-		var lastNorm2 float64
-		for _, v := range last {
-			lastNorm2 += v * v
-		}
-		total := 0.0
-		for i, vec := range vectors {
-			d := 1 + lastNorm2 - 2*vec.Dot(last)
+	nb := par.Blocks(n)
+	blockTotal := make([]float64, nb)
+	var last []float64
+	var lastNorm2 float64
+	update := func(b, lo, hi int) {
+		partial := 0.0
+		for i := lo; i < hi; i++ {
+			d := 1 + lastNorm2 - 2*vectors[i].Dot(last)
 			if d < 0 {
 				d = 0
 			}
 			if d < dist2[i] {
 				dist2[i] = d
 			}
-			total += dist2[i]
+			partial += dist2[i]
+		}
+		blockTotal[b] = partial
+	}
+	for len(centroids) < k {
+		last = centroids[len(centroids)-1]
+		lastNorm2 = 0
+		for _, v := range last {
+			lastNorm2 += v * v
+		}
+		par.ForEachBlock(parallelism, n, update)
+		total := 0.0
+		for b := 0; b < nb; b++ {
+			total += blockTotal[b]
 		}
 		var pick int
 		if total <= 0 {
@@ -143,8 +204,8 @@ func seedPlusPlus(vectors []SparseVector, dim, k int, r *xrand.RNG) [][]float64 
 				}
 			}
 		}
-		c := make([]float64, dim)
-		copyInto(c, vectors[pick], dim)
+		c := next()
+		copyInto(c, vectors[pick])
 		centroids = append(centroids, c)
 	}
 	return centroids

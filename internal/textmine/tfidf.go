@@ -18,28 +18,35 @@ func (s SparseVector) Norm() float64 {
 }
 
 // Vectorize converts a tokenized document to a unit-normalized TF-IDF
-// sparse vector over the vocabulary. Unknown tokens are ignored.
+// sparse vector over the vocabulary. Unknown tokens are ignored. It is a
+// pure read of the vocabulary, safe to call from concurrent workers.
 func (v *Vocabulary) Vectorize(doc []string) SparseVector {
-	counts := make(map[int]float64)
+	// Collect known-token indices with duplicates, sort, then run-length
+	// count the term frequencies in place — map-free, two allocations.
+	idxs := make([]int, 0, len(doc))
 	for _, tok := range doc {
 		if idx, ok := v.Index[tok]; ok {
-			counts[idx]++
+			idxs = append(idxs, idx)
 		}
 	}
-	vec := SparseVector{
-		Idx: make([]int, 0, len(counts)),
-		Val: make([]float64, 0, len(counts)),
-	}
-	for idx := range counts {
-		vec.Idx = append(vec.Idx, idx)
-	}
 	// Deterministic ordering keeps clustering reproducible.
-	sortInts(vec.Idx)
-	for _, idx := range vec.Idx {
-		tf := counts[idx]
+	sortInts(idxs)
+	vals := make([]float64, 0, len(idxs))
+	w := 0
+	for i := 0; i < len(idxs); {
+		j := i
+		for j < len(idxs) && idxs[j] == idxs[i] {
+			j++
+		}
+		idx := idxs[i]
+		tf := float64(j - i)
 		idf := math.Log(float64(v.Docs+1)/float64(v.DocFreq[idx]+1)) + 1
-		vec.Val = append(vec.Val, tf*idf)
+		idxs[w] = idx
+		vals = append(vals, tf*idf)
+		w++
+		i = j
 	}
+	vec := SparseVector{Idx: idxs[:w], Val: vals}
 	if n := vec.Norm(); n > 0 {
 		for i := range vec.Val {
 			vec.Val[i] /= n

@@ -225,22 +225,34 @@ func fill(s string, host model.MachineID) string {
 }
 
 // Crash renders description and resolution text for a crash ticket of the
-// given class on the given server.
+// given class on the given server, drawing from the renderer's own stream.
 func (rd *Renderer) Crash(class model.FailureClass, host model.MachineID) (desc, res string) {
+	return rd.CrashWith(rd.rng, class, host)
+}
+
+// CrashWith is Crash drawing from a caller-supplied stream instead of the
+// renderer's own. It keeps no renderer state, so callers holding
+// independent per-ticket streams may render concurrently.
+func (rd *Renderer) CrashWith(r *xrand.RNG, class model.FailureClass, host model.MachineID) (desc, res string) {
 	t, ok := crashTemplates[class]
 	if !ok {
 		t = crashTemplates[model.ClassOther]
 	}
-	if class != model.ClassOther && rd.rng.Bool(rd.vagueProb) {
+	if class != model.ClassOther && r.Bool(rd.vagueProb) {
 		// A sloppy writer: informative class, vague text.
 		vague := crashTemplates[model.ClassOther]
-		return fill(pick(rd.rng, vague.desc), host), fill(pick(rd.rng, vague.res), host)
+		return fill(pick(r, vague.desc), host), fill(pick(r, vague.res), host)
 	}
-	return fill(pick(rd.rng, t.desc), host), fill(pick(rd.rng, t.res), host)
+	return fill(pick(r, t.desc), host), fill(pick(r, t.res), host)
 }
 
 // NonCrash renders text for a background (non-failure) ticket.
 func (rd *Renderer) NonCrash(host model.MachineID) (desc, res string) {
-	t := nonCrashTemplates[rd.rng.Intn(len(nonCrashTemplates))]
-	return fill(pick(rd.rng, t.desc), host), fill(pick(rd.rng, t.res), host)
+	return rd.NonCrashWith(rd.rng, host)
+}
+
+// NonCrashWith is NonCrash drawing from a caller-supplied stream.
+func (rd *Renderer) NonCrashWith(r *xrand.RNG, host model.MachineID) (desc, res string) {
+	t := nonCrashTemplates[r.Intn(len(nonCrashTemplates))]
+	return fill(pick(r, t.desc), host), fill(pick(r, t.res), host)
 }

@@ -12,6 +12,45 @@ package xrand
 
 import "math"
 
+// mix64 is the SplitMix64 finalizer: a bijective avalanche function whose
+// output bits are decorrelated from its input bits.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Derive returns a generator that is a pure function of (seed, labels...).
+// Unlike Split it consumes no state from any parent generator, so streams
+// for different entities can be derived concurrently, in any order, and on
+// any number of goroutines while producing identical sequences. Each label
+// is passed through a full SplitMix64 finalization round before being
+// folded in, so (1,2) and (2,1) — or (1) and (1,0) — yield unrelated
+// streams.
+func Derive(seed uint64, labels ...uint64) *RNG {
+	s := mix64(seed ^ 0x6a09e667f3bcc909)
+	for _, l := range labels {
+		s = mix64(s ^ mix64(l+0x9e3779b97f4a7c15))
+	}
+	return New(s)
+}
+
+// HashString folds a string into a 64-bit label for Derive using FNV-1a.
+// Machine and ticket identifiers are hashed this way so per-entity streams
+// depend only on the entity's stable ID, never on slice positions.
+func HashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
 // RNG is a xoshiro256** pseudo-random number generator. The zero value is
 // not usable; construct one with New.
 type RNG struct {
