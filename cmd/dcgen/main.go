@@ -6,6 +6,7 @@
 // Usage:
 //
 //	dcgen [-seed N] [-scale small|paper] [-parallelism P] [-o dataset.jsonl] [-monitor monitor.jsonl]
+//	dcgen -scale small -v -trace-out run.json    # stage spans + run report
 package main
 
 import (
@@ -30,6 +31,10 @@ func run() error {
 		out      = flag.String("o", "dataset.jsonl", "output path (- for stdout)")
 		monitor  = flag.String("monitor", "", "also write the monitoring database to this path")
 		parallel = flag.Int("parallelism", 0, "worker count (0 = all CPUs, 1 = sequential; output is identical)")
+
+		verbose   = flag.Bool("v", false, "print the stage breakdown and generator metrics to stderr")
+		traceOut  = flag.String("trace-out", "", "write the machine-readable run report (JSON) to this file")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address for the run's duration")
 	)
 	flag.Parse()
 
@@ -47,9 +52,43 @@ func run() error {
 	}
 	study.Generator.Parallelism = *parallel
 
+	var o *failscope.Observer
+	if *verbose || *traceOut != "" || *debugAddr != "" {
+		o = failscope.NewObserver("dcgen")
+	}
+	if *debugAddr != "" {
+		bound, _, err := failscope.ServeDebug(*debugAddr)
+		if err != nil {
+			return err
+		}
+		o.Publish("failscope")
+		fmt.Fprintf(os.Stderr, "dcgen: debug server on http://%s/debug/pprof/\n", bound)
+	}
+	genSpan := o.Start("generate")
+	study.Generator.Observer = o.Under(genSpan)
+
 	field, err := failscope.Generate(study.Generator)
+	genSpan.End()
 	if err != nil {
 		return err
+	}
+	o.Finish()
+	if *verbose && o != nil {
+		fmt.Fprintf(os.Stderr, "Stage breakdown:\n%s\nMetrics:\n%s", o.Tree(), o.Metrics().Dump())
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := o.RunReport().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dcgen: wrote run report to %s\n", *traceOut)
 	}
 
 	w := os.Stdout

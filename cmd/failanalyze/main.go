@@ -5,6 +5,7 @@
 //
 //	failanalyze [-seed N] [-scale small|paper] [-classify] [-section NAME] [-parallelism P]
 //	failanalyze -input dataset.jsonl [-monitor monitor.jsonl] [-csv outdir]
+//	failanalyze -scale small -v -trace-out run.json    # stage spans + run report
 package main
 
 import (
@@ -12,6 +13,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 
 	"failscope"
 	"failscope/internal/report"
@@ -24,19 +27,81 @@ func main() {
 	}
 }
 
+// sections maps -section names to their renderers, in paper order.
+var sections = []struct {
+	name   string
+	render func(r *failscope.AnalysisReport) string
+}{
+	{"tableII", func(r *failscope.AnalysisReport) string { return report.DatasetStats(r.DatasetStats) }},
+	{"fig1", func(r *failscope.AnalysisReport) string { return report.ClassDistribution(r.ClassDistribution) }},
+	{"fig2", func(r *failscope.AnalysisReport) string { return report.WeeklyRates(r.WeeklyRates) }},
+	{"fig3", func(r *failscope.AnalysisReport) string {
+		return report.InterFailure(r.InterFailurePM) + report.InterFailure(r.InterFailureVM)
+	}},
+	{"tableIII", func(r *failscope.AnalysisReport) string { return report.InterFailureByClass(r.InterFailureClass) }},
+	{"fig4", func(r *failscope.AnalysisReport) string {
+		return report.Repair(r.RepairPM) + report.Repair(r.RepairVM)
+	}},
+	{"tableIV", func(r *failscope.AnalysisReport) string { return report.RepairByClass(r.RepairClass) }},
+	{"fig5", func(r *failscope.AnalysisReport) string { return report.Recurrence(r.RecurrencePM, r.RecurrenceVM) }},
+	{"tableV", func(r *failscope.AnalysisReport) string { return report.RandomVsRecurrent(r.RandomRecurrent) }},
+	{"tableVI", func(r *failscope.AnalysisReport) string { return report.Spatial(r.Spatial) }},
+	{"tableVII", func(r *failscope.AnalysisReport) string { return report.SpatialByClass(r.SpatialClass) }},
+	{"fig6", func(r *failscope.AnalysisReport) string { return report.Age(r.Age) }},
+	{"hazard", func(r *failscope.AnalysisReport) string { return report.Hazard(r.AgeHazard) }},
+	{"figs7-10", renderBinnedRateFigs},
+}
+
+// renderBinnedRateFigs prints the Figs. 7–10 capacity/usage/consolidation/
+// on-off panels — the binned-rate tail of the full report.
+func renderBinnedRateFigs(r *failscope.AnalysisReport) string {
+	var b strings.Builder
+	for _, key := range []string{"pm_cpu", "vm_cpu", "pm_mem", "vm_mem", "vm_diskcap", "vm_diskcount"} {
+		if br, ok := r.Capacity[key]; ok {
+			b.WriteString(report.BinnedRates("Fig. 7 — weekly failure rate vs "+key, br))
+		}
+	}
+	for _, key := range []string{"pm_cpuutil", "vm_cpuutil", "pm_memutil", "vm_memutil", "vm_diskutil", "vm_net"} {
+		if br, ok := r.Usage[key]; ok {
+			b.WriteString(report.BinnedRates("Fig. 8 — weekly failure rate vs "+key, br))
+		}
+	}
+	b.WriteString(report.BinnedRates("Fig. 9 — weekly failure rate vs consolidation level", r.ConsolidationFig))
+	b.WriteString(report.BinnedRates("Fig. 10 — weekly failure rate vs on/off per month", r.OnOffFig))
+	return b.String()
+}
+
+// sectionNames lists every valid -section value, sorted.
+func sectionNames() []string {
+	names := make([]string, len(sections))
+	for i, s := range sections {
+		names[i] = s.name
+	}
+	sort.Strings(names)
+	return names
+}
+
 func run() error {
 	var (
 		seed      = flag.Uint64("seed", 0, "generator seed (0 keeps the calibrated default)")
 		scale     = flag.String("scale", "paper", "dataset scale: paper or small")
 		classify  = flag.Bool("classify", false, "also run the k-means ticket classification (slower)")
-		section   = flag.String("section", "", "print only one section: tableII|fig1|fig2|fig3|tableIII|fig4|tableIV|fig5|tableV|tableVI|tableVII|fig6|hazard")
+		section   = flag.String("section", "", "print only one section: "+strings.Join(sectionNames(), "|"))
 		inputPath = flag.String("input", "", "analyze an existing dataset (JSONL from dcgen) instead of generating")
 		monPath   = flag.String("monitor", "", "monitoring database (JSONL) to join when -input is used")
 		csvDir    = flag.String("csv", "", "also export every figure panel as CSV into this directory")
 		profile   = flag.Int("profile", 0, "print the operator profile of one subsystem (1-5) instead of the report")
 		parallel  = flag.Int("parallelism", 0, "worker count for the study pipeline (0 = all CPUs, 1 = sequential; the report is identical)")
+		verbose   = flag.Bool("v", false, "print the stage breakdown and pipeline metrics to stderr")
+		traceOut  = flag.String("trace-out", "", "write the machine-readable run report (JSON) to this file")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060) for the run's duration")
 	)
 	flag.Parse()
+
+	// Reject a bad section name before the study runs, not after.
+	if *section != "" && sectionByName(*section) == nil {
+		return fmt.Errorf("unknown section %q; valid sections: %s", *section, strings.Join(sectionNames(), ", "))
+	}
 
 	var study failscope.Study
 	switch *scale {
@@ -53,6 +118,20 @@ func run() error {
 	study = study.WithParallelism(*parallel)
 	study.Collect.SkipClassification = !*classify
 
+	var o *failscope.Observer
+	if *verbose || *traceOut != "" || *debugAddr != "" {
+		o = failscope.NewObserver("failanalyze")
+	}
+	if *debugAddr != "" {
+		bound, _, err := failscope.ServeDebug(*debugAddr)
+		if err != nil {
+			return err
+		}
+		o.Publish("failscope")
+		fmt.Fprintf(os.Stderr, "failanalyze: debug server on http://%s/debug/pprof/\n", bound)
+	}
+	study = study.WithObserver(o)
+
 	var res *failscope.Result
 	var err error
 	if *inputPath != "" {
@@ -62,6 +141,25 @@ func run() error {
 	}
 	if err != nil {
 		return err
+	}
+
+	o.Finish()
+	if *verbose && o != nil {
+		fmt.Fprintf(os.Stderr, "Stage breakdown:\n%s\nMetrics:\n%s", o.Tree(), o.Metrics().Dump())
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := o.RunReport().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "failanalyze: wrote run report to %s\n", *traceOut)
 	}
 
 	if *classify && res.Collection.Classifier != nil {
@@ -91,36 +189,16 @@ func run() error {
 		fmt.Print(res.RenderReport())
 		return nil
 	}
-	r := res.Report
-	switch *section {
-	case "tableII":
-		fmt.Print(report.DatasetStats(r.DatasetStats))
-	case "fig1":
-		fmt.Print(report.ClassDistribution(r.ClassDistribution))
-	case "fig2":
-		fmt.Print(report.WeeklyRates(r.WeeklyRates))
-	case "fig3":
-		fmt.Print(report.InterFailure(r.InterFailurePM), report.InterFailure(r.InterFailureVM))
-	case "tableIII":
-		fmt.Print(report.InterFailureByClass(r.InterFailureClass))
-	case "fig4":
-		fmt.Print(report.Repair(r.RepairPM), report.Repair(r.RepairVM))
-	case "tableIV":
-		fmt.Print(report.RepairByClass(r.RepairClass))
-	case "fig5":
-		fmt.Print(report.Recurrence(r.RecurrencePM, r.RecurrenceVM))
-	case "tableV":
-		fmt.Print(report.RandomVsRecurrent(r.RandomRecurrent))
-	case "tableVI":
-		fmt.Print(report.Spatial(r.Spatial))
-	case "tableVII":
-		fmt.Print(report.SpatialByClass(r.SpatialClass))
-	case "fig6":
-		fmt.Print(report.Age(r.Age))
-	case "hazard":
-		fmt.Print(report.Hazard(r.AgeHazard))
-	default:
-		return fmt.Errorf("unknown section %q", *section)
+	fmt.Print(sectionByName(*section)(res.Report))
+	return nil
+}
+
+// sectionByName returns the renderer registered for name, or nil.
+func sectionByName(name string) func(r *failscope.AnalysisReport) string {
+	for _, s := range sections {
+		if s.name == name {
+			return s.render
+		}
 	}
 	return nil
 }
@@ -222,13 +300,19 @@ func runOnFiles(study failscope.Study, dataPath, monitorPath string) (*failscope
 		}
 	}
 
+	o := study.Observer
 	opts := study.Collect
 	opts.Observation = data.Observation
+	colSpan := o.Start("collect")
+	opts.Observer = o.Under(colSpan)
 	col, err := failscope.CollectDataset(data, data.Tickets, monitor, opts)
+	colSpan.End()
 	if err != nil {
 		return nil, err
 	}
-	rep, err := failscope.Analyze(failscope.AnalysisInput{Data: col.Data, Attrs: col.Attrs})
+	anaSpan := o.Start("analyze")
+	rep, err := failscope.Analyze(failscope.AnalysisInput{Data: col.Data, Attrs: col.Attrs, Observer: o.Under(anaSpan)})
+	anaSpan.End()
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	failsim [-seed N] [-replicas K] [-hosts H] [-years Y] [-runs R] [-independent] [-parallelism P]
+//	failsim -v -trace-out run.json    # stage spans + run report
 package main
 
 import (
@@ -33,6 +34,10 @@ func run() error {
 		runs        = flag.Int("runs", 200, "independent simulation runs")
 		independent = flag.Bool("independent", false, "disable host-correlated failures (the naive model)")
 		parallel    = flag.Int("parallelism", 0, "worker count for the study pipeline (0 = all CPUs, 1 = sequential; results are identical)")
+
+		verbose   = flag.Bool("v", false, "print the stage breakdown and pipeline metrics to stderr")
+		traceOut  = flag.String("trace-out", "", "write the machine-readable run report (JSON) to this file")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address for the run's duration")
 	)
 	flag.Parse()
 
@@ -41,6 +46,21 @@ func run() error {
 		study.Generator.Seed = *seed
 	}
 	study.Collect.SkipClassification = true
+
+	var o *failscope.Observer
+	if *verbose || *traceOut != "" || *debugAddr != "" {
+		o = failscope.NewObserver("failsim")
+	}
+	if *debugAddr != "" {
+		bound, _, err := failscope.ServeDebug(*debugAddr)
+		if err != nil {
+			return err
+		}
+		o.Publish("failscope")
+		fmt.Fprintf(os.Stderr, "failsim: debug server on http://%s/debug/pprof/\n", bound)
+	}
+	study = study.WithObserver(o)
+
 	res, err := study.Run()
 	if err != nil {
 		return err
@@ -79,9 +99,30 @@ func run() error {
 	fmt.Printf("service: %d replicas over %d hosts, %.1f simulated years x %d runs\n\n",
 		*replicas, *hosts, *years, *runs)
 
+	simSpan := o.Start("ft-simulate")
 	results, err := failscope.ComparePlacements(cfg)
+	simSpan.AddItems(2 * cfg.Runs)
+	simSpan.End()
 	if err != nil {
 		return err
+	}
+	o.Finish()
+	if *verbose && o != nil {
+		fmt.Fprintf(os.Stderr, "Stage breakdown:\n%s\nMetrics:\n%s", o.Tree(), o.Metrics().Dump())
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := o.RunReport().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "failsim: wrote run report to %s\n", *traceOut)
 	}
 	fmt.Printf("%-8s %14s %16s %10s %14s\n", "policy", "availability", "downtime [h]", "outages", "mean outage[h]")
 	for _, p := range []failscope.FTPlacement{failscope.PlacementSpread, failscope.PlacementPack} {

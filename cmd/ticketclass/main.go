@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ticketclass [-seed N] [-scale small|paper] [-train-frac F] [-clusters K]
+//	ticketclass [-seed N] [-scale small|paper] [-train-frac F] [-clusters K] [-parallelism P] [-v]
 package main
 
 import (
@@ -30,6 +30,8 @@ func run() error {
 		scale     = flag.String("scale", "paper", "dataset scale: paper or small")
 		trainFrac = flag.Float64("train-frac", 0.30, "background labeling fraction")
 		clusters  = flag.Int("clusters", 0, "k-means clusters for crash identification (0 = default)")
+		parallel  = flag.Int("parallelism", 0, "worker count for generation and training (0 = all CPUs, 1 = sequential; results are identical)")
+		verbose   = flag.Bool("v", false, "print the stage breakdown and pipeline metrics to stderr")
 	)
 	flag.Parse()
 
@@ -45,16 +47,31 @@ func run() error {
 	if *seed != 0 {
 		study.Generator.Seed = *seed
 	}
+	study = study.WithParallelism(*parallel)
 	study.Collect.TrainFraction = *trainFrac
 	study.Collect.Clusters = *clusters
 
+	var o *failscope.Observer
+	if *verbose {
+		o = failscope.NewObserver("ticketclass")
+	}
+	genSpan := o.Start("generate")
+	study.Generator.Observer = o.Under(genSpan)
 	field, err := failscope.Generate(study.Generator)
+	genSpan.End()
 	if err != nil {
 		return err
 	}
+	colSpan := o.Start("collect")
+	study.Collect.Observer = o.Under(colSpan)
 	col, err := failscope.Collect(field, study.Collect)
+	colSpan.End()
 	if err != nil {
 		return err
+	}
+	o.Finish()
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "Stage breakdown:\n%s\nMetrics:\n%s", o.Tree(), o.Metrics().Dump())
 	}
 	c := col.Classifier
 	fmt.Printf("tickets: %d (train %d, test %d)\n", c.TrainDocs+c.TestDocs, c.TrainDocs, c.TestDocs)

@@ -28,6 +28,7 @@ import (
 	"failscope/internal/ingest"
 	"failscope/internal/model"
 	"failscope/internal/monitordb"
+	"failscope/internal/obs"
 	"failscope/internal/predict"
 	"failscope/internal/report"
 	"failscope/internal/ticketdb"
@@ -214,6 +215,12 @@ type Study struct {
 	// goroutines. Every setting produces byte-identical results — see the
 	// "Concurrency model" section of DESIGN.md.
 	Parallelism int
+
+	// Observer, when non-nil, records stage spans and pipeline metrics for
+	// the run — see the "Observability" section of DESIGN.md. Observation
+	// never touches a random stream, so the result is byte-identical with
+	// and without it, at any worker count.
+	Observer *Observer
 }
 
 // WithParallelism returns a copy of the study with the worker count of
@@ -222,6 +229,12 @@ func (s Study) WithParallelism(p int) Study {
 	s.Parallelism = p
 	s.Generator.Parallelism = p
 	s.Collect.Parallelism = p
+	return s
+}
+
+// WithObserver returns a copy of the study instrumented with o.
+func (s Study) WithObserver(o *Observer) Study {
+	s.Observer = o
 	return s
 }
 
@@ -253,21 +266,32 @@ type Result struct {
 }
 
 // Run executes the full pipeline: generate field data, run the collection
-// pipeline, and analyze.
+// pipeline, and analyze. With an Observer attached, each stage runs under
+// its own span ("generate", "collect", "analyze") with the per-stage
+// sub-stages nested beneath.
 func (s Study) Run() (*Result, error) {
 	if s.Parallelism != 0 {
 		s.Generator.Parallelism = s.Parallelism
 		s.Collect.Parallelism = s.Parallelism
 	}
+	o := s.Observer
+	genSpan := o.Start("generate")
+	s.Generator.Observer = o.Under(genSpan)
 	field, err := Generate(s.Generator)
+	genSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	colSpan := o.Start("collect")
+	s.Collect.Observer = o.Under(colSpan)
 	col, err := Collect(field, s.Collect)
+	colSpan.End()
 	if err != nil {
 		return nil, err
 	}
-	rep, err := Analyze(AnalysisInput{Data: col.Data, Attrs: col.Attrs})
+	anaSpan := o.Start("analyze")
+	rep, err := Analyze(AnalysisInput{Data: col.Data, Attrs: col.Attrs, Observer: o.Under(anaSpan)})
+	anaSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -350,6 +374,32 @@ type RNG = xrand.RNG
 
 // NewRNG returns a seeded deterministic generator.
 func NewRNG(seed uint64) *RNG { return xrand.New(seed) }
+
+// Observability, re-exported from internal/obs. An Observer records a
+// hierarchical span tree (wall time, summed worker busy time, allocation
+// deltas, item counts per pipeline stage) and a registry of named metrics
+// as the study runs; both export as a text tree, a plain-text metric dump,
+// expvar variables, or a machine-readable RunReport. Every method is safe
+// on a nil receiver, and observation never touches a random stream.
+type (
+	// Observer couples the active span with the run's metric registry.
+	Observer = obs.Observer
+	// Span is one timed stage of the pipeline.
+	Span = obs.Span
+	// Metrics is the named counter/gauge/histogram registry.
+	Metrics = obs.Registry
+	// RunReport is the machine-readable run summary (JSON).
+	RunReport = obs.RunReport
+	// SpanReport is one span in a RunReport.
+	SpanReport = obs.SpanReport
+)
+
+// NewObserver returns an observer rooted at a run-level span named name.
+func NewObserver(name string) *Observer { return obs.NewObserver(name) }
+
+// ServeDebug starts an HTTP server on addr exposing /debug/pprof and
+// /debug/vars; it returns the bound address and a shutdown func.
+func ServeDebug(addr string) (string, func(), error) { return obs.ServeDebug(addr) }
 
 // PaperConfig exposes the calibrated generator configuration for callers
 // who want to tweak individual knobs (seeds, populations, curves).

@@ -32,42 +32,73 @@ type Report struct {
 	OnOffFig          BinnedRates // Fig. 10
 }
 
-// Analyze runs the complete study.
+// Analyze runs the complete study. Each per-table analysis runs under its
+// own span when in.Observer is set; all analyses are pure functions of the
+// input, so the report is identical with and without observation.
 func Analyze(in Input) (*Report, error) {
 	if in.Data == nil {
 		return nil, fmt.Errorf("core: nil dataset")
 	}
-	r := &Report{
-		DatasetStats:      DatasetStats(in),
-		ClassDistribution: ClassDistribution(in),
-		WeeklyRates:       WeeklyFailureRates(in),
-		InterFailurePM:    InterFailure(in, model.PM),
-		InterFailureVM:    InterFailure(in, model.VM),
-		InterFailureClass: InterFailureByClass(in),
-		RepairPM:          RepairTimes(in, model.PM),
-		RepairVM:          RepairTimes(in, model.VM),
-		RepairClass:       RepairByClass(in),
-		RecurrencePM:      Recurrence(in, model.PM, 0),
-		RecurrenceVM:      Recurrence(in, model.VM, 0),
-		RandomRecurrent:   RandomVsRecurrentTable(in),
-		Spatial:           Spatial(in),
-		SpatialClass:      ServersPerIncidentByClass(in),
-		Age:               AgeAnalysis(in, 24),
-		AgeHazard:         AgeHazard(in, 60, 730),
-		FleetSeries:       WeeklyFailureSeries(in, 0),
-		ClassRecurrences:  RecurrenceByClass(in, 0),
+	o := in.Observer
+	step := func(name string, fn func()) {
+		sp := o.Start(name)
+		fn()
+		sp.End()
 	}
+	crashes := 0
+	for _, t := range in.Data.Tickets {
+		if t.IsCrash {
+			crashes++
+		}
+	}
+	m := o.Metrics()
+	m.Add("core.machines", int64(len(in.Data.Machines)))
+	m.Add("core.crash_tickets", int64(crashes))
+
+	r := &Report{}
+	step("dataset-stats", func() { r.DatasetStats = DatasetStats(in) })
+	step("class-distribution", func() { r.ClassDistribution = ClassDistribution(in) })
+	step("weekly-rates", func() { r.WeeklyRates = WeeklyFailureRates(in) })
+	step("inter-failure", func() {
+		r.InterFailurePM = InterFailure(in, model.PM)
+		r.InterFailureVM = InterFailure(in, model.VM)
+		r.InterFailureClass = InterFailureByClass(in)
+	})
+	step("repair-times", func() {
+		r.RepairPM = RepairTimes(in, model.PM)
+		r.RepairVM = RepairTimes(in, model.VM)
+		r.RepairClass = RepairByClass(in)
+	})
+	step("recurrence", func() {
+		r.RecurrencePM = Recurrence(in, model.PM, 0)
+		r.RecurrenceVM = Recurrence(in, model.VM, 0)
+		r.RandomRecurrent = RandomVsRecurrentTable(in)
+		r.ClassRecurrences = RecurrenceByClass(in, 0)
+	})
+	step("spatial", func() {
+		r.Spatial = Spatial(in)
+		r.SpatialClass = ServersPerIncidentByClass(in)
+	})
+	step("age", func() {
+		r.Age = AgeAnalysis(in, 24)
+		r.AgeHazard = AgeHazard(in, 60, 730)
+	})
+	step("fleet-series", func() { r.FleetSeries = WeeklyFailureSeries(in, 0) })
 	var err error
-	if r.Capacity, err = CapacityStudy(in); err != nil {
+	step("capacity", func() { r.Capacity, err = CapacityStudy(in) })
+	if err != nil {
 		return nil, err
 	}
-	if r.Usage, err = UsageStudy(in); err != nil {
+	step("usage", func() { r.Usage, err = UsageStudy(in) })
+	if err != nil {
 		return nil, err
 	}
-	if r.ConsolidationFig, err = Consolidation(in); err != nil {
+	step("consolidation", func() { r.ConsolidationFig, err = Consolidation(in) })
+	if err != nil {
 		return nil, err
 	}
-	if r.OnOffFig, err = OnOff(in); err != nil {
+	step("onoff", func() { r.OnOffFig, err = OnOff(in) })
+	if err != nil {
 		return nil, err
 	}
 	return r, nil

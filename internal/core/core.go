@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"failscope/internal/model"
+	"failscope/internal/obs"
 )
 
 // Input is the analysis input: the dataset (machines + tickets +
@@ -20,6 +21,11 @@ import (
 type Input struct {
 	Data  *model.Dataset
 	Attrs map[model.MachineID]model.Attributes
+
+	// Observer, when non-nil, records a span per table/figure analysis and
+	// the headline study metrics. The analyses are pure functions of the
+	// input, so the report is identical with and without it.
+	Observer *obs.Observer
 }
 
 // attrsOf returns the machine's attributes (zero value if absent).

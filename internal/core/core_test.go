@@ -10,7 +10,7 @@ import (
 
 var (
 	t0  = time.Date(2012, 7, 1, 0, 0, 0, 0, time.UTC)
-	obs = model.Window{Start: t0, End: t0.AddDate(1, 0, 0)} // 52+ weeks
+	obsWin = model.Window{Start: t0, End: t0.AddDate(1, 0, 0)} // 52+ weeks
 )
 
 // builder assembles small, exactly verifiable datasets.
@@ -59,7 +59,7 @@ func (b *builder) incident(id string, class model.FailureClass, servers ...model
 
 func (b *builder) input() Input {
 	return Input{
-		Data:  model.NewDataset(obs, b.machines, b.tickets, b.incidents),
+		Data:  model.NewDataset(obsWin, b.machines, b.tickets, b.incidents),
 		Attrs: b.attrs,
 	}
 }
@@ -127,7 +127,7 @@ func TestWeeklyFailureRates(t *testing.T) {
 	if rs.Servers != 2 {
 		t.Fatalf("servers = %d", rs.Servers)
 	}
-	weeks := float64(obs.NumWeeks())
+	weeks := float64(obsWin.NumWeeks())
 	wantMean := (2.0/2 + 1.0/2) / weeks // weekly rates: 1.0, 0.5, 0, 0, ...
 	if math.Abs(rs.Summary.Mean-wantMean) > 1e-12 {
 		t.Fatalf("mean = %v, want %v", rs.Summary.Mean, wantMean)
@@ -284,7 +284,7 @@ func TestRandomWeeklyProbability(t *testing.T) {
 	b.crash("pm2", model.SysI, 2, model.ClassSoftware, 1)
 	in := b.input()
 	got := RandomWeeklyProbability(in, model.PM, model.SysI)
-	want := 1.0 / float64(obs.NumWeeks()) // week 0: 2/2 servers; others 0
+	want := 1.0 / float64(obsWin.NumWeeks()) // week 0: 2/2 servers; others 0
 	if math.Abs(got-want) > 1e-12 {
 		t.Fatalf("random weekly = %v, want %v", got, want)
 	}

@@ -58,8 +58,8 @@ func TestInterFailureCensoredSample(t *testing.T) {
 	if len(sample.Censored) != 2 {
 		t.Fatalf("censored = %v", sample.Censored)
 	}
-	wantA := obs.Days() - 30
-	wantB := obs.Days() - 100
+	wantA := obsWin.Days() - 30
+	wantB := obsWin.Days() - 100
 	got := map[float64]bool{sample.Censored[0]: true, sample.Censored[1]: true}
 	if !got[wantA] || !got[wantB] {
 		t.Fatalf("censored = %v, want {%v, %v}", sample.Censored, wantA, wantB)

@@ -34,7 +34,7 @@ func TestRateByAttributeBinsServersAndFailures(t *testing.T) {
 	if hi.Servers != 1 || hi.Failures != 2 {
 		t.Fatalf("high bin: %+v", hi)
 	}
-	weeks := float64(obs.NumWeeks())
+	weeks := float64(obsWin.NumWeeks())
 	wantLo := (1.0 / 2) / weeks
 	if math.Abs(lo.Rate.Mean-wantLo) > 1e-12 {
 		t.Fatalf("low rate %v, want %v", lo.Rate.Mean, wantLo)

@@ -202,7 +202,7 @@ func TestConsolidationLevelMix(t *testing.T) {
 
 func TestUsageProfilesInRange(t *testing.T) {
 	cfg := tinyConfig()
-	systems := buildTopology(cfg)
+	systems := buildTopology(cfg, nil)
 	for _, ss := range systems {
 		for _, st := range append(append([]*machineState{}, ss.pms...), ss.vms...) {
 			if st.cpuUtil <= 0 || st.cpuUtil > 100 {
@@ -222,7 +222,7 @@ func TestPMMemUtilSkewsHigh(t *testing.T) {
 	// §V.B: the number of PMs increases with memory utilization; the
 	// number of VMs decreases.
 	cfg := tinyConfig()
-	systems := buildTopology(cfg)
+	systems := buildTopology(cfg, nil)
 	var pmHigh, pmN, vmLow, vmN int
 	for _, ss := range systems {
 		for _, st := range ss.pms {
@@ -248,7 +248,7 @@ func TestPMMemUtilSkewsHigh(t *testing.T) {
 
 func TestAppGroupsKindHomogeneous(t *testing.T) {
 	cfg := tinyConfig()
-	systems := buildTopology(cfg)
+	systems := buildTopology(cfg, nil)
 	for _, ss := range systems {
 		kinds := make(map[int]model.MachineKind)
 		for _, st := range append(append([]*machineState{}, ss.pms...), ss.vms...) {
@@ -302,7 +302,7 @@ func TestVictimEventsFilters(t *testing.T) {
 func TestMassEventsDisabled(t *testing.T) {
 	cfg := tinyConfig() // MassEventsPerYear = 0
 	rng := xrand.New(12)
-	systems := buildTopology(cfg)
+	systems := buildTopology(cfg, nil)
 	calibrateRates(cfg, systems[0])
 	if got := massEvents(cfg, systems[0], rng); got != nil {
 		t.Fatalf("mass events generated despite zero rate: %d", len(got))

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"failscope/internal/model"
+	"failscope/internal/obs"
 )
 
 // Curve is a piecewise-constant map from an attribute value to a relative
@@ -159,6 +160,12 @@ type Config struct {
 	// The generated output is byte-identical at every setting because all
 	// randomness comes from streams derived from (Seed, stage, entity).
 	Parallelism int
+
+	// Observer, when non-nil, records stage spans (topology, calibration,
+	// events, tickets, monitoring, ...) and generator metrics for this run.
+	// It never touches a random stream: output is byte-identical with and
+	// without it.
+	Observer *obs.Observer
 
 	// Observation is the paper's one-year study window; MonitorEpoch is
 	// the earlier start of the monitoring database's two-year retention.

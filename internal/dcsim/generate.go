@@ -7,6 +7,7 @@ import (
 
 	"failscope/internal/model"
 	"failscope/internal/monitordb"
+	"failscope/internal/obs"
 	"failscope/internal/par"
 	"failscope/internal/ticketdb"
 	"failscope/internal/xrand"
@@ -30,27 +31,39 @@ func Generate(cfg Config) (*Output, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	systems := buildTopology(cfg)
+	o := cfg.Observer
+
+	topoSpan := o.Start("topology")
+	systems := buildTopology(cfg, topoSpan)
+	topoSpan.End()
 
 	monitor := monitordb.New(cfg.MonitorEpoch, cfg.MonitorRetention)
+	monitor.Instrument(o.Metrics())
 	store := ticketdb.NewStore()
 	renderer := ticketdb.NewRenderer(xrand.Derive(cfg.Seed, streamTicket), cfg.VagueTextProb)
 
 	// Calibrate failure rates, then generate the event log.
+	calSpan := o.Start("calibration")
 	for _, ss := range systems {
 		calibrateRates(cfg, ss)
 	}
+	calSpan.End()
+
+	evSpan := o.Start("events")
 	nextIncident := 1
 	var allEvents []event
 	for _, ss := range systems {
 		allEvents = append(allEvents, generateEvents(cfg, ss, &nextIncident)...)
 	}
+	evSpan.AddItems(len(allEvents))
+	evSpan.End()
 
 	// Render crash tickets. Each event's repair draw and ticket text come
 	// from a stream keyed by the event's position in the (deterministic)
 	// event log, so rendering shards freely across workers.
+	tickSpan := o.Start("tickets")
 	tickets := make([]model.Ticket, len(allEvents))
-	par.ForEach(cfg.Parallelism, len(allEvents), func(i int) {
+	tickSpan.AddPool(par.ForEach(cfg.Parallelism, len(allEvents), func(i int) {
 		ev := allEvents[i]
 		rng := xrand.Derive(cfg.Seed, streamTicket, uint64(i))
 		// Repair effort follows the physical cause; the ticket label (and
@@ -73,9 +86,11 @@ func Generate(cfg Config) (*Output, error) {
 			IsCrash:     true,
 			Class:       ev.label,
 		}
-	})
+	}))
+	tickSpan.End()
 
 	// Incident log, folded sequentially in event order.
+	incSpan := o.Start("incidents")
 	incidents := make(map[int]*model.Incident)
 	for _, ev := range allEvents {
 		inc := incidents[ev.incident]
@@ -86,21 +101,31 @@ func Generate(cfg Config) (*Output, error) {
 				Time:  ev.t,
 			}
 			incidents[ev.incident] = inc
+			o.Metrics().Add("dcsim.incidents."+ev.label.String(), 1)
 		}
 		inc.Servers = append(inc.Servers, ev.st.m.ID)
 	}
+	incSpan.AddItems(len(incidents))
+	incSpan.End()
 
 	// Background (non-crash) ticket traffic.
+	bgSpan := o.Start("background")
+	nCrash := len(allEvents)
 	for _, ss := range systems {
-		tickets = append(tickets, backgroundTickets(cfg, ss, renderer)...)
+		tickets = append(tickets, backgroundTickets(cfg, ss, renderer, bgSpan)...)
 	}
+	bgSpan.AddItems(len(tickets) - nCrash)
+	bgSpan.End()
 
 	// Monitoring database: usage series, placements, power events.
+	monSpan := o.Start("monitoring")
 	for _, ss := range systems {
-		writeMonitoring(cfg, ss, monitor)
+		writeMonitoring(cfg, ss, monitor, monSpan)
 	}
+	monSpan.End()
 
 	// Assemble and validate the dataset.
+	asmSpan := o.Start("assemble")
 	var machines []*model.Machine
 	for _, ss := range systems {
 		for _, st := range ss.pms {
@@ -127,12 +152,19 @@ func Generate(cfg Config) (*Output, error) {
 	if err := data.Validate(); err != nil {
 		return nil, fmt.Errorf("dcsim: generated dataset invalid: %w", err)
 	}
+	asmSpan.End()
+
+	m := o.Metrics()
+	m.Add("dcsim.machines", int64(len(machines)))
+	m.Add("dcsim.tickets", int64(len(tickets)))
+	m.Add("dcsim.crash_tickets", int64(nCrash))
+	m.Add("dcsim.incidents", int64(len(incidentList)))
 	return &Output{Data: data, Tickets: store, Monitor: monitor}, nil
 }
 
 // backgroundTickets generates the >94% of problem tickets that are not
 // server failures. Every ticket draws from its own (system, index) stream.
-func backgroundTickets(cfg Config, ss *systemState, renderer *ticketdb.Renderer) []model.Ticket {
+func backgroundTickets(cfg Config, ss *systemState, renderer *ticketdb.Renderer, sp *obs.Span) []model.Ticket {
 	n := int(float64(ss.cfg.AllTickets) * (1 - ss.cfg.CrashShare))
 	machines := allMachines(ss)
 	if len(machines) == 0 || n <= 0 {
@@ -141,7 +173,7 @@ func backgroundTickets(cfg Config, ss *systemState, renderer *ticketdb.Renderer)
 	span := cfg.Observation.Duration()
 	sys := uint64(ss.cfg.System)
 	out := make([]model.Ticket, n)
-	par.ForEach(cfg.Parallelism, n, func(i int) {
+	sp.AddPool(par.ForEach(cfg.Parallelism, n, func(i int) {
 		rng := xrand.Derive(cfg.Seed, streamBackground, sys, uint64(i))
 		st := machines[rng.Intn(len(machines))]
 		opened := cfg.Observation.Start.Add(time.Duration(rng.Float64() * float64(span)))
@@ -156,7 +188,7 @@ func backgroundTickets(cfg Config, ss *systemState, renderer *ticketdb.Renderer)
 			Resolution:  res,
 			IsCrash:     false,
 		}
-	})
+	}))
 	return out
 }
 
@@ -169,16 +201,16 @@ func backgroundTickets(cfg Config, ss *systemState, renderer *ticketdb.Renderer)
 // (one writer per series, commutative first-seen minimum and host-load
 // counts) and its encoder sorts, so the persisted bytes are identical at
 // every parallelism level.
-func writeMonitoring(cfg Config, ss *systemState, db *monitordb.DB) {
+func writeMonitoring(cfg Config, ss *systemState, db *monitordb.DB, sp *obs.Span) {
 	machines := allMachines(ss)
-	par.ForEach(cfg.Parallelism, len(machines), func(i int) {
+	sp.AddPool(par.ForEach(cfg.Parallelism, len(machines), func(i int) {
 		writeUsage(cfg, machines[i], db)
-	})
-	par.ForEach(cfg.Parallelism, len(ss.vms), func(i int) {
+	}))
+	sp.AddPool(par.ForEach(cfg.Parallelism, len(ss.vms), func(i int) {
 		st := ss.vms[i]
 		writePlacements(cfg, ss, st, db)
 		writePowerEvents(cfg, st, db)
-	})
+	}))
 }
 
 // writeUsage emits one machine's birth marker and weekly usage series.

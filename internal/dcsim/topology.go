@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"failscope/internal/model"
+	"failscope/internal/obs"
 	"failscope/internal/par"
 	"failscope/internal/xrand"
 )
@@ -97,21 +98,21 @@ var (
 // buildTopology constructs the machine inventory and hidden state for all
 // systems. Per-machine draws come from streams keyed by the machine's ID
 // and run on cfg.Parallelism workers; the result is identical at every
-// worker count.
-func buildTopology(cfg Config) []*systemState {
+// worker count. Pool accounting for the per-machine sweeps lands on sp.
+func buildTopology(cfg Config, sp *obs.Span) []*systemState {
 	systems := make([]*systemState, 0, len(cfg.Systems))
 	for _, sc := range cfg.Systems {
-		systems = append(systems, buildSystem(cfg, sc))
+		systems = append(systems, buildSystem(cfg, sc, sp))
 	}
 	return systems
 }
 
-func buildSystem(cfg Config, sc SystemConfig) *systemState {
+func buildSystem(cfg Config, sc SystemConfig, sp *obs.Span) *systemState {
 	ss := &systemState{cfg: sc}
 
 	// PMs: long-lived physical servers, in place well before the epoch.
 	ss.pms = make([]*machineState, sc.PMs)
-	par.ForEach(cfg.Parallelism, sc.PMs, func(i int) {
+	sp.AddPool(par.ForEach(cfg.Parallelism, sc.PMs, func(i int) {
 		id := model.MachineID(fmt.Sprintf("pm-%d-%04d", sc.System, i))
 		rng := machineRNG(cfg, streamTopoMachine, id)
 		m := &model.Machine{
@@ -127,7 +128,7 @@ func buildSystem(cfg Config, sc SystemConfig) *systemState {
 		st := &machineState{m: m, boxIdx: -1, consFactor: 1}
 		drawUsage(st, rng)
 		ss.pms[i] = st
-	})
+	}))
 
 	// Boxes sized by the consolidation-level mix, then VMs placed on them.
 	// The configured weights are per-VM population shares; a box of level L
@@ -176,7 +177,7 @@ func buildSystem(cfg Config, sc SystemConfig) *systemState {
 		}
 	}
 	ss.vms = make([]*machineState, len(vmBox))
-	par.ForEach(cfg.Parallelism, len(vmBox), func(i int) {
+	sp.AddPool(par.ForEach(cfg.Parallelism, len(vmBox), func(i int) {
 		b := ss.boxes[vmBox[i]]
 		id := model.MachineID(fmt.Sprintf("vm-%d-%05d", sc.System, i))
 		rng := machineRNG(cfg, streamTopoMachine, id)
@@ -202,7 +203,7 @@ func buildSystem(cfg Config, sc SystemConfig) *systemState {
 		}
 		drawUsage(st, rng)
 		ss.vms[i] = st
-	})
+	}))
 	for i, st := range ss.vms {
 		ss.boxes[vmBox[i]].vms = append(ss.boxes[vmBox[i]].vms, st)
 	}

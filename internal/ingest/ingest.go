@@ -12,6 +12,7 @@ import (
 
 	"failscope/internal/model"
 	"failscope/internal/monitordb"
+	"failscope/internal/obs"
 	"failscope/internal/par"
 	"failscope/internal/textmine"
 	"failscope/internal/ticketdb"
@@ -51,13 +52,19 @@ type Options struct {
 	// prediction and the monitoring join: 0 means GOMAXPROCS, 1 the
 	// sequential reference. The collection is identical at every setting.
 	Parallelism int
+
+	// Observer, when non-nil, records pipeline spans (window filter, the
+	// two classifier training stages, prediction, the monitoring join) and
+	// ingest metrics (train/test sizes, join hit rate). It never touches
+	// the RNG: the collection is identical with and without it.
+	Observer *obs.Observer
 }
 
 // DefaultOptions returns the pipeline defaults.
-func DefaultOptions(obs, fine model.Window) Options {
+func DefaultOptions(win, fine model.Window) Options {
 	return Options{
 		Seed:          1,
-		Observation:   obs,
+		Observation:   win,
 		FineWindow:    fine,
 		TrainFraction: 0.30,
 		MaxTrainDocs:  12000,
@@ -101,17 +108,24 @@ func labelOf(t model.Ticket) int {
 
 // Collect runs the full pipeline over the raw field databases.
 func Collect(data *model.Dataset, tickets *ticketdb.Store, monitor *monitordb.DB, opts Options) (*Collection, error) {
+	o := opts.Observer
 	if opts.Observation.Duration() <= 0 {
 		opts.Observation = data.Observation
 	}
+	winSpan := o.Start("window-filter")
 	inWindow := tickets.InWindow(opts.Observation)
+	winSpan.AddItems(len(inWindow))
+	winSpan.End()
+	o.Metrics().Add("ingest.tickets_in_window", int64(len(inWindow)))
 
 	col := &Collection{
 		Data: model.NewDataset(opts.Observation, data.Machines, inWindow, data.Incidents),
 	}
 
 	if !opts.SkipClassification {
-		report, preds, err := classify(inWindow, opts)
+		clsSpan := o.Start("classify")
+		report, preds, err := classify(inWindow, opts, o.Under(clsSpan))
+		clsSpan.End()
 		if err != nil {
 			return nil, fmt.Errorf("ingest: classify tickets: %w", err)
 		}
@@ -141,7 +155,7 @@ func Collect(data *model.Dataset, tickets *ticketdb.Store, monitor *monitordb.DB
 // It returns the report and the predicted label for every input ticket
 // (training tickets keep their manually assigned ground truth, exactly as
 // the paper's hand-labeled subset would).
-func classify(tickets []model.Ticket, opts Options) (*ClassifierReport, []int, error) {
+func classify(tickets []model.Ticket, opts Options, o *obs.Observer) (*ClassifierReport, []int, error) {
 	if len(tickets) == 0 {
 		return nil, nil, fmt.Errorf("no tickets to classify")
 	}
@@ -216,13 +230,25 @@ func classify(tickets []model.Ticket, opts Options) (*ClassifierReport, []int, e
 			crashLabels = append(crashLabels, l)
 		}
 	}
+	m := o.Metrics()
+	m.Add("ingest.train_docs", int64(len(trainTexts)))
+	m.Add("ingest.test_docs", int64(len(testTexts)))
+
+	s1Span := o.Start("train-stage1")
+	topts.Observer = o.Under(s1Span)
 	stage1, err := textmine.Train(trainTexts, binLabels, topts, rng)
+	s1Span.AddItems(len(trainTexts))
+	s1Span.End()
 	if err != nil {
 		return nil, nil, fmt.Errorf("stage 1 (crash identification): %w", err)
 	}
 	fineOpts := topts
 	fineOpts.Clusters = 24
+	s2Span := o.Start("train-stage2")
+	fineOpts.Observer = o.Under(s2Span)
 	stage2, err := textmine.Train(crashTexts, crashLabels, fineOpts, rng)
+	s2Span.AddItems(len(crashTexts))
+	s2Span.End()
 	if err != nil {
 		return nil, nil, fmt.Errorf("stage 2 (crash classification): %w", err)
 	}
@@ -230,14 +256,16 @@ func classify(tickets []model.Ticket, opts Options) (*ClassifierReport, []int, e
 	// Predicting the test set is embarrassingly parallel: both stages only
 	// read their classifier. The confusion matrix is tabulated afterwards
 	// in test order so its contents don't depend on worker scheduling.
+	predSpan := o.Start("predict")
 	testPreds := make([]int, len(testTexts))
-	par.ForEach(opts.Parallelism, len(testTexts), func(i int) {
+	predSpan.AddPool(par.ForEach(opts.Parallelism, len(testTexts), func(i int) {
 		pred := 0
 		if stage1.Predict(testTexts[i]) == 1 {
 			pred = stage2.Predict(testTexts[i])
 		}
 		testPreds[i] = pred
-	})
+	}))
+	predSpan.End()
 
 	cm := &textmine.ConfusionMatrix{Counts: make(map[[2]int]int)}
 	seen := make(map[int]bool)
@@ -302,24 +330,31 @@ func classify(tickets []model.Ticket, opts Options) (*ClassifierReport, []int, e
 // the map is assembled afterwards, so the result is worker-count
 // independent.
 func joinAttributes(data *model.Dataset, monitor *monitordb.DB, opts Options) map[model.MachineID]model.Attributes {
-	obs := opts.Observation
+	o := opts.Observer
+	win := opts.Observation
 	fineMonths := opts.FineWindow.Duration().Hours() / (24 * 30)
 	joined := make([]model.Attributes, len(data.Machines))
-	par.ForEach(opts.Parallelism, len(data.Machines), func(i int) {
+	hits := o.Metrics().Counter("ingest.join_hits")
+	misses := o.Metrics().Counter("ingest.join_misses")
+	joinSpan := o.Start("monitoring-join")
+	joinSpan.AddPool(par.ForEach(opts.Parallelism, len(data.Machines), func(i int) {
 		m := data.Machines[i]
 		var a model.Attributes
 
-		cpu, okCPU := monitor.Average(m.ID, monitordb.MetricCPUUtil, obs)
-		mem, okMem := monitor.Average(m.ID, monitordb.MetricMemUtil, obs)
-		dsk, _ := monitor.Average(m.ID, monitordb.MetricDiskUtil, obs)
-		net, _ := monitor.Average(m.ID, monitordb.MetricNetKbps, obs)
+		cpu, okCPU := monitor.Average(m.ID, monitordb.MetricCPUUtil, win)
+		mem, okMem := monitor.Average(m.ID, monitordb.MetricMemUtil, win)
+		dsk, _ := monitor.Average(m.ID, monitordb.MetricDiskUtil, win)
+		net, _ := monitor.Average(m.ID, monitordb.MetricNetKbps, win)
 		if okCPU && okMem {
 			a.CPUUtil, a.MemUtil, a.DiskUtil, a.NetKbps = cpu, mem, dsk, net
 			a.HasUsage = true
+			hits.Inc()
+		} else {
+			misses.Inc()
 		}
 
 		if m.Kind == model.VM {
-			if lvl, ok := monitor.AvgConsolidation(m.ID, obs); ok {
+			if lvl, ok := monitor.AvgConsolidation(m.ID, win); ok {
 				a.AvgConsolidation = lvl
 				a.HasConsolidation = true
 			}
@@ -336,7 +371,8 @@ func joinAttributes(data *model.Dataset, monitor *monitordb.DB, opts Options) ma
 			a.AgeKnown = first.After(monitor.Epoch().Add(24 * time.Hour))
 		}
 		joined[i] = a
-	})
+	}))
+	joinSpan.End()
 	attrs := make(map[model.MachineID]model.Attributes, len(data.Machines))
 	for i, m := range data.Machines {
 		attrs[m.ID] = joined[i]

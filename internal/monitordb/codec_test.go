@@ -9,12 +9,12 @@ import (
 
 func TestCodecRoundTrip(t *testing.T) {
 	db := newDB()
-	db.Add("m1", MetricCPUUtil, Sample{Time: obs.Start.Add(time.Hour), Value: 42.5})
-	db.Add("m1", MetricNetKbps, Sample{Time: obs.Start.Add(2 * time.Hour), Value: 128})
-	db.Add("m2", MetricCPUUtil, Sample{Time: obs.Start.Add(3 * time.Hour), Value: 7})
-	db.AddPowerEvent("m1", PowerEvent{Time: obs.Start.Add(4 * time.Hour), On: false})
-	db.AddPowerEvent("m1", PowerEvent{Time: obs.Start.Add(5 * time.Hour), On: true})
-	db.SetPlacement("m1", "box-1", obs.Start)
+	db.Add("m1", MetricCPUUtil, Sample{Time: obsWin.Start.Add(time.Hour), Value: 42.5})
+	db.Add("m1", MetricNetKbps, Sample{Time: obsWin.Start.Add(2 * time.Hour), Value: 128})
+	db.Add("m2", MetricCPUUtil, Sample{Time: obsWin.Start.Add(3 * time.Hour), Value: 7})
+	db.AddPowerEvent("m1", PowerEvent{Time: obsWin.Start.Add(4 * time.Hour), On: false})
+	db.AddPowerEvent("m1", PowerEvent{Time: obsWin.Start.Add(5 * time.Hour), On: true})
+	db.SetPlacement("m1", "box-1", obsWin.Start)
 
 	var buf bytes.Buffer
 	if err := db.Encode(&buf); err != nil {
@@ -28,14 +28,14 @@ func TestCodecRoundTrip(t *testing.T) {
 	if !got.Epoch().Equal(db.Epoch()) {
 		t.Error("epoch not preserved")
 	}
-	avg, ok := got.Average("m1", MetricCPUUtil, obs)
+	avg, ok := got.Average("m1", MetricCPUUtil, obsWin)
 	if !ok || avg != 42.5 {
 		t.Errorf("sample lost: %v %v", avg, ok)
 	}
-	if got.OnOffCount("m1", obs) != 1 {
+	if got.OnOffCount("m1", obsWin) != 1 {
 		t.Error("power events lost")
 	}
-	if lvl, ok := got.ConsolidationLevel("m1", obs.Start); !ok || lvl != 1 {
+	if lvl, ok := got.ConsolidationLevel("m1", obsWin.Start); !ok || lvl != 1 {
 		t.Errorf("placement lost: %v %v", lvl, ok)
 	}
 	if len(got.Machines()) != 2 {
@@ -46,9 +46,9 @@ func TestCodecRoundTrip(t *testing.T) {
 func TestCodecDeterministicOutput(t *testing.T) {
 	build := func() *DB {
 		db := newDB()
-		db.Add("b", MetricCPUUtil, Sample{Time: obs.Start, Value: 1})
-		db.Add("a", MetricMemUtil, Sample{Time: obs.Start, Value: 2})
-		db.SetPlacement("a", "h", obs.Start)
+		db.Add("b", MetricCPUUtil, Sample{Time: obsWin.Start, Value: 1})
+		db.Add("a", MetricMemUtil, Sample{Time: obsWin.Start, Value: 2})
+		db.SetPlacement("a", "h", obsWin.Start)
 		return db
 	}
 	var x, y bytes.Buffer

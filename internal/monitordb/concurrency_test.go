@@ -21,12 +21,12 @@ func TestConcurrentUse(t *testing.T) {
 			defer wg.Done()
 			id := model.MachineID(string(rune('a' + w)))
 			for i := 0; i < 200; i++ {
-				at := obs.Start.Add(time.Duration(i) * time.Hour)
+				at := obsWin.Start.Add(time.Duration(i) * time.Hour)
 				db.Add(id, MetricCPUUtil, Sample{Time: at, Value: float64(i)})
 				db.AddPowerEvent(id, PowerEvent{Time: at, On: i%2 == 0})
 				db.SetPlacement(id, "box-1", at)
-				db.Average(id, MetricCPUUtil, obs)
-				db.OnOffCount(id, obs)
+				db.Average(id, MetricCPUUtil, obsWin)
+				db.OnOffCount(id, obsWin)
 				db.ConsolidationLevel(id, at)
 				db.FirstSeen(id)
 			}
@@ -37,7 +37,7 @@ func TestConcurrentUse(t *testing.T) {
 		t.Fatalf("machines = %d, want %d", len(db.Machines()), workers)
 	}
 	for _, id := range db.Machines() {
-		if got := len(db.Samples(id, MetricCPUUtil, obs)); got != 200 {
+		if got := len(db.Samples(id, MetricCPUUtil, obsWin)); got != 200 {
 			t.Fatalf("machine %s has %d samples", id, got)
 		}
 	}

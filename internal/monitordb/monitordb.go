@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"failscope/internal/model"
+	"failscope/internal/obs"
 	"failscope/internal/par"
 )
 
@@ -82,6 +83,28 @@ type DB struct {
 	hostLoad  map[hostMonthKey]int
 	firstSeen map[model.MachineID]time.Time
 	epoch     time.Time // earliest observable record (start of retention)
+
+	// metrics, when instrumented, counts writes under "monitordb.*". A nil
+	// registry (the default) makes every count a no-op; counters are
+	// atomic, so workers increment without taking db.mu.
+	metrics *obs.Registry
+}
+
+// Instrument attaches a metrics registry: subsequent writes count samples
+// (accepted and dropped), power events and placement steps, and rollup
+// queries count bucket computations. Passing nil detaches.
+func (db *DB) Instrument(reg *obs.Registry) {
+	db.mu.Lock()
+	db.metrics = reg
+	db.mu.Unlock()
+}
+
+// registry returns the attached registry (possibly nil) without holding
+// the caller to a lock ordering: reads of the field take the read lock.
+func (db *DB) registry() *obs.Registry {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.metrics
 }
 
 type hostMonthKey struct {
@@ -123,6 +146,7 @@ func (db *DB) Add(id model.MachineID, metric Metric, s Sample) {
 	k := seriesKey{id, metric}
 	db.series[k] = append(db.series[k], s)
 	db.noteSeenLocked(id, s.Time)
+	db.metrics.Add("monitordb.samples", 1)
 }
 
 func (db *DB) noteSeenLocked(id model.MachineID, t time.Time) {
@@ -141,13 +165,17 @@ func (db *DB) AddSeries(id model.MachineID, metric Metric, samples []Sample) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	k := seriesKey{id, metric}
+	accepted := 0
 	for _, s := range samples {
 		if s.Time.Before(db.epoch) || s.Time.After(db.epoch.Add(db.retention)) {
 			continue
 		}
 		db.series[k] = append(db.series[k], s)
 		db.noteSeenLocked(id, s.Time)
+		accepted++
 	}
+	db.metrics.Add("monitordb.samples", int64(accepted))
+	db.metrics.Add("monitordb.samples_dropped", int64(len(samples)-accepted))
 }
 
 // AddPowerEvent records a power-state transition.
@@ -163,13 +191,16 @@ func (db *DB) AddPowerEvents(id model.MachineID, events []PowerEvent) {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	accepted := 0
 	for _, ev := range events {
 		if ev.Time.Before(db.epoch) || ev.Time.After(db.epoch.Add(db.retention)) {
 			continue
 		}
 		db.power[id] = append(db.power[id], ev)
 		db.noteSeenLocked(id, ev.Time)
+		accepted++
 	}
+	db.metrics.Add("monitordb.power_events", int64(accepted))
 }
 
 // PlacementStep is one month's placement of a VM, for batch writes.
@@ -197,6 +228,7 @@ func (db *DB) SetPlacements(vm model.MachineID, steps []PlacementStep) {
 	for _, s := range steps {
 		db.setPlacementLocked(vm, s.Host, s.Time)
 	}
+	db.metrics.Add("monitordb.placements", int64(len(steps)))
 }
 
 func (db *DB) setPlacementLocked(vm, host model.MachineID, t time.Time) {
@@ -393,6 +425,7 @@ func (db *DB) RollupAll(metric Metric, w model.Window, bucket time.Duration, par
 	par.ForEach(parallelism, len(ids), func(i int) {
 		rollups[i] = db.Rollup(ids[i], metric, w, bucket)
 	})
+	db.registry().Add("monitordb.rollups", int64(len(ids)))
 	out := make(map[model.MachineID][]Sample, len(ids))
 	for i, id := range ids {
 		if len(rollups[i]) > 0 {

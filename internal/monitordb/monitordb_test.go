@@ -11,7 +11,7 @@ import (
 
 var (
 	epoch = time.Date(2011, 7, 1, 0, 0, 0, 0, time.UTC)
-	obs   = model.Window{
+	obsWin   = model.Window{
 		Start: time.Date(2012, 7, 1, 0, 0, 0, 0, time.UTC),
 		End:   time.Date(2013, 7, 1, 0, 0, 0, 0, time.UTC),
 	}
@@ -23,16 +23,16 @@ func TestAddAndAverage(t *testing.T) {
 	db := newDB()
 	id := model.MachineID("m1")
 	for i := 0; i < 10; i++ {
-		db.Add(id, MetricCPUUtil, Sample{Time: obs.Start.Add(time.Duration(i) * 24 * time.Hour), Value: float64(i)})
+		db.Add(id, MetricCPUUtil, Sample{Time: obsWin.Start.Add(time.Duration(i) * 24 * time.Hour), Value: float64(i)})
 	}
-	avg, ok := db.Average(id, MetricCPUUtil, obs)
+	avg, ok := db.Average(id, MetricCPUUtil, obsWin)
 	if !ok || avg != 4.5 {
 		t.Fatalf("Average = %v, %v", avg, ok)
 	}
-	if _, ok := db.Average(id, MetricMemUtil, obs); ok {
+	if _, ok := db.Average(id, MetricMemUtil, obsWin); ok {
 		t.Fatal("Average on empty series reported ok")
 	}
-	if _, ok := db.Average("nope", MetricCPUUtil, obs); ok {
+	if _, ok := db.Average("nope", MetricCPUUtil, obsWin); ok {
 		t.Fatal("Average on unknown machine reported ok")
 	}
 }
@@ -50,8 +50,8 @@ func TestRetentionDropsOutOfRange(t *testing.T) {
 func TestFirstSeen(t *testing.T) {
 	db := newDB()
 	id := model.MachineID("m1")
-	late := obs.Start.Add(100 * 24 * time.Hour)
-	early := obs.Start.Add(10 * 24 * time.Hour)
+	late := obsWin.Start.Add(100 * 24 * time.Hour)
+	early := obsWin.Start.Add(10 * 24 * time.Hour)
 	db.Add(id, MetricCPUUtil, Sample{Time: late, Value: 1})
 	db.Add(id, MetricMemUtil, Sample{Time: early, Value: 1})
 	first, ok := db.FirstSeen(id)
@@ -72,11 +72,11 @@ func TestRollupConsistency(t *testing.T) {
 		for i := 0; i < n; i++ {
 			v := r.Float64() * 100
 			sum += v
-			at := obs.Start.Add(time.Duration(r.Intn(90*24)) * time.Hour)
+			at := obsWin.Start.Add(time.Duration(r.Intn(90*24)) * time.Hour)
 			db.Add(id, MetricCPUUtil, Sample{Time: at, Value: v})
 		}
 		want := sum / float64(n)
-		buckets := db.Rollup(id, MetricCPUUtil, obs, 7*24*time.Hour)
+		buckets := db.Rollup(id, MetricCPUUtil, obsWin, 7*24*time.Hour)
 		// Weighted mean of buckets: recompute weights via Samples.
 		var wsum, wtotal float64
 		for _, b := range buckets {
@@ -98,11 +98,11 @@ func TestRollupConsistency(t *testing.T) {
 
 func TestRollupEmptyAndInvalid(t *testing.T) {
 	db := newDB()
-	if got := db.Rollup("m", MetricCPUUtil, obs, time.Hour); got != nil {
+	if got := db.Rollup("m", MetricCPUUtil, obsWin, time.Hour); got != nil {
 		t.Errorf("rollup of empty series: %v", got)
 	}
-	db.Add("m", MetricCPUUtil, Sample{Time: obs.Start, Value: 1})
-	if got := db.Rollup("m", MetricCPUUtil, obs, 0); got != nil {
+	db.Add("m", MetricCPUUtil, Sample{Time: obsWin.Start, Value: 1})
+	if got := db.Rollup("m", MetricCPUUtil, obsWin, 0); got != nil {
 		t.Errorf("rollup with zero bucket: %v", got)
 	}
 }
@@ -112,10 +112,10 @@ func TestSamplesSortedAndWindowed(t *testing.T) {
 	id := model.MachineID("m")
 	times := []time.Duration{72, 24, 48}
 	for _, h := range times {
-		db.Add(id, MetricNetKbps, Sample{Time: obs.Start.Add(h * time.Hour), Value: float64(h)})
+		db.Add(id, MetricNetKbps, Sample{Time: obsWin.Start.Add(h * time.Hour), Value: float64(h)})
 	}
-	db.Add(id, MetricNetKbps, Sample{Time: obs.End.Add(time.Hour), Value: 999})
-	got := db.Samples(id, MetricNetKbps, obs)
+	db.Add(id, MetricNetKbps, Sample{Time: obsWin.End.Add(time.Hour), Value: 999})
+	got := db.Samples(id, MetricNetKbps, obsWin)
 	if len(got) != 3 {
 		t.Fatalf("got %d samples", len(got))
 	}
@@ -129,14 +129,14 @@ func TestSamplesSortedAndWindowed(t *testing.T) {
 func TestOnOffCount(t *testing.T) {
 	db := newDB()
 	id := model.MachineID("vm")
-	base := obs.Start
+	base := obsWin.Start
 	// off at +1h, on at +2h  -> one off→on transition
 	db.AddPowerEvent(id, PowerEvent{Time: base.Add(1 * time.Hour), On: false})
 	db.AddPowerEvent(id, PowerEvent{Time: base.Add(2 * time.Hour), On: true})
 	// off at +3h, on at +3h05 (same 15-min slot as the off? different slots)
 	db.AddPowerEvent(id, PowerEvent{Time: base.Add(3 * time.Hour), On: false})
 	db.AddPowerEvent(id, PowerEvent{Time: base.Add(3*time.Hour + 5*time.Minute), On: true})
-	if got := db.OnOffCount(id, obs); got != 2 {
+	if got := db.OnOffCount(id, obsWin); got != 2 {
 		t.Fatalf("OnOffCount = %d, want 2", got)
 	}
 }
@@ -144,13 +144,13 @@ func TestOnOffCount(t *testing.T) {
 func TestOnOffCountQuantization(t *testing.T) {
 	db := newDB()
 	id := model.MachineID("vm")
-	base := obs.Start.Add(10 * time.Hour)
+	base := obsWin.Start.Add(10 * time.Hour)
 	// Two full off/on cycles inside one 15-minute slot look like one.
 	db.AddPowerEvent(id, PowerEvent{Time: base, On: false})
 	db.AddPowerEvent(id, PowerEvent{Time: base.Add(2 * time.Minute), On: true})
 	db.AddPowerEvent(id, PowerEvent{Time: base.Add(4 * time.Minute), On: false})
 	db.AddPowerEvent(id, PowerEvent{Time: base.Add(6 * time.Minute), On: true})
-	if got := db.OnOffCount(id, obs); got != 1 {
+	if got := db.OnOffCount(id, obsWin); got != 1 {
 		t.Fatalf("OnOffCount = %d, want 1 (15-min screening)", got)
 	}
 }
@@ -159,9 +159,9 @@ func TestOnOffCountWindowEdges(t *testing.T) {
 	db := newDB()
 	id := model.MachineID("vm")
 	// Transition before the window sets the state; the on inside counts.
-	db.AddPowerEvent(id, PowerEvent{Time: obs.Start.Add(-24 * time.Hour), On: false})
-	db.AddPowerEvent(id, PowerEvent{Time: obs.Start.Add(time.Hour), On: true})
-	w := model.Window{Start: obs.Start, End: obs.Start.Add(48 * time.Hour)}
+	db.AddPowerEvent(id, PowerEvent{Time: obsWin.Start.Add(-24 * time.Hour), On: false})
+	db.AddPowerEvent(id, PowerEvent{Time: obsWin.Start.Add(time.Hour), On: true})
+	w := model.Window{Start: obsWin.Start, End: obsWin.Start.Add(48 * time.Hour)}
 	if got := db.OnOffCount(id, w); got != 1 {
 		t.Fatalf("OnOffCount = %d, want 1", got)
 	}
@@ -213,19 +213,19 @@ func TestAvgConsolidation(t *testing.T) {
 	db.SetPlacement("vm-1", "box-1", m1)
 	db.SetPlacement("vm-2", "box-1", m1)
 	db.SetPlacement("vm-1", "box-1", m2) // alone in month 2
-	avg, ok := db.AvgConsolidation("vm-1", obs)
+	avg, ok := db.AvgConsolidation("vm-1", obsWin)
 	if !ok || avg != 1.5 {
 		t.Fatalf("AvgConsolidation = %v, %v, want 1.5", avg, ok)
 	}
-	if _, ok := db.AvgConsolidation("vm-x", obs); ok {
+	if _, ok := db.AvgConsolidation("vm-x", obsWin); ok {
 		t.Fatal("AvgConsolidation for unknown VM reported ok")
 	}
 }
 
 func TestMachinesList(t *testing.T) {
 	db := newDB()
-	db.Add("b", MetricCPUUtil, Sample{Time: obs.Start, Value: 1})
-	db.Add("a", MetricCPUUtil, Sample{Time: obs.Start, Value: 1})
+	db.Add("b", MetricCPUUtil, Sample{Time: obsWin.Start, Value: 1})
+	db.Add("a", MetricCPUUtil, Sample{Time: obsWin.Start, Value: 1})
 	got := db.Machines()
 	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
 		t.Fatalf("Machines = %v", got)

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServeDebug starts the opt-in profiling endpoint on addr (e.g.
+// "localhost:6060", or ":0" to pick a free port): net/http/pprof under
+// /debug/pprof/ and expvar under /debug/vars, on a private mux so
+// importing this package never pollutes http.DefaultServeMux routing.
+// It returns the bound address and a shutdown function; the server runs
+// until the process exits or close is called.
+func ServeDebug(addr string) (boundAddr string, close func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listen debug addr %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns on close; nothing to report
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

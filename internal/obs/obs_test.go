@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"failscope/internal/par"
+)
+
+// TestNilReceiversNoOp exercises every method on nil spans, registries,
+// metrics and observers: the library contract is that un-observed callers
+// pay nothing and never panic.
+func TestNilReceiversNoOp(t *testing.T) {
+	var s *Span
+	if c := s.Child("x"); c != nil {
+		t.Fatalf("nil span Child = %v, want nil", c)
+	}
+	s.End()
+	s.AddPool(par.Stats{Workers: 3, Busy: time.Second})
+	s.AddItems(10)
+	s.SetWorkers(4)
+	if s.Name() != "" || s.Wall() != 0 || s.Busy() != 0 || s.NumSpans() != 0 {
+		t.Fatal("nil span leaked state")
+	}
+	if s.Tree() != "" || s.Report() != nil || s.Find("x") != nil || s.Children() != nil {
+		t.Fatal("nil span rendered something")
+	}
+
+	var c *Counter
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter holds a value")
+	}
+	var g *Gauge
+	g.Set(3.14)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge holds a value")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || !math.IsNaN(h.Mean()) {
+		t.Fatal("nil histogram holds samples")
+	}
+
+	var r *Registry
+	if r.Counter("a") != nil || r.Gauge("b") != nil || r.Histogram("c", 1, 2) != nil {
+		t.Fatal("nil registry returned live metrics")
+	}
+	r.Add("a", 1)
+	r.Set("b", 2)
+	r.Publish("nil-registry-test")
+	if len(r.Snapshot()) != 0 || r.Dump() != "" {
+		t.Fatal("nil registry snapshot not empty")
+	}
+
+	var o *Observer
+	if o.Start("s") != nil || o.Span() != nil || o.Metrics() != nil || o.Under(nil) != nil {
+		t.Fatal("nil observer returned live handles")
+	}
+	o.Finish()
+	o.Publish("nil-observer-test")
+	if o.Tree() != "" || o.RunReport() != nil {
+		t.Fatal("nil observer rendered something")
+	}
+}
+
+// TestSpanNesting checks the tree structure, accounting accumulation and
+// the rendered breakdown.
+func TestSpanNesting(t *testing.T) {
+	root := Root("run")
+	gen := root.Child("generate")
+	topo := gen.Child("topology")
+	topo.AddPool(par.Stats{Workers: 4, Items: 100, Busy: 40 * time.Millisecond, MaxBusy: 12 * time.Millisecond})
+	topo.AddPool(par.Stats{Workers: 2, Items: 50, Busy: 10 * time.Millisecond, MaxBusy: 6 * time.Millisecond})
+	topo.AddItems(7)
+	topo.End()
+	events := gen.Child("events")
+	events.AddItems(7)
+	events.End()
+	gen.End()
+	an := root.Child("analyze")
+	an.End()
+	root.End()
+
+	if got := root.NumSpans(); got != 5 {
+		t.Fatalf("NumSpans = %d, want 5", got)
+	}
+	if root.Find("topology") != topo {
+		t.Fatal("Find(topology) missed")
+	}
+	if root.Find("nope") != nil {
+		t.Fatal("Find(nope) hit something")
+	}
+	if topo.Busy() != 50*time.Millisecond {
+		t.Fatalf("topology busy = %v, want 50ms", topo.Busy())
+	}
+
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name() != "generate" || kids[1].Name() != "analyze" {
+		t.Fatalf("children = %v, want [generate analyze]", kids)
+	}
+
+	tree := root.Tree()
+	for _, want := range []string{"run", "  generate", "    topology", "    events", "  analyze", "x4", "157 items"} {
+		if !strings.Contains(tree, want) {
+			t.Fatalf("tree missing %q:\n%s", want, tree)
+		}
+	}
+
+	rep := topo.Report()
+	if rep.Workers != 4 || rep.Items != 157 || rep.BusyMS != 50 {
+		t.Fatalf("span report = %+v", rep)
+	}
+	// Ending twice keeps the first wall time.
+	wall := gen.Wall()
+	time.Sleep(time.Millisecond)
+	gen.End()
+	if gen.Wall() != wall {
+		t.Fatal("second End moved the wall clock")
+	}
+}
+
+// TestRunReportJSONRoundTrip writes a report and reads it back.
+func TestRunReportJSONRoundTrip(t *testing.T) {
+	o := NewObserver("roundtrip")
+	sp := o.Start("stage")
+	sp.AddPool(par.Stats{Workers: 2, Items: 10, Busy: time.Millisecond, MaxBusy: time.Millisecond})
+	sp.End()
+	o.Metrics().Add("tickets", 42)
+	o.Metrics().Set("rate", 1.5)
+	o.Metrics().Histogram("lat", 1, 10).Observe(3)
+	o.Finish()
+
+	rep := o.RunReport()
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(buf.Bytes(), []byte("\n")) {
+		t.Fatal("report file does not end in newline")
+	}
+	back, err := ReadRunReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "roundtrip" || back.GOMAXPROCS != rep.GOMAXPROCS {
+		t.Fatalf("round-trip header mismatch: %+v", back)
+	}
+	if back.Spans.NumSpans() != 2 || back.Spans.Find("stage") == nil {
+		t.Fatalf("round-trip spans mismatch: %+v", back.Spans)
+	}
+	if back.Metrics["tickets"] != 42 || back.Metrics["rate"] != 1.5 {
+		t.Fatalf("round-trip metrics mismatch: %v", back.Metrics)
+	}
+	if back.Metrics["lat.count"] != 1 || back.Metrics["lat.le_10"] != 1 {
+		t.Fatalf("round-trip histogram mismatch: %v", back.Metrics)
+	}
+	if _, err := ReadRunReport(strings.NewReader("{broken")); err == nil {
+		t.Fatal("ReadRunReport accepted broken JSON")
+	}
+}
+
+// TestConcurrentCounters hammers one registry from many goroutines; run
+// under -race this is the data-race certification of the metric types.
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Add("shared", 1)
+				r.Counter("shared2").Inc()
+				r.Set("gauge", float64(i))
+				r.Histogram("hist", 250, 500, 750).Observe(float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*perWorker {
+		t.Fatalf("shared = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Counter("shared2").Value(); got != workers*perWorker {
+		t.Fatalf("shared2 = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("hist").Count(); got != workers*perWorker {
+		t.Fatalf("hist count = %d, want %d", got, workers*perWorker)
+	}
+	snap := r.Snapshot()
+	if snap["hist.le_250"] != workers*251 { // observations 0..250 inclusive
+		t.Fatalf("hist.le_250 = %v, want %d", snap["hist.le_250"], workers*251)
+	}
+	dump := r.Dump()
+	if !strings.Contains(dump, "shared 8000\n") {
+		t.Fatalf("dump missing counter line:\n%s", dump)
+	}
+}
+
+// TestContextSpans covers the context plumbing: ambient span present,
+// absent, and nil context values.
+func TestContextSpans(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context produced a span")
+	}
+	ctx, sp := StartSpan(context.Background(), "orphan")
+	if sp != nil || ctx != context.Background() {
+		t.Fatal("StartSpan without ambient span was not a no-op")
+	}
+
+	root := Root("ctx")
+	ctx = NewContext(context.Background(), root)
+	if FromContext(ctx) != root {
+		t.Fatal("FromContext lost the span")
+	}
+	ctx2, child := StartSpan(ctx, "stage")
+	if child == nil || FromContext(ctx2) != child {
+		t.Fatal("StartSpan did not nest")
+	}
+	child.End()
+	root.End()
+	if root.Find("stage") != child {
+		t.Fatal("context child missing from tree")
+	}
+}
+
+// TestServeDebug boots the debug endpoint on a free port and fetches
+// /debug/vars and the pprof index.
+func TestServeDebug(t *testing.T) {
+	r := NewRegistry()
+	r.Add("debug_test_metric", 7)
+	r.Publish("failscope-test")
+	r.Publish("failscope-test") // duplicate publish must not panic
+
+	addr, closeFn, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if vars := get("/debug/vars"); !strings.Contains(vars, "debug_test_metric") {
+		t.Fatalf("/debug/vars missing published registry:\n%s", vars)
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Fatalf("/debug/pprof/ index unexpected:\n%s", idx)
+	}
+}

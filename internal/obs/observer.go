@@ -1,0 +1,109 @@
+// Package obs is the pipeline's zero-dependency observability layer:
+// hierarchical stage spans (wall time, worker busy time, allocation
+// deltas), a named metrics registry with expvar publication, pprof/expvar
+// debug serving and machine-readable run reports.
+//
+// The cardinal rule is that observation is free to turn off and inert when
+// on: a nil *Span, *Registry or *Observer is a no-op on every method, and
+// nothing in this package touches a random stream or feeds back into the
+// pipeline, so output is byte-identical with observability attached,
+// detached, and at any worker count (enforced by
+// TestObservedStudyByteIdentical at the repo root).
+package obs
+
+import "runtime"
+
+// Observer bundles the tracing position (a current span under which a
+// stage records its sub-stages) with the run's metrics registry. Pipeline
+// configs carry an optional *Observer, mirroring how Parallelism is
+// threaded: the zero value of a config observes nothing.
+//
+// All methods are nil-safe; a nil Observer yields nil spans and nil
+// metrics, which are themselves no-ops.
+type Observer struct {
+	span *Span
+	reg  *Registry
+	root *Span // the run's root, retained for reports
+}
+
+// NewObserver starts a run: a root span named after the run plus a fresh
+// registry.
+func NewObserver(runName string) *Observer {
+	root := Root(runName)
+	return &Observer{span: root, root: root, reg: NewRegistry()}
+}
+
+// Start begins a sub-stage span under the observer's current span.
+func (o *Observer) Start(name string) *Span {
+	if o == nil {
+		return nil
+	}
+	return o.span.Child(name)
+}
+
+// Under returns a derived observer whose current span is sp (sharing the
+// registry and root) — the handle passed down to a nested pipeline stage
+// so its sub-stages land under the right parent.
+func (o *Observer) Under(sp *Span) *Observer {
+	if o == nil {
+		return nil
+	}
+	return &Observer{span: sp, reg: o.reg, root: o.root}
+}
+
+// Span returns the observer's current span (nil on nil).
+func (o *Observer) Span() *Span {
+	if o == nil {
+		return nil
+	}
+	return o.span
+}
+
+// Metrics returns the run's registry (nil on nil).
+func (o *Observer) Metrics() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Finish ends the run's root span. Safe to call more than once.
+func (o *Observer) Finish() {
+	if o == nil {
+		return
+	}
+	o.root.End()
+}
+
+// Tree renders the run's stage breakdown from the root ("" on nil).
+func (o *Observer) Tree() string {
+	if o == nil {
+		return ""
+	}
+	return o.root.Tree()
+}
+
+// RunReport assembles the machine-readable report of the whole run:
+// environment, span tree and metric snapshot. Nil on a nil observer.
+func (o *Observer) RunReport() *RunReport {
+	if o == nil {
+		return nil
+	}
+	return &RunReport{
+		Name:       o.root.Name(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Spans:      o.root.Report(),
+		Metrics:    o.reg.Snapshot(),
+	}
+}
+
+// Publish exposes the run's metrics registry under the expvar name.
+func (o *Observer) Publish(name string) {
+	if o == nil {
+		return
+	}
+	o.reg.Publish(name)
+}

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. All methods are
+// no-ops on a nil receiver and safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins float metric. Nil-safe and concurrent-safe.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last value set (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution metric: counts per upper bound
+// plus one overflow bucket, with total count and sum for mean queries.
+// Nil-safe and concurrent-safe.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // sorted upper bounds; counts has len(bounds)+1
+	counts []int64
+	sum    float64
+	n      int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples observed (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Mean returns the mean of observed samples (NaN when empty or nil).
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return math.NaN()
+	}
+	return h.sum / float64(h.n)
+}
+
+// snapshot flattens the histogram into metric entries under its name.
+func (h *Histogram) snapshot(name string, out map[string]float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out[name+".count"] = float64(h.n)
+	out[name+".sum"] = h.sum
+	for i, b := range h.bounds {
+		out[fmt.Sprintf("%s.le_%g", name, b)] = float64(h.counts[i])
+	}
+	out[name+".le_inf"] = float64(h.counts[len(h.bounds)])
+}
+
+// Registry is a named metric store: counters, gauges and histograms keyed
+// by dotted names ("ingest.join_hits"). The zero value is not usable; call
+// NewRegistry. A nil *Registry is a full no-op — every lookup returns a
+// nil metric whose methods do nothing — so un-instrumented callers pay one
+// pointer test per metric touch.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use (nil on a
+// nil registry).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds on first use (later calls reuse the first bounds).
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		h = &Histogram{bounds: bs, counts: make([]int64, len(bs)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Add increments the named counter (convenience for one-shot call sites).
+func (r *Registry) Add(name string, d int64) { r.Counter(name).Add(d) }
+
+// Set sets the named gauge.
+func (r *Registry) Set(name string, v float64) { r.Gauge(name).Set(v) }
+
+// Snapshot returns every metric flattened to name → value. Counters map
+// directly, gauges map directly, histograms expand to .count/.sum/.le_*
+// entries. Empty (non-nil) map on a nil registry.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		out[name] = float64(c.Value())
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		h.snapshot(name, out)
+	}
+	return out
+}
+
+// Dump renders the snapshot as sorted "name value" lines, one per metric.
+func (r *Registry) Dump() string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		v := snap[name]
+		if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+			fmt.Fprintf(&b, "%s %d\n", name, int64(v))
+		} else {
+			fmt.Fprintf(&b, "%s %g\n", name, v)
+		}
+	}
+	return b.String()
+}
+
+// Publish exposes the registry under the given expvar name as a live JSON
+// map (visible at /debug/vars once ServeDebug or any HTTP server with the
+// expvar handler is up). Publishing the same name twice, or publishing
+// from a nil registry, is a no-op — expvar itself panics on duplicates, so
+// the guard makes republishing after flag re-parsing safe.
+func (r *Registry) Publish(name string) {
+	if r == nil || name == "" {
+		return
+	}
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// publishMu serializes the check-then-publish against concurrent callers;
+// expvar has no TryPublish.
+var publishMu sync.Mutex

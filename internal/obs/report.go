@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SpanReport is the JSON form of one span.
+type SpanReport struct {
+	Name       string        `json:"name"`
+	WallMS     float64       `json:"wall_ms"`
+	BusyMS     float64       `json:"busy_ms,omitempty"`
+	MaxBusyMS  float64       `json:"max_busy_ms,omitempty"`
+	Workers    int           `json:"workers,omitempty"`
+	Items      int64         `json:"items,omitempty"`
+	Allocs     uint64        `json:"allocs,omitempty"`
+	AllocBytes uint64        `json:"alloc_bytes,omitempty"`
+	Children   []*SpanReport `json:"children,omitempty"`
+}
+
+// NumSpans counts the report's spans, itself included (0 on nil).
+func (r *SpanReport) NumSpans() int {
+	if r == nil {
+		return 0
+	}
+	n := 1
+	for _, c := range r.Children {
+		n += c.NumSpans()
+	}
+	return n
+}
+
+// Find returns the first span named name by depth-first pre-order, or nil.
+func (r *SpanReport) Find(name string) *SpanReport {
+	if r == nil {
+		return nil
+	}
+	if r.Name == name {
+		return r
+	}
+	for _, c := range r.Children {
+		if hit := c.Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// RunReport is the machine-readable record of one pipeline run — the
+// format committed as BENCH_*.json to track the perf trajectory across
+// PRs. Wall times vary run to run; span structure, item counts and metric
+// totals are deterministic.
+type RunReport struct {
+	Name       string             `json:"name"`
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Spans      *SpanReport        `json:"spans,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// WriteJSON writes the report as indented JSON (trailing newline included,
+// so the file is commit-friendly).
+func (r *RunReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("obs: encode run report: %w", err)
+	}
+	return nil
+}
+
+// ReadRunReport parses a report written by WriteJSON.
+func ReadRunReport(rd io.Reader) (*RunReport, error) {
+	var r RunReport
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("obs: decode run report: %w", err)
+	}
+	return &r, nil
+}

@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Workers resolves a Parallelism option to a concrete worker count:
@@ -42,29 +43,71 @@ func Workers(parallelism int) int {
 // work while amortizing the atomic over many items.
 const grain = 16
 
+// Stats is the accounting of one pool invocation, consumed by the
+// observability layer (obs.Span.AddPool) to attribute cost per stage.
+// Timing never feeds back into the work itself, so it cannot perturb
+// determinism.
+type Stats struct {
+	// Workers is the number of goroutines that ran fn: 0 for an empty
+	// index space, 1 for the inline sequential path.
+	Workers int
+	// Items is the number of indices visited.
+	Items int
+	// Busy is the summed per-worker busy time — the CPU-time estimate of
+	// the pool (equal to wall time on the sequential path).
+	Busy time.Duration
+	// MaxBusy is the busy time of the slowest worker: the pool's
+	// wall-clock residency, whose gap to Busy/Workers measures imbalance.
+	MaxBusy time.Duration
+}
+
+// add accumulates another pool invocation (used by ForEachBlock and by
+// spans aggregating repeated sweeps).
+func (s *Stats) add(o Stats) {
+	if o.Workers > s.Workers {
+		s.Workers = o.Workers
+	}
+	s.Items += o.Items
+	s.Busy += o.Busy
+	s.MaxBusy += o.MaxBusy
+}
+
 // ForEach calls fn(i) exactly once for every i in [0, n), using up to
 // Workers(parallelism) goroutines. With an effective worker count of one it
 // runs inline on the caller with zero goroutines — this is the sequential
-// reference path. fn must not assume any visiting order; for order-sensitive
+// reference path — and with n <= 0 it returns immediately without spawning
+// anything. The worker count is clamped to n, so no idle goroutines are
+// ever launched. fn must not assume any visiting order; for order-sensitive
 // reductions use ForEachBlock and merge per-block results in block order.
-func ForEach(parallelism, n int, fn func(i int)) {
+//
+// The returned Stats may be ignored (instrumented call sites feed it to an
+// obs.Span); collecting it costs two clock reads per worker.
+func ForEach(parallelism, n int, fn func(i int)) Stats {
+	if n <= 0 {
+		return Stats{}
+	}
 	w := Workers(parallelism)
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
+		start := time.Now()
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
-		return
+		busy := time.Since(start)
+		return Stats{Workers: 1, Items: n, Busy: busy, MaxBusy: busy}
 	}
 	var next atomic.Int64
 	var panicked atomic.Pointer[panicValue]
 	var wg sync.WaitGroup
+	busy := make([]time.Duration, w)
 	wg.Add(w)
 	for k := 0; k < w; k++ {
-		go func() {
+		go func(k int) {
 			defer wg.Done()
+			start := time.Now()
+			defer func() { busy[k] = time.Since(start) }()
 			defer capturePanic(&panicked)
 			for {
 				lo := int(next.Add(grain)) - grain
@@ -79,12 +122,20 @@ func ForEach(parallelism, n int, fn func(i int)) {
 					fn(i)
 				}
 			}
-		}()
+		}(k)
 	}
 	wg.Wait()
 	if p := panicked.Load(); p != nil {
 		panic(p.v)
 	}
+	st := Stats{Workers: w, Items: n}
+	for _, b := range busy {
+		st.Busy += b
+		if b > st.MaxBusy {
+			st.MaxBusy = b
+		}
+	}
+	return st
 }
 
 // BlockSize is the fixed block width used by Blocks/ForEachBlock. It is a
@@ -102,9 +153,10 @@ func Blocks(n int) int {
 // [lo, hi) ⊂ [0, n), with block boundaries determined solely by n. Callers
 // accumulate per-block partials indexed by b and fold them sequentially in
 // increasing b afterwards, which fixes the floating-point reduction order
-// independent of how blocks were scheduled across workers.
-func ForEachBlock(parallelism, n int, fn func(b, lo, hi int)) {
-	ForEach(parallelism, Blocks(n), func(b int) {
+// independent of how blocks were scheduled across workers. The returned
+// Stats counts the n underlying items, not the blocks.
+func ForEachBlock(parallelism, n int, fn func(b, lo, hi int)) Stats {
+	st := ForEach(parallelism, Blocks(n), func(b int) {
 		lo := b * BlockSize
 		hi := lo + BlockSize
 		if hi > n {
@@ -112,6 +164,8 @@ func ForEachBlock(parallelism, n int, fn func(b, lo, hi int)) {
 		}
 		fn(b, lo, hi)
 	})
+	st.Items = n
+	return st
 }
 
 type panicValue struct{ v any }

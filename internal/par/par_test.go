@@ -114,6 +114,104 @@ func TestForEachPanicPropagates(t *testing.T) {
 	}
 }
 
+// TestForEachDegenerate pins the degenerate-input contract: an empty index
+// space spawns nothing, a single item runs inline, and a worker request
+// larger than n is clamped so no idle goroutines are ever launched.
+func TestForEachDegenerate(t *testing.T) {
+	cases := []struct {
+		name        string
+		workers, n  int
+		wantWorkers int
+	}{
+		{"n=0", 8, 0, 0},
+		{"n=0 sequential", 1, 0, 0},
+		{"n negative", 4, -3, 0},
+		{"n=1", 8, 1, 1},
+		{"n=1 sequential", 1, 1, 1},
+		{"workers>n", 64, 5, 5},
+		{"workers=n", 3, 3, 3},
+		{"workers<n", 2, 100, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var visited atomic.Int64
+			st := ForEach(tc.workers, tc.n, func(i int) {
+				if i < 0 || i >= tc.n {
+					t.Errorf("index %d outside [0,%d)", i, tc.n)
+				}
+				visited.Add(1)
+			})
+			wantItems := tc.n
+			if wantItems < 0 {
+				wantItems = 0
+			}
+			if int(visited.Load()) != wantItems {
+				t.Fatalf("visited %d indices, want %d", visited.Load(), wantItems)
+			}
+			if st.Workers != tc.wantWorkers {
+				t.Fatalf("Stats.Workers = %d, want %d", st.Workers, tc.wantWorkers)
+			}
+			if st.Items != wantItems {
+				t.Fatalf("Stats.Items = %d, want %d", st.Items, wantItems)
+			}
+			if wantItems == 0 && (st.Busy != 0 || st.MaxBusy != 0) {
+				t.Fatalf("empty pool reported busy time %v/%v", st.Busy, st.MaxBusy)
+			}
+		})
+	}
+}
+
+// TestForEachBlockDegenerate mirrors the degenerate cases for the block
+// decomposition: no blocks for n<=0, one block for n=1, clamped workers.
+func TestForEachBlockDegenerate(t *testing.T) {
+	cases := []struct {
+		name       string
+		workers, n int
+		wantBlocks int
+	}{
+		{"n=0", 8, 0, 0},
+		{"n=1", 8, 1, 1},
+		{"workers>blocks", 64, BlockSize + 1, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var blocks atomic.Int64
+			st := ForEachBlock(tc.workers, tc.n, func(b, lo, hi int) {
+				blocks.Add(1)
+				if lo >= hi {
+					t.Errorf("block %d empty: [%d,%d)", b, lo, hi)
+				}
+			})
+			if int(blocks.Load()) != tc.wantBlocks {
+				t.Fatalf("ran %d blocks, want %d", blocks.Load(), tc.wantBlocks)
+			}
+			if st.Items != tc.n {
+				t.Fatalf("Stats.Items = %d, want %d", st.Items, tc.n)
+			}
+			if st.Workers > tc.wantBlocks {
+				t.Fatalf("Stats.Workers = %d exceeds block count %d", st.Workers, tc.wantBlocks)
+			}
+		})
+	}
+}
+
+// TestForEachStatsBusy sanity-checks the busy-time accounting: a parallel
+// pool's summed busy time covers its workers and MaxBusy never exceeds it.
+func TestForEachStatsBusy(t *testing.T) {
+	st := ForEach(4, 1000, func(i int) {
+		_ = make([]byte, 64) // do a sliver of real work
+	})
+	if st.Workers < 1 {
+		t.Fatalf("Stats.Workers = %d, want >= 1", st.Workers)
+	}
+	if st.Busy <= 0 {
+		t.Fatalf("Stats.Busy = %v, want > 0", st.Busy)
+	}
+	if st.MaxBusy > st.Busy {
+		t.Fatalf("MaxBusy %v exceeds summed Busy %v", st.MaxBusy, st.Busy)
+	}
+}
+
 func TestForEachSequentialInline(t *testing.T) {
 	// With one worker the loop must run on the calling goroutine so that
 	// callers may use non-thread-safe state in fn.

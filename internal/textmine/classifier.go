@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"failscope/internal/obs"
 	"failscope/internal/par"
 	"failscope/internal/xrand"
 )
@@ -37,6 +38,12 @@ type TrainOptions struct {
 	// the k-means sweeps: 0 means GOMAXPROCS, 1 the sequential reference.
 	// The trained classifier is identical at every setting.
 	Parallelism int
+
+	// Observer, when non-nil, records training sub-stage spans (tokenize,
+	// vectorize, kmeans seeding and Lloyd sweeps, cluster labeling) and
+	// textmine metrics. It never touches the RNG: the trained classifier
+	// is identical with and without it.
+	Observer *obs.Observer
 }
 
 // DefaultTrainOptions mirrors the paper's setup: more clusters than
@@ -53,25 +60,35 @@ func Train(texts []string, labels []int, opts TrainOptions, r *xrand.RNG) (*Clas
 	if len(texts) == 0 {
 		return nil, ErrNoData
 	}
+	o := opts.Observer
+	tokSpan := o.Start("tokenize")
 	docs := make([][]string, len(texts))
-	par.ForEach(opts.Parallelism, len(texts), func(i int) {
+	tokSpan.AddPool(par.ForEach(opts.Parallelism, len(texts), func(i int) {
 		docs[i] = Tokenize(texts[i])
-	})
+	}))
+	tokSpan.End()
+
+	vecSpan := o.Start("vectorize")
 	vocab := BuildVocabulary(docs, opts.MinDocs)
 	vectors := make([]SparseVector, len(docs))
-	par.ForEach(opts.Parallelism, len(docs), func(i int) {
+	vecSpan.AddPool(par.ForEach(opts.Parallelism, len(docs), func(i int) {
 		vectors[i] = vocab.Vectorize(docs[i])
-	})
+	}))
+	vecSpan.End()
+	o.Metrics().Gauge("textmine.vocab_size").Set(float64(vocab.Size()))
+
 	k := opts.Clusters
 	if k > len(vectors) {
 		k = len(vectors)
 	}
-	res, err := KMeansParallel(vectors, vocab.Size(), k, opts.MaxIter, r, opts.Parallelism)
+	res, err := KMeansObserved(vectors, vocab.Size(), k, opts.MaxIter, r, opts.Parallelism, o)
 	if err != nil {
 		return nil, err
 	}
 
 	// Majority-vote label per cluster over the manually labeled subset.
+	lblSpan := o.Start("label-clusters")
+	defer lblSpan.End()
 	frac := opts.LabeledFraction
 	if frac <= 0 || frac > 1 {
 		frac = 1

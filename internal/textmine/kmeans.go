@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 
+	"failscope/internal/obs"
 	"failscope/internal/par"
 	"failscope/internal/xrand"
 )
@@ -37,6 +38,14 @@ func KMeans(vectors []SparseVector, dim, k, maxIter int, r *xrand.RNG) (*KMeansR
 // order, so the float arithmetic — and therefore every assignment, centroid
 // and the RNG draw sequence — is identical to the sequential path.
 func KMeansParallel(vectors []SparseVector, dim, k, maxIter int, r *xrand.RNG, parallelism int) (*KMeansResult, error) {
+	return KMeansObserved(vectors, dim, k, maxIter, r, parallelism, nil)
+}
+
+// KMeansObserved is KMeansParallel with stage observability: the k-means++
+// seeding and the Lloyd sweeps record spans (pool busy time, iteration
+// counts) and convergence metrics on o. Observation reads the clock only —
+// never the RNG — so the clustering is bit-identical to KMeansParallel.
+func KMeansObserved(vectors []SparseVector, dim, k, maxIter int, r *xrand.RNG, parallelism int, o *obs.Observer) (*KMeansResult, error) {
 	n := len(vectors)
 	if n == 0 {
 		return nil, ErrNoData
@@ -45,7 +54,9 @@ func KMeansParallel(vectors []SparseVector, dim, k, maxIter int, r *xrand.RNG, p
 		return nil, errors.New("textmine: k out of range")
 	}
 
-	centroids := seedPlusPlus(vectors, dim, k, r, parallelism)
+	seedSpan := o.Start("kmeans-seed")
+	centroids := seedPlusPlus(vectors, dim, k, r, parallelism, seedSpan)
+	seedSpan.End()
 	assign := make([]int, n)
 	for i := range assign {
 		assign[i] = -1
@@ -84,6 +95,7 @@ func KMeansParallel(vectors []SparseVector, dim, k, maxIter int, r *xrand.RNG, p
 		blockChanged[b] = changed
 	}
 
+	lloydSpan := o.Start("kmeans-lloyd")
 	var inertia float64
 	iter := 0
 	for ; iter < maxIter; iter++ {
@@ -93,7 +105,7 @@ func KMeansParallel(vectors []SparseVector, dim, k, maxIter int, r *xrand.RNG, p
 				cNorm2[c] += v * v
 			}
 		}
-		par.ForEachBlock(parallelism, n, sweep)
+		lloydSpan.AddPool(par.ForEachBlock(parallelism, n, sweep))
 		inertia = 0
 		changed := false
 		for b := 0; b < nb; b++ {
@@ -129,6 +141,14 @@ func KMeansParallel(vectors []SparseVector, dim, k, maxIter int, r *xrand.RNG, p
 			}
 		}
 	}
+	lloydSpan.End()
+	m := o.Metrics()
+	m.Add("textmine.kmeans_iterations", int64(iter))
+	if iter < maxIter {
+		m.Add("textmine.kmeans_converged", 1)
+	} else {
+		m.Add("textmine.kmeans_iteration_capped", 1)
+	}
 	return &KMeansResult{Assignments: assign, Centroids: centroids, Inertia: inertia, Iterations: iter}, nil
 }
 
@@ -142,8 +162,9 @@ func copyInto(dst []float64, src SparseVector) {
 // seedPlusPlus picks k initial centroids with the k-means++ D² weighting.
 // All k centroids share one contiguous allocation, and the D² refresh after
 // each pick runs across parallelism workers with per-block totals merged in
-// block order — same bits as the sequential loop.
-func seedPlusPlus(vectors []SparseVector, dim, k int, r *xrand.RNG, parallelism int) [][]float64 {
+// block order — same bits as the sequential loop. Pool accounting for the
+// D² refreshes lands on sp.
+func seedPlusPlus(vectors []SparseVector, dim, k int, r *xrand.RNG, parallelism int, sp *obs.Span) [][]float64 {
 	n := len(vectors)
 	backing := make([]float64, k*dim)
 	centroids := make([][]float64, 0, k)
@@ -184,7 +205,7 @@ func seedPlusPlus(vectors []SparseVector, dim, k int, r *xrand.RNG, parallelism 
 		for _, v := range last {
 			lastNorm2 += v * v
 		}
-		par.ForEachBlock(parallelism, n, update)
+		sp.AddPool(par.ForEachBlock(parallelism, n, update))
 		total := 0.0
 		for b := 0; b < nb; b++ {
 			total += blockTotal[b]

@@ -1,0 +1,109 @@
+package failscope
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"failscope/internal/obs"
+)
+
+// observedStudyFingerprint runs the trimmed small study with an observer
+// attached (or nil) at the given worker count, returning the same
+// byte-exact fingerprint as the parallel determinism test plus the
+// observer used.
+func observedStudyFingerprint(t *testing.T, parallelism int, o *Observer) string {
+	t.Helper()
+	study := SmallStudy().WithParallelism(parallelism).WithObserver(o)
+	study.Collect.Clusters = 32
+	study.Collect.MaxIter = 20
+	res, err := study.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, res.Field.Data); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMonitor(&buf, res.Field.Monitor); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(res.RenderReport())
+	return buf.String()
+}
+
+// TestObservedStudyByteIdentical enforces the cardinal rule of the
+// observability layer: attaching an Observer must not change a single byte
+// of any stage's output, at any worker count. It also checks the recorded
+// span tree actually covers the pipeline (all three top stages, ≥10 named
+// sub-stages) and that the machine-readable run report round-trips.
+func TestObservedStudyByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the small study several times")
+	}
+	ref := observedStudyFingerprint(t, 1, nil)
+	workerCounts := []int{1, runtime.GOMAXPROCS(0)}
+	for _, p := range workerCounts {
+		o := NewObserver("observed-study")
+		got := observedStudyFingerprint(t, p, o)
+		if got != ref {
+			i := 0
+			for i < len(got) && i < len(ref) && got[i] == ref[i] {
+				i++
+			}
+			lo := i - 100
+			if lo < 0 {
+				lo = 0
+			}
+			end := func(s string) int {
+				if i+100 < len(s) {
+					return i + 100
+				}
+				return len(s)
+			}
+			t.Fatalf("parallelism %d with observer diverges from the unobserved reference at byte %d:\nref: …%q…\nobs: …%q…",
+				p, i, ref[lo:end(ref)], got[lo:end(got)])
+		}
+		o.Finish()
+
+		rep := o.RunReport()
+		if rep == nil || rep.Spans == nil {
+			t.Fatalf("parallelism %d: no run report", p)
+		}
+		for _, stage := range []string{"generate", "collect", "analyze"} {
+			if rep.Spans.Find(stage) == nil {
+				t.Fatalf("parallelism %d: span tree missing top-level stage %q:\n%s", p, stage, o.Tree())
+			}
+		}
+		// Sub-stages: everything below the three top-level stage spans.
+		subs := rep.Spans.NumSpans() - 4 // root + generate + collect + analyze
+		if subs < 10 {
+			t.Fatalf("parallelism %d: only %d sub-stage spans recorded, want >= 10:\n%s", p, subs, o.Tree())
+		}
+		for _, sub := range []string{"topology", "tickets", "monitoring", "classify", "kmeans-lloyd", "monitoring-join", "recurrence"} {
+			if rep.Spans.Find(sub) == nil {
+				t.Fatalf("parallelism %d: span tree missing sub-stage %q:\n%s", p, sub, o.Tree())
+			}
+		}
+
+		var js bytes.Buffer
+		if err := rep.WriteJSON(&js); err != nil {
+			t.Fatal(err)
+		}
+		back, err := obs.ReadRunReport(&js)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Name != rep.Name || back.Spans.NumSpans() != rep.Spans.NumSpans() || len(back.Metrics) != len(rep.Metrics) {
+			t.Fatalf("parallelism %d: run report did not round-trip: %d spans / %d metrics vs %d / %d",
+				p, back.Spans.NumSpans(), len(back.Metrics), rep.Spans.NumSpans(), len(rep.Metrics))
+		}
+
+		// Deterministic pipeline metrics must not depend on the worker count.
+		for _, name := range []string{"dcsim.tickets", "ingest.tickets_in_window", "core.machines", "ingest.join_hits"} {
+			if _, ok := rep.Metrics[name]; !ok {
+				t.Errorf("parallelism %d: metric %q missing from run report", p, name)
+			}
+		}
+	}
+}
