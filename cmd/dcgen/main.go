@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"failscope"
+	"failscope/internal/clikit"
 )
 
 func main() {
@@ -31,11 +32,8 @@ func run() error {
 		out      = flag.String("o", "dataset.jsonl", "output path (- for stdout)")
 		monitor  = flag.String("monitor", "", "also write the monitoring database to this path")
 		parallel = flag.Int("parallelism", 0, "worker count (0 = all CPUs, 1 = sequential; output is identical)")
-
-		verbose   = flag.Bool("v", false, "print the stage breakdown and generator metrics to stderr")
-		traceOut  = flag.String("trace-out", "", "write the machine-readable run report (JSON) to this file")
-		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address for the run's duration")
 	)
+	ofl := clikit.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	var study failscope.Study
@@ -52,18 +50,12 @@ func run() error {
 	}
 	study.Generator.Parallelism = *parallel
 
-	var o *failscope.Observer
-	if *verbose || *traceOut != "" || *debugAddr != "" {
-		o = failscope.NewObserver("dcgen")
+	o, stopDebug, err := ofl.Observer("dcgen")
+	if err != nil {
+		return err
 	}
-	if *debugAddr != "" {
-		bound, _, err := failscope.ServeDebug(*debugAddr)
-		if err != nil {
-			return err
-		}
-		o.Publish("failscope")
-		fmt.Fprintf(os.Stderr, "dcgen: debug server on http://%s/debug/pprof/\n", bound)
-	}
+	defer stopDebug()
+	o.SetMeta(study.Generator.Seed, *parallel, "scale="+*scale)
 	genSpan := o.Start("generate")
 	study.Generator.Observer = o.Under(genSpan)
 
@@ -72,23 +64,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	o.Finish()
-	if *verbose && o != nil {
-		fmt.Fprintf(os.Stderr, "Stage breakdown:\n%s\nMetrics:\n%s", o.Tree(), o.Metrics().Dump())
-	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			return err
-		}
-		if err := o.RunReport().WriteJSON(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "dcgen: wrote run report to %s\n", *traceOut)
+	if err := ofl.Emit("dcgen", o, nil); err != nil {
+		return err
 	}
 
 	w := os.Stdout

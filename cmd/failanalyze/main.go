@@ -6,6 +6,7 @@
 //	failanalyze [-seed N] [-scale small|paper] [-classify] [-section NAME] [-parallelism P]
 //	failanalyze -input dataset.jsonl [-monitor monitor.jsonl] [-csv outdir]
 //	failanalyze -scale small -v -trace-out run.json    # stage spans + run report
+//	failanalyze -scale small -classify -section fidelity -fidelity-gate    # CI band gate
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"strings"
 
 	"failscope"
+	"failscope/internal/clikit"
 	"failscope/internal/report"
 )
 
@@ -27,29 +29,40 @@ func main() {
 	}
 }
 
-// sections maps -section names to their renderers, in paper order.
+// renderContext is what a -section renderer sees: the analysis report plus
+// the fidelity scoreboard (nil unless fidelity output was requested).
+type renderContext struct {
+	report   *failscope.AnalysisReport
+	fidelity *failscope.FidelityScoreboard
+}
+
+// sections maps -section names to their renderers, in paper order; the
+// fidelity scoreboard comes last.
 var sections = []struct {
 	name   string
-	render func(r *failscope.AnalysisReport) string
+	render func(ctx *renderContext) string
 }{
-	{"tableII", func(r *failscope.AnalysisReport) string { return report.DatasetStats(r.DatasetStats) }},
-	{"fig1", func(r *failscope.AnalysisReport) string { return report.ClassDistribution(r.ClassDistribution) }},
-	{"fig2", func(r *failscope.AnalysisReport) string { return report.WeeklyRates(r.WeeklyRates) }},
-	{"fig3", func(r *failscope.AnalysisReport) string {
-		return report.InterFailure(r.InterFailurePM) + report.InterFailure(r.InterFailureVM)
+	{"tableII", func(ctx *renderContext) string { return report.DatasetStats(ctx.report.DatasetStats) }},
+	{"fig1", func(ctx *renderContext) string { return report.ClassDistribution(ctx.report.ClassDistribution) }},
+	{"fig2", func(ctx *renderContext) string { return report.WeeklyRates(ctx.report.WeeklyRates) }},
+	{"fig3", func(ctx *renderContext) string {
+		return report.InterFailure(ctx.report.InterFailurePM) + report.InterFailure(ctx.report.InterFailureVM)
 	}},
-	{"tableIII", func(r *failscope.AnalysisReport) string { return report.InterFailureByClass(r.InterFailureClass) }},
-	{"fig4", func(r *failscope.AnalysisReport) string {
-		return report.Repair(r.RepairPM) + report.Repair(r.RepairVM)
+	{"tableIII", func(ctx *renderContext) string { return report.InterFailureByClass(ctx.report.InterFailureClass) }},
+	{"fig4", func(ctx *renderContext) string {
+		return report.Repair(ctx.report.RepairPM) + report.Repair(ctx.report.RepairVM)
 	}},
-	{"tableIV", func(r *failscope.AnalysisReport) string { return report.RepairByClass(r.RepairClass) }},
-	{"fig5", func(r *failscope.AnalysisReport) string { return report.Recurrence(r.RecurrencePM, r.RecurrenceVM) }},
-	{"tableV", func(r *failscope.AnalysisReport) string { return report.RandomVsRecurrent(r.RandomRecurrent) }},
-	{"tableVI", func(r *failscope.AnalysisReport) string { return report.Spatial(r.Spatial) }},
-	{"tableVII", func(r *failscope.AnalysisReport) string { return report.SpatialByClass(r.SpatialClass) }},
-	{"fig6", func(r *failscope.AnalysisReport) string { return report.Age(r.Age) }},
-	{"hazard", func(r *failscope.AnalysisReport) string { return report.Hazard(r.AgeHazard) }},
-	{"figs7-10", renderBinnedRateFigs},
+	{"tableIV", func(ctx *renderContext) string { return report.RepairByClass(ctx.report.RepairClass) }},
+	{"fig5", func(ctx *renderContext) string {
+		return report.Recurrence(ctx.report.RecurrencePM, ctx.report.RecurrenceVM)
+	}},
+	{"tableV", func(ctx *renderContext) string { return report.RandomVsRecurrent(ctx.report.RandomRecurrent) }},
+	{"tableVI", func(ctx *renderContext) string { return report.Spatial(ctx.report.Spatial) }},
+	{"tableVII", func(ctx *renderContext) string { return report.SpatialByClass(ctx.report.SpatialClass) }},
+	{"fig6", func(ctx *renderContext) string { return report.Age(ctx.report.Age) }},
+	{"hazard", func(ctx *renderContext) string { return report.Hazard(ctx.report.AgeHazard) }},
+	{"figs7-10", func(ctx *renderContext) string { return renderBinnedRateFigs(ctx.report) }},
+	{"fidelity", func(ctx *renderContext) string { return report.Fidelity(ctx.fidelity) }},
 }
 
 // renderBinnedRateFigs prints the Figs. 7–10 capacity/usage/consolidation/
@@ -92,10 +105,9 @@ func run() error {
 		csvDir    = flag.String("csv", "", "also export every figure panel as CSV into this directory")
 		profile   = flag.Int("profile", 0, "print the operator profile of one subsystem (1-5) instead of the report")
 		parallel  = flag.Int("parallelism", 0, "worker count for the study pipeline (0 = all CPUs, 1 = sequential; the report is identical)")
-		verbose   = flag.Bool("v", false, "print the stage breakdown and pipeline metrics to stderr")
-		traceOut  = flag.String("trace-out", "", "write the machine-readable run report (JSON) to this file")
-		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060) for the run's duration")
+		gate      = flag.Bool("fidelity-gate", false, "exit non-zero when any fidelity band fails its paper-expected range (CI mode)")
 	)
+	ofl := clikit.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	// Reject a bad section name before the study runs, not after.
@@ -118,22 +130,23 @@ func run() error {
 	study = study.WithParallelism(*parallel)
 	study.Collect.SkipClassification = !*classify
 
-	var o *failscope.Observer
-	if *verbose || *traceOut != "" || *debugAddr != "" {
+	// The fidelity scoreboard wants a metrics snapshot for its accounting
+	// bands, so any fidelity request implies an observed run even when no
+	// observability flag is set. Observation never changes the output.
+	needFidelity := *gate || ofl.TraceOut != "" || *section == "fidelity"
+	o, stopDebug, err := ofl.Observer("failanalyze")
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
+	if o == nil && needFidelity {
 		o = failscope.NewObserver("failanalyze")
 	}
-	if *debugAddr != "" {
-		bound, _, err := failscope.ServeDebug(*debugAddr)
-		if err != nil {
-			return err
-		}
-		o.Publish("failscope")
-		fmt.Fprintf(os.Stderr, "failanalyze: debug server on http://%s/debug/pprof/\n", bound)
-	}
+	o.SetMeta(study.Generator.Seed, *parallel,
+		fmt.Sprintf("scale=%s classify=%v", *scale, *classify))
 	study = study.WithObserver(o)
 
 	var res *failscope.Result
-	var err error
 	if *inputPath != "" {
 		res, err = runOnFiles(study, *inputPath, *monPath)
 	} else {
@@ -143,23 +156,17 @@ func run() error {
 		return err
 	}
 
-	o.Finish()
-	if *verbose && o != nil {
-		fmt.Fprintf(os.Stderr, "Stage breakdown:\n%s\nMetrics:\n%s", o.Tree(), o.Metrics().Dump())
+	var scoreboard *failscope.FidelityScoreboard
+	if needFidelity {
+		scoreboard = failscope.ScoreFidelity(res, o)
 	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			return err
+	if err := ofl.Emit("failanalyze", o, func(rep *failscope.RunReport) {
+		if scoreboard != nil {
+			rep.Quality = scoreboard.Quality
+			rep.Fidelity = scoreboard
 		}
-		if err := o.RunReport().WriteJSON(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "failanalyze: wrote run report to %s\n", *traceOut)
+	}); err != nil {
+		return err
 	}
 
 	if *classify && res.Collection.Classifier != nil {
@@ -182,19 +189,34 @@ func run() error {
 		in := failscope.AnalysisInput{Data: res.Collection.Data, Attrs: res.Collection.Attrs}
 		p := failscope.ProfileSystem(in, failscope.System(*profile), 5)
 		fmt.Print(report.Profile(p))
-		return nil
+		return fidelityGate(*gate, scoreboard)
 	}
 
+	ctx := &renderContext{report: res.Report, fidelity: scoreboard}
 	if *section == "" {
 		fmt.Print(res.RenderReport())
+	} else {
+		fmt.Print(sectionByName(*section)(ctx))
+	}
+	return fidelityGate(*gate, scoreboard)
+}
+
+// fidelityGate maps the scoreboard to the process exit status under
+// -fidelity-gate: any failed band becomes a non-zero exit.
+func fidelityGate(enabled bool, sb *failscope.FidelityScoreboard) error {
+	if !enabled || sb == nil {
 		return nil
 	}
-	fmt.Print(sectionByName(*section)(res.Report))
+	if err := sb.Err(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "failanalyze: fidelity gate clean (%d bands pass, %d warn, %d skipped)\n",
+		sb.Passed, sb.Warned, sb.Skipped)
 	return nil
 }
 
 // sectionByName returns the renderer registered for name, or nil.
-func sectionByName(name string) func(r *failscope.AnalysisReport) string {
+func sectionByName(name string) func(ctx *renderContext) string {
 	for _, s := range sections {
 		if s.name == name {
 			return s.render

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"failscope"
+)
+
+// TestSectionNamesSorted guards the -section listing: deterministic,
+// sorted, duplicate-free, and including the fidelity scoreboard.
+func TestSectionNamesSorted(t *testing.T) {
+	names := sectionNames()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("sectionNames() not sorted: %v", names)
+	}
+	seen := make(map[string]bool)
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate section %q", n)
+		}
+		seen[n] = true
+	}
+	for _, want := range []string{"fidelity", "tableII", "figs7-10"} {
+		if !seen[want] {
+			t.Errorf("section %q missing from %v", want, names)
+		}
+	}
+	if len(names) != len(sections) {
+		t.Errorf("listing has %d names for %d sections", len(names), len(sections))
+	}
+}
+
+func TestSectionByNameUnknown(t *testing.T) {
+	if sectionByName("no-such-section") != nil {
+		t.Error("sectionByName returned a renderer for an unknown section")
+	}
+	for _, s := range sections {
+		if sectionByName(s.name) == nil {
+			t.Errorf("registered section %q not resolvable", s.name)
+		}
+	}
+}
+
+// TestFidelityGate drives the gate both ways with a fabricated scoreboard.
+func TestFidelityGate(t *testing.T) {
+	if err := fidelityGate(false, nil); err != nil {
+		t.Errorf("disabled gate returned %v", err)
+	}
+	if err := fidelityGate(true, nil); err != nil {
+		t.Errorf("gate without a scoreboard returned %v", err)
+	}
+	clean := &failscope.FidelityScoreboard{
+		Bands:  []failscope.FidelityBand{{Name: "ok", Verdict: failscope.FidelityPass}},
+		Passed: 1,
+	}
+	if err := fidelityGate(true, clean); err != nil {
+		t.Errorf("clean gate returned %v", err)
+	}
+	broken := &failscope.FidelityScoreboard{
+		Bands:  []failscope.FidelityBand{{Name: "pm_weekly_rate", Verdict: failscope.FidelityFail}},
+		Failed: 1,
+	}
+	err := fidelityGate(true, broken)
+	if err == nil {
+		t.Fatal("gate passed a scoreboard with a failed band")
+	}
+	if !strings.Contains(err.Error(), "pm_weekly_rate") {
+		t.Errorf("gate error %q does not name the failed band", err)
+	}
+}

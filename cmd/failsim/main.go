@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"failscope"
+	"failscope/internal/clikit"
 )
 
 func main() {
@@ -34,11 +35,8 @@ func run() error {
 		runs        = flag.Int("runs", 200, "independent simulation runs")
 		independent = flag.Bool("independent", false, "disable host-correlated failures (the naive model)")
 		parallel    = flag.Int("parallelism", 0, "worker count for the study pipeline (0 = all CPUs, 1 = sequential; results are identical)")
-
-		verbose   = flag.Bool("v", false, "print the stage breakdown and pipeline metrics to stderr")
-		traceOut  = flag.String("trace-out", "", "write the machine-readable run report (JSON) to this file")
-		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address for the run's duration")
 	)
+	ofl := clikit.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	study := failscope.PaperStudy().WithParallelism(*parallel)
@@ -47,18 +45,14 @@ func run() error {
 	}
 	study.Collect.SkipClassification = true
 
-	var o *failscope.Observer
-	if *verbose || *traceOut != "" || *debugAddr != "" {
-		o = failscope.NewObserver("failsim")
+	o, stopDebug, err := ofl.Observer("failsim")
+	if err != nil {
+		return err
 	}
-	if *debugAddr != "" {
-		bound, _, err := failscope.ServeDebug(*debugAddr)
-		if err != nil {
-			return err
-		}
-		o.Publish("failscope")
-		fmt.Fprintf(os.Stderr, "failsim: debug server on http://%s/debug/pprof/\n", bound)
-	}
+	defer stopDebug()
+	o.SetMeta(study.Generator.Seed, *parallel,
+		fmt.Sprintf("replicas=%d hosts=%d years=%g runs=%d independent=%v",
+			*replicas, *hosts, *years, *runs, *independent))
 	study = study.WithObserver(o)
 
 	res, err := study.Run()
@@ -106,23 +100,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	o.Finish()
-	if *verbose && o != nil {
-		fmt.Fprintf(os.Stderr, "Stage breakdown:\n%s\nMetrics:\n%s", o.Tree(), o.Metrics().Dump())
-	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			return err
-		}
-		if err := o.RunReport().WriteJSON(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "failsim: wrote run report to %s\n", *traceOut)
+	if err := ofl.Emit("failsim", o, nil); err != nil {
+		return err
 	}
 	fmt.Printf("%-8s %14s %16s %10s %14s\n", "policy", "availability", "downtime [h]", "outages", "mean outage[h]")
 	for _, p := range []failscope.FTPlacement{failscope.PlacementSpread, failscope.PlacementPack} {

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	ticketclass [-seed N] [-scale small|paper] [-train-frac F] [-clusters K] [-parallelism P] [-v]
+//	ticketclass -scale small -trace-out run.json -debug-addr localhost:6060
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"os"
 
 	"failscope"
+	"failscope/internal/clikit"
 	"failscope/internal/model"
 )
 
@@ -31,8 +33,8 @@ func run() error {
 		trainFrac = flag.Float64("train-frac", 0.30, "background labeling fraction")
 		clusters  = flag.Int("clusters", 0, "k-means clusters for crash identification (0 = default)")
 		parallel  = flag.Int("parallelism", 0, "worker count for generation and training (0 = all CPUs, 1 = sequential; results are identical)")
-		verbose   = flag.Bool("v", false, "print the stage breakdown and pipeline metrics to stderr")
 	)
+	ofl := clikit.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	var study failscope.Study
@@ -51,10 +53,13 @@ func run() error {
 	study.Collect.TrainFraction = *trainFrac
 	study.Collect.Clusters = *clusters
 
-	var o *failscope.Observer
-	if *verbose {
-		o = failscope.NewObserver("ticketclass")
+	o, stopDebug, err := ofl.Observer("ticketclass")
+	if err != nil {
+		return err
 	}
+	defer stopDebug()
+	o.SetMeta(study.Generator.Seed, *parallel,
+		fmt.Sprintf("scale=%s train-frac=%g clusters=%d", *scale, *trainFrac, *clusters))
 	genSpan := o.Start("generate")
 	study.Generator.Observer = o.Under(genSpan)
 	field, err := failscope.Generate(study.Generator)
@@ -69,9 +74,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	o.Finish()
-	if *verbose {
-		fmt.Fprintf(os.Stderr, "Stage breakdown:\n%s\nMetrics:\n%s", o.Tree(), o.Metrics().Dump())
+	if err := ofl.Emit("ticketclass", o, nil); err != nil {
+		return err
 	}
 	c := col.Classifier
 	fmt.Printf("tickets: %d (train %d, test %d)\n", c.TrainDocs+c.TestDocs, c.TrainDocs, c.TestDocs)

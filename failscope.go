@@ -24,6 +24,7 @@ import (
 	"failscope/internal/core"
 	"failscope/internal/dcsim"
 	"failscope/internal/dist"
+	"failscope/internal/fidelity"
 	"failscope/internal/ftsim"
 	"failscope/internal/ingest"
 	"failscope/internal/model"
@@ -396,6 +397,61 @@ type (
 
 // NewObserver returns an observer rooted at a run-level span named name.
 func NewObserver(name string) *Observer { return obs.NewObserver(name) }
+
+// Logger is the nil-safe structured pipeline logger (a log/slog wrapper);
+// attach one to an Observer with WithLogger to get stage start/end, drop
+// decision and data-quality log records as the study runs.
+type Logger = obs.Logger
+
+// NewLogger returns a structured logger writing to w. Level is one of
+// "debug", "info", "warn", "error"; format is "text" or "json".
+func NewLogger(w io.Writer, level, format string) (*Logger, error) {
+	l, err := obs.NewLogger(w, level, format)
+	if err != nil {
+		return nil, fmt.Errorf("failscope: new logger: %w", err)
+	}
+	return l, nil
+}
+
+// Reproduction-fidelity scoreboard, re-exported from internal/fidelity.
+// ScoreFidelity grades a completed run against the simulator's ground
+// truth and the paper's headline numbers — see the "Observability" section
+// of DESIGN.md.
+type (
+	// FidelityScoreboard is the full fidelity report of one run: the
+	// ground-truth quality scores plus every evaluated paper band.
+	FidelityScoreboard = fidelity.Scoreboard
+	// FidelityBand is one evaluated paper-expected check.
+	FidelityBand = fidelity.Band
+	// FidelityQuality scores the pipeline against simulator ground truth.
+	FidelityQuality = fidelity.Quality
+	// FidelityVerdict is a band outcome: pass, warn, fail or skip.
+	FidelityVerdict = fidelity.Verdict
+)
+
+// Fidelity band verdicts.
+const (
+	FidelityPass = fidelity.VerdictPass
+	FidelityWarn = fidelity.VerdictWarn
+	FidelityFail = fidelity.VerdictFail
+	FidelitySkip = fidelity.VerdictSkip
+)
+
+// ScoreFidelity evaluates the reproduction-fidelity scoreboard for a
+// completed run. The observer is optional: when non-nil its metrics
+// snapshot feeds the drop-accounting and join-coverage scores; the
+// registry-based checks skip otherwise. Scoring only reads the result, so
+// study output is byte-identical with scoring on or off.
+func ScoreFidelity(res *Result, o *Observer) *FidelityScoreboard {
+	in := fidelity.Input{Metrics: o.Metrics().Snapshot()}
+	if res != nil {
+		in.Report = res.Report
+		if res.Collection != nil {
+			in.Classifier = res.Collection.Classifier
+		}
+	}
+	return fidelity.Score(in)
+}
 
 // ServeDebug starts an HTTP server on addr exposing /debug/pprof and
 // /debug/vars; it returns the bound address and a shutdown func.

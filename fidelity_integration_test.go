@@ -1,0 +1,103 @@
+package failscope
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFidelitySmallStudyAllBandsPass is the acceptance check behind
+// `failanalyze -fidelity-gate`: on the canonical small-study seed with
+// classification enabled, every paper-expected band must land inside its
+// pass range — no warns tolerated here, so a drifting statistic shows up
+// before it reaches fail.
+func TestFidelitySmallStudyAllBandsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full small study with classification")
+	}
+	study := SmallStudy()
+	study.Collect.SkipClassification = false
+	o := NewObserver("fidelity-small")
+	study = study.WithObserver(o)
+	res, err := study.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Finish()
+
+	sb := ScoreFidelity(res, o)
+	if sb == nil || len(sb.Bands) == 0 {
+		t.Fatal("empty fidelity scoreboard")
+	}
+	for _, b := range sb.Bands {
+		if b.Verdict != FidelityPass {
+			t.Errorf("band %s: verdict %s (value %g, pass %s, note %q)",
+				b.Name, b.Verdict, b.Value, b.Pass, b.Note)
+		}
+	}
+	if sb.Skipped != 0 {
+		t.Errorf("%d bands skipped on a fully-classified run", sb.Skipped)
+	}
+	if err := sb.Err(); err != nil {
+		t.Errorf("gate error on the canonical study: %v", err)
+	}
+
+	// Quality section sanity: the classifier ran, the join covered the
+	// ticket population, and the sanitization drops reconcile.
+	q := sb.Quality
+	if q == nil || !q.ClassifierRan {
+		t.Fatal("quality section missing classifier results")
+	}
+	if q.CrashClassAccuracy < 0.72 {
+		t.Errorf("crash-class accuracy %.3f below the paper's 87%% band floor", q.CrashClassAccuracy)
+	}
+	if !q.Drops.Consistent {
+		t.Errorf("sanitization drop accounting inconsistent: %+v", q.Drops)
+	}
+	if q.JoinCoverage < 0.92 {
+		t.Errorf("monitoring-join coverage %.3f below band floor", q.JoinCoverage)
+	}
+}
+
+// TestFidelityDeliberatelyBrokenBand proves the gate trips: feeding the
+// scorer a report whose PM failure rate has been pushed far outside the
+// paper's band must produce a failed band and a non-nil Err naming it.
+func TestFidelityDeliberatelyBrokenBand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the small study")
+	}
+	study := SmallStudy() // classification skipped: those bands skip, not fail
+	o := NewObserver("fidelity-broken")
+	study = study.WithObserver(o)
+	res, err := study.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Finish()
+
+	// Break one ground statistic: a PM weekly failure rate of 5 is ~500×
+	// the paper's Table II ceiling.
+	for i := range res.Report.WeeklyRates {
+		wr := &res.Report.WeeklyRates[i]
+		if wr.Kind == PM && wr.System == 0 {
+			wr.Summary.Mean = 5
+		}
+	}
+	sb := ScoreFidelity(res, o)
+	band := sb.Find("pm_weekly_rate")
+	if band == nil {
+		t.Fatal("pm_weekly_rate band missing")
+	}
+	if band.Verdict != FidelityFail {
+		t.Fatalf("broken pm_weekly_rate verdict = %s, want fail (value %g)", band.Verdict, band.Value)
+	}
+	err = sb.Err()
+	if err == nil {
+		t.Fatal("Err() nil despite a deliberately broken band")
+	}
+	if !strings.Contains(err.Error(), "pm_weekly_rate") {
+		t.Errorf("gate error %q does not name the broken band", err)
+	}
+	if sb.Failed < 1 {
+		t.Errorf("Failed = %d, want >= 1", sb.Failed)
+	}
+}

@@ -1,0 +1,101 @@
+// Package clikit carries the observability plumbing shared by the four
+// command-line tools: the -v/-trace-out/-debug-addr/-log-level/-log-format
+// flag set, observer construction (with the structured logger attached),
+// the debug HTTP server, and the end-of-run emission (stage tree, metric
+// dump, run-report JSON).
+package clikit
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"failscope/internal/obs"
+)
+
+// Flags is the shared observability flag set. Register it with AddFlags
+// before flag.Parse.
+type Flags struct {
+	Verbose   bool
+	TraceOut  string
+	DebugAddr string
+	LogLevel  string
+	LogFormat string
+}
+
+// AddFlags registers the shared observability flags on fs.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.BoolVar(&f.Verbose, "v", false, "print the stage breakdown and pipeline metrics to stderr")
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write the machine-readable run report (JSON) to this file")
+	fs.StringVar(&f.DebugAddr, "debug-addr", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060) for the run's duration")
+	fs.StringVar(&f.LogLevel, "log-level", "", "emit structured pipeline logs to stderr at this level: debug, info, warn or error (empty = off)")
+	fs.StringVar(&f.LogFormat, "log-format", obs.FormatText, "structured log format: text or json")
+	return f
+}
+
+// Wanted reports whether any flag asks for an observed run.
+func (f *Flags) Wanted() bool {
+	return f.Verbose || f.TraceOut != "" || f.DebugAddr != "" || f.LogLevel != ""
+}
+
+// Observer builds the observer the flags ask for: nil (a no-op observer)
+// when no observability flag is set, otherwise one named after the
+// command, with the structured logger attached when -log-level is set and
+// the debug server running when -debug-addr is set. The returned shutdown
+// func is non-nil and must be called (deferred) by the caller.
+func (f *Flags) Observer(cmd string) (*obs.Observer, func(), error) {
+	shutdown := func() {}
+	if !f.Wanted() {
+		return nil, shutdown, nil
+	}
+	o := obs.NewObserver(cmd)
+	if f.LogLevel != "" {
+		log, err := obs.NewLogger(os.Stderr, f.LogLevel, f.LogFormat)
+		if err != nil {
+			return nil, shutdown, err
+		}
+		o.WithLogger(log)
+	}
+	if f.DebugAddr != "" {
+		bound, stop, err := obs.ServeDebug(f.DebugAddr)
+		if err != nil {
+			return nil, shutdown, err
+		}
+		shutdown = stop
+		o.Publish("failscope")
+		fmt.Fprintf(os.Stderr, "%s: debug server on http://%s/debug/pprof/\n", cmd, bound)
+	}
+	return o, shutdown, nil
+}
+
+// Emit finishes the observed run: it prints the stage tree and metric dump
+// under -v and writes the run report under -trace-out, letting decorate
+// (when non-nil) attach extra sections — e.g. the fidelity scoreboard —
+// before the JSON is written. Safe to call with a nil observer.
+func (f *Flags) Emit(cmd string, o *obs.Observer, decorate func(*obs.RunReport)) error {
+	o.Finish()
+	if f.Verbose && o != nil {
+		fmt.Fprintf(os.Stderr, "Stage breakdown:\n%s\nMetrics:\n%s", o.Tree(), o.Metrics().Dump())
+	}
+	if f.TraceOut == "" {
+		return nil
+	}
+	rep := o.RunReport()
+	if decorate != nil && rep != nil {
+		decorate(rep)
+	}
+	out, err := os.Create(f.TraceOut)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(out); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: wrote run report to %s\n", cmd, f.TraceOut)
+	return nil
+}

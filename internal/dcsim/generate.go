@@ -39,6 +39,7 @@ func Generate(cfg Config) (*Output, error) {
 
 	monitor := monitordb.New(cfg.MonitorEpoch, cfg.MonitorRetention)
 	monitor.Instrument(o.Metrics())
+	monitor.SetLogger(o.Log())
 	store := ticketdb.NewStore()
 	renderer := ticketdb.NewRenderer(xrand.Derive(cfg.Seed, streamTicket), cfg.VagueTextProb)
 
@@ -159,6 +160,9 @@ func Generate(cfg Config) (*Output, error) {
 	m.Add("dcsim.tickets", int64(len(tickets)))
 	m.Add("dcsim.crash_tickets", int64(nCrash))
 	m.Add("dcsim.incidents", int64(len(incidentList)))
+	o.Log().Info("field data generated",
+		"machines", len(machines), "tickets", len(tickets),
+		"crash_tickets", nCrash, "incidents", len(incidentList))
 	return &Output{Data: data, Tickets: store, Monitor: monitor}, nil
 }
 

@@ -1,0 +1,178 @@
+// Package fidelity is the reproduction-quality scoreboard: it observes
+// whether a pipeline run is a *good reproduction*, the counterpart to
+// internal/obs which observes whether it is a *fast run*.
+//
+// Two layers:
+//
+//   - Quality scores the collection pipeline against the simulator's
+//     ground truth (crash-ticket mining precision/recall, six-class
+//     confusion summary, k-means cluster purity, sanitization-drop
+//     accounting, monitoring-join coverage).
+//   - The paper bands are a declarative table of the study's headline
+//     numbers (≈87% classification accuracy, the PM>VM failure-rate gap,
+//     Gamma inter-failure and Lognormal repair fits, no-bathtub age
+//     profile, ...) evaluated against the run's analysis report with
+//     pass/warn/fail verdicts.
+//
+// Everything here is a pure function of the run's outputs — scoring never
+// touches a random stream or feeds back into the pipeline, so study
+// output is byte-identical with scoring on or off (enforced by
+// TestObservedStudyByteIdentical at the repo root). A failing band turns
+// reproduction drift into a red build via Scoreboard.Err, which the
+// failanalyze -fidelity-gate mode maps to a non-zero exit.
+package fidelity
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"failscope/internal/core"
+	"failscope/internal/ingest"
+)
+
+// Verdict is a band's outcome.
+type Verdict string
+
+// Band verdicts. Skip marks a band whose input was unavailable in this
+// run (e.g. classification bands when -classify was off); skipped bands
+// never fail the gate.
+const (
+	VerdictPass Verdict = "pass"
+	VerdictWarn Verdict = "warn"
+	VerdictFail Verdict = "fail"
+	VerdictSkip Verdict = "skip"
+)
+
+// Range is a closed interval [Lo, Hi]. Bounds are always finite so the
+// scoreboard serializes cleanly as JSON (encoding/json rejects ±Inf);
+// effectively-unbounded sides use generous sentinels instead.
+type Range struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+// Contains reports whether v lies in the interval.
+func (r Range) Contains(v float64) bool {
+	return !math.IsNaN(v) && v >= r.Lo && v <= r.Hi
+}
+
+func (r Range) String() string { return fmt.Sprintf("[%g, %g]", r.Lo, r.Hi) }
+
+// Band is one evaluated paper-expected check: the measured value, the
+// pass band, the wider warn band and the resulting verdict.
+type Band struct {
+	// Name is the stable machine-readable identifier ("pm_weekly_rate").
+	Name string `json:"name"`
+	// Paper cites what the paper reports ("§IV.A: PMs fail ≈40% more").
+	Paper   string  `json:"paper"`
+	Unit    string  `json:"unit,omitempty"`
+	Value   float64 `json:"value"`
+	Pass    Range   `json:"pass"`
+	Warn    Range   `json:"warn"`
+	Verdict Verdict `json:"verdict"`
+	// Note explains a skip (missing input) or carries extra context.
+	Note string `json:"note,omitempty"`
+}
+
+// Scoreboard is the full fidelity report of one run.
+type Scoreboard struct {
+	Quality *Quality `json:"quality,omitempty"`
+	Bands   []Band   `json:"bands"`
+	Passed  int      `json:"passed"`
+	Warned  int      `json:"warned"`
+	Failed  int      `json:"failed"`
+	Skipped int      `json:"skipped"`
+}
+
+// Input bundles everything the scoreboard reads: the analysis report, the
+// classifier report when classification ran (nil otherwise), and a
+// snapshot of the run's metrics registry (empty map when unobserved) for
+// the drop-accounting and join-coverage scores.
+type Input struct {
+	Report     *core.Report
+	Classifier *ingest.ClassifierReport
+	Metrics    map[string]float64
+}
+
+// Score evaluates the full scoreboard: ground-truth quality plus every
+// paper band.
+func Score(in Input) *Scoreboard {
+	sb := &Scoreboard{Quality: ScoreQuality(in)}
+	for _, spec := range paperBands {
+		b := Band{
+			Name:  spec.name,
+			Paper: spec.paper,
+			Unit:  spec.unit,
+			Pass:  spec.pass,
+			Warn:  spec.warn,
+		}
+		v, ok, note := spec.value(in)
+		b.Note = note
+		switch {
+		case !ok:
+			b.Verdict = VerdictSkip
+			b.Value = math.NaN() // replaced below; NaN never serializes
+		default:
+			b.Value = v
+			switch {
+			case spec.pass.Contains(v):
+				b.Verdict = VerdictPass
+			case spec.warn.Contains(v):
+				b.Verdict = VerdictWarn
+			default:
+				b.Verdict = VerdictFail
+			}
+		}
+		if math.IsNaN(b.Value) {
+			b.Value = 0
+		}
+		switch b.Verdict {
+		case VerdictPass:
+			sb.Passed++
+		case VerdictWarn:
+			sb.Warned++
+		case VerdictFail:
+			sb.Failed++
+		case VerdictSkip:
+			sb.Skipped++
+		}
+		sb.Bands = append(sb.Bands, b)
+	}
+	return sb
+}
+
+// Err returns a non-nil error naming every failed band, or nil when the
+// scoreboard is gate-clean (warn and skip do not trip the gate). This is
+// what -fidelity-gate maps to the process exit code.
+func (s *Scoreboard) Err() error {
+	if s == nil {
+		return nil
+	}
+	var failed []string
+	for _, b := range s.Bands {
+		if b.Verdict == VerdictFail {
+			failed = append(failed, fmt.Sprintf("%s=%.4g pass %s", b.Name, b.Value, b.Pass))
+		}
+	}
+	if len(failed) == 0 {
+		return nil
+	}
+	sort.Strings(failed)
+	return fmt.Errorf("fidelity: %d band(s) outside their paper-expected range: %s",
+		len(failed), strings.Join(failed, "; "))
+}
+
+// Find returns the band with the given name, or nil.
+func (s *Scoreboard) Find(name string) *Band {
+	if s == nil {
+		return nil
+	}
+	for i := range s.Bands {
+		if s.Bands[i].Name == name {
+			return &s.Bands[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package fidelity
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"failscope/internal/ingest"
+	"failscope/internal/textmine"
+)
+
+func TestRangeContains(t *testing.T) {
+	r := Range{Lo: 1, Hi: 2}
+	for _, tc := range []struct {
+		v    float64
+		want bool
+	}{
+		{1, true}, {2, true}, {1.5, true},
+		{0.999, false}, {2.001, false}, {math.NaN(), false},
+	} {
+		if got := r.Contains(tc.v); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+// classifierReport fabricates a ClassifierReport with a small confusion
+// matrix: 2 background tickets (one misread as class 1), 3 crash tickets
+// of class 1 (all correct) and 1 of class 2 (misread as class 1).
+func classifierReport() *ingest.ClassifierReport {
+	cm := &textmine.ConfusionMatrix{
+		Labels: []int{0, 1, 2},
+		Counts: map[[2]int]int{
+			{0, 0}: 1, {0, 1}: 1,
+			{1, 1}: 3,
+			{2, 1}: 1,
+		},
+		Total: 6,
+		Hits:  4,
+	}
+	return &ingest.ClassifierReport{
+		TrainDocs:          10,
+		TestDocs:           6,
+		Accuracy:           4.0 / 6,
+		CrashClassAccuracy: 3.0 / 4,
+		CrashRecall:        1.0,
+		CrashPrecision:     4.0 / 5,
+		Confusion:          cm,
+		Stage1Purity:       0.9,
+		Stage2Purity:       0.8,
+	}
+}
+
+func TestScoreQuality(t *testing.T) {
+	in := Input{
+		Classifier: classifierReport(),
+		Metrics: map[string]float64{
+			"dcsim.tickets":                 100,
+			"ingest.tickets_in_window":      90,
+			"ingest.tickets_window_dropped": 10,
+			"monitordb.samples":             500,
+			"monitordb.samples_dropped":     7,
+			"ingest.join_hits":              95,
+			"ingest.join_misses":            5,
+		},
+	}
+	q := ScoreQuality(in)
+	if !q.ClassifierRan {
+		t.Fatal("ClassifierRan = false")
+	}
+	if q.CrashRecall != 1.0 || q.CrashPrecision != 0.8 {
+		t.Errorf("crash P/R = %v/%v", q.CrashPrecision, q.CrashRecall)
+	}
+	wantF1 := 2 * 0.8 * 1.0 / 1.8
+	if math.Abs(q.CrashF1-wantF1) > 1e-12 {
+		t.Errorf("CrashF1 = %v, want %v", q.CrashF1, wantF1)
+	}
+	if len(q.PerClass) != 3 {
+		t.Fatalf("PerClass rows = %d, want 3", len(q.PerClass))
+	}
+	if q.PerClass[0].Class != "background" || q.PerClass[1].Class != "HW" {
+		t.Errorf("class names = %v, %v", q.PerClass[0].Class, q.PerClass[1].Class)
+	}
+	// Class 1 (HW): truth 3, predicted 5 (3 correct + 1 background + 1 class-2).
+	hw := q.PerClass[1]
+	if hw.Truth != 3 || hw.Predicted != 5 || hw.Recall != 1.0 || hw.Precision != 0.6 {
+		t.Errorf("HW row = %+v", hw)
+	}
+	// Class 2 was never predicted: precision must be 0, not NaN.
+	if q.PerClass[2].Predicted != 0 || q.PerClass[2].Precision != 0 {
+		t.Errorf("class-2 row = %+v", q.PerClass[2])
+	}
+
+	if q.Drops == nil || !q.Drops.Consistent {
+		t.Fatalf("drop accounting = %+v, want consistent", q.Drops)
+	}
+	if q.Drops.TicketsGenerated != 100 || q.Drops.MonitorSamplesDropped != 7 {
+		t.Errorf("drop accounting = %+v", q.Drops)
+	}
+	if q.JoinCoverage != 0.95 {
+		t.Errorf("JoinCoverage = %v, want 0.95", q.JoinCoverage)
+	}
+}
+
+func TestScoreQualityInconsistentDrops(t *testing.T) {
+	q := ScoreQuality(Input{Metrics: map[string]float64{
+		"dcsim.tickets":            100,
+		"ingest.tickets_in_window": 80, // 20 tickets unaccounted for
+	}})
+	if q.Drops == nil || q.Drops.Consistent {
+		t.Fatalf("drop accounting = %+v, want inconsistent", q.Drops)
+	}
+	if q.ClassifierRan {
+		t.Error("ClassifierRan = true without a classifier report")
+	}
+}
+
+// TestScoreSkipsWithoutInputs verifies that every band skips (rather than
+// fails) when the run carries no report, no classifier and no metrics —
+// and that the gate stays green on a scoreboard of skips.
+func TestScoreSkipsWithoutInputs(t *testing.T) {
+	sb := Score(Input{})
+	if sb.Failed != 0 || sb.Passed != 0 || sb.Warned != 0 {
+		t.Fatalf("counts = %d/%d/%d/%d, want all skipped",
+			sb.Passed, sb.Warned, sb.Failed, sb.Skipped)
+	}
+	if sb.Skipped != len(sb.Bands) || len(sb.Bands) == 0 {
+		t.Fatalf("Skipped = %d of %d bands", sb.Skipped, len(sb.Bands))
+	}
+	for _, b := range sb.Bands {
+		if b.Note == "" {
+			t.Errorf("band %s skipped without a note", b.Name)
+		}
+	}
+	if err := sb.Err(); err != nil {
+		t.Errorf("Err() = %v on all-skip scoreboard", err)
+	}
+}
+
+// TestScoreClassifierBands drives the three classification bands through
+// pass, warn and fail with fabricated classifier reports.
+func TestScoreClassifierBands(t *testing.T) {
+	get := func(acc float64) *Band {
+		cr := classifierReport()
+		cr.CrashClassAccuracy = acc
+		sb := Score(Input{Classifier: cr})
+		b := sb.Find("crash_class_accuracy")
+		if b == nil {
+			t.Fatal("crash_class_accuracy band missing")
+		}
+		return b
+	}
+	if b := get(0.87); b.Verdict != VerdictPass {
+		t.Errorf("accuracy 0.87: verdict %s, want pass", b.Verdict)
+	}
+	if b := get(0.65); b.Verdict != VerdictWarn {
+		t.Errorf("accuracy 0.65: verdict %s, want warn", b.Verdict)
+	}
+	if b := get(0.30); b.Verdict != VerdictFail {
+		t.Errorf("accuracy 0.30: verdict %s, want fail", b.Verdict)
+	}
+}
+
+func TestErrNamesFailedBands(t *testing.T) {
+	cr := classifierReport()
+	cr.CrashClassAccuracy = 0.1
+	cr.CrashRecall = 0.2
+	sb := Score(Input{Classifier: cr})
+	err := sb.Err()
+	if err == nil {
+		t.Fatal("Err() = nil with failing bands")
+	}
+	for _, name := range []string{"crash_class_accuracy", "crash_recall"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("Err() = %q does not name %s", err, name)
+		}
+	}
+	var nilSB *Scoreboard
+	if nilSB.Err() != nil || nilSB.Find("x") != nil {
+		t.Error("nil scoreboard must be inert")
+	}
+}
+
+// TestScoreboardJSONRoundTrip guards the serialized shape: no NaN/Inf
+// values (encoding/json would reject them) and stable band names.
+func TestScoreboardJSONRoundTrip(t *testing.T) {
+	sb := Score(Input{Classifier: classifierReport()})
+	raw, err := json.Marshal(sb)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Scoreboard
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(back.Bands) != len(sb.Bands) {
+		t.Fatalf("bands %d != %d", len(back.Bands), len(sb.Bands))
+	}
+	seen := make(map[string]bool)
+	for _, b := range back.Bands {
+		if seen[b.Name] {
+			t.Errorf("duplicate band name %s", b.Name)
+		}
+		seen[b.Name] = true
+	}
+}

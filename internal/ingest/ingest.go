@@ -86,6 +86,12 @@ type ClassifierReport struct {
 	CrashRecall    float64
 	CrashPrecision float64
 	Confusion      *textmine.ConfusionMatrix
+	// Stage1Purity/Stage2Purity are the k-means cluster purities of the
+	// crash-identification and class-assignment stages — how cleanly the
+	// text clusters align with the ground-truth labels before any
+	// prediction happens.
+	Stage1Purity float64
+	Stage2Purity float64
 }
 
 // Collection is the assembled analysis input: the dataset restricted to
@@ -117,6 +123,11 @@ func Collect(data *model.Dataset, tickets *ticketdb.Store, monitor *monitordb.DB
 	winSpan.AddItems(len(inWindow))
 	winSpan.End()
 	o.Metrics().Add("ingest.tickets_in_window", int64(len(inWindow)))
+	if dropped := tickets.Len() - len(inWindow); dropped > 0 {
+		o.Metrics().Add("ingest.tickets_window_dropped", int64(dropped))
+		o.Log().Info("window filter dropped tickets outside the observation window",
+			"kept", len(inWindow), "dropped", dropped)
+	}
 
 	col := &Collection{
 		Data: model.NewDataset(opts.Observation, data.Machines, inWindow, data.Incidents),
@@ -309,10 +320,12 @@ func classify(tickets []model.Ticket, opts Options, o *obs.Observer) (*Classifie
 		}
 	}
 	report := &ClassifierReport{
-		TrainDocs: len(trainTexts),
-		TestDocs:  len(testTexts),
-		Accuracy:  cm.Accuracy(),
-		Confusion: cm,
+		TrainDocs:    len(trainTexts),
+		TestDocs:     len(testTexts),
+		Accuracy:     cm.Accuracy(),
+		Confusion:    cm,
+		Stage1Purity: stage1.Purity(),
+		Stage2Purity: stage2.Purity(),
 	}
 	if crashTotal > 0 {
 		report.CrashRecall = float64(crashHit) / float64(crashTotal)
@@ -321,6 +334,10 @@ func classify(tickets []model.Ticket, opts Options, o *obs.Observer) (*Classifie
 	if predCrash > 0 {
 		report.CrashPrecision = float64(predCrashHit) / float64(predCrash)
 	}
+	o.Log().Info("ticket classification scored against ground truth",
+		"accuracy", report.Accuracy, "crash_class_accuracy", report.CrashClassAccuracy,
+		"crash_recall", report.CrashRecall, "crash_precision", report.CrashPrecision,
+		"stage1_purity", report.Stage1Purity, "stage2_purity", report.Stage2Purity)
 	return report, preds, nil
 }
 
@@ -373,6 +390,11 @@ func joinAttributes(data *model.Dataset, monitor *monitordb.DB, opts Options) ma
 		joined[i] = a
 	}))
 	joinSpan.End()
+	if total := hits.Value() + misses.Value(); total > 0 {
+		o.Log().Info("monitoring join finished",
+			"machines", total, "hits", hits.Value(), "misses", misses.Value(),
+			"coverage", float64(hits.Value())/float64(total))
+	}
 	attrs := make(map[model.MachineID]model.Attributes, len(data.Machines))
 	for i, m := range data.Machines {
 		attrs[m.ID] = joined[i]

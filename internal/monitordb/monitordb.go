@@ -88,6 +88,9 @@ type DB struct {
 	// registry (the default) makes every count a no-op; counters are
 	// atomic, so workers increment without taking db.mu.
 	metrics *obs.Registry
+	// log, when instrumented, records drop decisions (samples and events
+	// truncated outside the retention window). Nil is a full no-op.
+	log *obs.Logger
 }
 
 // Instrument attaches a metrics registry: subsequent writes count samples
@@ -96,6 +99,14 @@ type DB struct {
 func (db *DB) Instrument(reg *obs.Registry) {
 	db.mu.Lock()
 	db.metrics = reg
+	db.mu.Unlock()
+}
+
+// SetLogger attaches a structured logger: subsequent writes log every
+// retention-window drop decision at debug level. Passing nil detaches.
+func (db *DB) SetLogger(l *obs.Logger) {
+	db.mu.Lock()
+	db.log = l
 	db.mu.Unlock()
 }
 
@@ -175,7 +186,11 @@ func (db *DB) AddSeries(id model.MachineID, metric Metric, samples []Sample) {
 		accepted++
 	}
 	db.metrics.Add("monitordb.samples", int64(accepted))
-	db.metrics.Add("monitordb.samples_dropped", int64(len(samples)-accepted))
+	if dropped := len(samples) - accepted; dropped > 0 {
+		db.metrics.Add("monitordb.samples_dropped", int64(dropped))
+		db.log.Debug("monitoring samples dropped outside retention",
+			"machine", string(id), "metric", metric.String(), "dropped", dropped, "accepted", accepted)
+	}
 }
 
 // AddPowerEvent records a power-state transition.

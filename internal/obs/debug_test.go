@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// getBody fetches one debug-server path and returns the body.
+func getBody(t *testing.T, addr, path string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestServeDebugVarsJSON verifies that /debug/vars serves valid JSON
+// carrying an observer's published metrics snapshot.
+func TestServeDebugVarsJSON(t *testing.T) {
+	o := NewObserver("debug-vars-test")
+	o.Metrics().Add("debugvars.test_counter", 41)
+	o.Metrics().Gauge("debugvars.test_gauge").Set(2.5)
+	o.Publish("failscope-debugvars-test")
+
+	addr, closeFn, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+
+	raw := getBody(t, addr, "/debug/vars")
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(raw), &vars); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v\n%s", err, raw)
+	}
+	var snap map[string]float64
+	if err := json.Unmarshal(vars["failscope-debugvars-test"], &snap); err != nil {
+		t.Fatalf("published registry is not a metric map: %v", err)
+	}
+	if snap["debugvars.test_counter"] != 41 || snap["debugvars.test_gauge"] != 2.5 {
+		t.Errorf("snapshot = %v, want counter 41 and gauge 2.5", snap)
+	}
+}
+
+// TestServeDebugPprofProfiles exercises the wired pprof handlers beyond
+// the index page.
+func TestServeDebugPprofProfiles(t *testing.T) {
+	addr, closeFn, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+
+	if idx := getBody(t, addr, "/debug/pprof/"); !strings.Contains(idx, "heap") {
+		t.Errorf("/debug/pprof/ index missing heap profile:\n%s", idx)
+	}
+	if prof := getBody(t, addr, "/debug/pprof/goroutine?debug=1"); !strings.Contains(prof, "goroutine") {
+		t.Errorf("goroutine profile unexpected:\n%s", prof)
+	}
+	if cmdline := getBody(t, addr, "/debug/pprof/cmdline"); cmdline == "" {
+		t.Error("empty /debug/pprof/cmdline")
+	}
+}
+
+// TestServeDebugShutdown verifies the returned close func actually stops
+// the listener (new connections are refused) and is safe to call twice.
+func TestServeDebugShutdown(t *testing.T) {
+	addr, closeFn, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The server must be up before we tear it down.
+	if body := getBody(t, addr, "/debug/vars"); body == "" {
+		t.Fatal("empty /debug/vars before shutdown")
+	}
+
+	closeFn()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 250*time.Millisecond)
+		if err != nil {
+			break // listener is gone
+		}
+		conn.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("debug server still accepting connections after close")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	closeFn() // double close must not panic
+
+	// The port is free again: a fresh debug server can bind to it.
+	addr2, closeFn2, err := ServeDebug(addr)
+	if err != nil {
+		t.Fatalf("rebind %s after shutdown: %v", addr, err)
+	}
+	defer closeFn2()
+	if body := getBody(t, addr2, "/debug/vars"); body == "" {
+		t.Fatal("empty /debug/vars from rebound server")
+	}
+}

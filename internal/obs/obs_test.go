@@ -151,8 +151,11 @@ func TestRunReportJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Name != "roundtrip" || back.GOMAXPROCS != rep.GOMAXPROCS {
+	if back.Name != "roundtrip" || back.Meta.GOMAXPROCS != rep.Meta.GOMAXPROCS {
 		t.Fatalf("round-trip header mismatch: %+v", back)
+	}
+	if back.Meta.GoVersion == "" || back.Meta.NumCPU < 1 {
+		t.Fatalf("round-trip meta incomplete: %+v", back.Meta)
 	}
 	if back.Spans.NumSpans() != 2 || back.Spans.Find("stage") == nil {
 		t.Fatalf("round-trip spans mismatch: %+v", back.Spans)

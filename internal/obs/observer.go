@@ -23,14 +23,49 @@ import "runtime"
 type Observer struct {
 	span *Span
 	reg  *Registry
-	root *Span // the run's root, retained for reports
+	root *Span    // the run's root, retained for reports
+	log  *Logger  // optional structured logger, shared by derived observers
+	meta *RunMeta // run metadata, shared by derived observers
 }
 
 // NewObserver starts a run: a root span named after the run plus a fresh
 // registry.
 func NewObserver(runName string) *Observer {
 	root := Root(runName)
-	return &Observer{span: root, root: root, reg: NewRegistry()}
+	return &Observer{span: root, root: root, reg: NewRegistry(), meta: &RunMeta{}}
+}
+
+// WithLogger attaches a structured logger to the run: stage starts/ends
+// and pipeline decisions (drops, low-purity warnings) are logged as the
+// run proceeds. Derived observers share the logger. Returns o for
+// chaining; a nil observer stays nil.
+func (o *Observer) WithLogger(l *Logger) *Observer {
+	if o == nil {
+		return nil
+	}
+	o.log = l
+	o.root.setLogger(l)
+	return o
+}
+
+// Log returns the run's structured logger (nil on nil, and nil when no
+// logger was attached — both are safe to call).
+func (o *Observer) Log() *Logger {
+	if o == nil {
+		return nil
+	}
+	return o.log
+}
+
+// SetMeta records the run's reproducibility knobs — generator seed, worker
+// count and a one-line config summary — for the RunReport's meta block.
+func (o *Observer) SetMeta(seed uint64, parallelism int, config string) {
+	if o == nil {
+		return
+	}
+	o.meta.Seed = seed
+	o.meta.Parallelism = parallelism
+	o.meta.Config = config
 }
 
 // Start begins a sub-stage span under the observer's current span.
@@ -38,17 +73,20 @@ func (o *Observer) Start(name string) *Span {
 	if o == nil {
 		return nil
 	}
-	return o.span.Child(name)
+	o.log.Debug("stage start", "stage", name)
+	sp := o.span.Child(name)
+	sp.setLogger(o.log)
+	return sp
 }
 
 // Under returns a derived observer whose current span is sp (sharing the
-// registry and root) — the handle passed down to a nested pipeline stage
-// so its sub-stages land under the right parent.
+// registry, root, logger and meta) — the handle passed down to a nested
+// pipeline stage so its sub-stages land under the right parent.
 func (o *Observer) Under(sp *Span) *Observer {
 	if o == nil {
 		return nil
 	}
-	return &Observer{span: sp, reg: o.reg, root: o.root}
+	return &Observer{span: sp, reg: o.reg, root: o.root, log: o.log, meta: o.meta}
 }
 
 // Span returns the observer's current span (nil on nil).
@@ -84,19 +122,23 @@ func (o *Observer) Tree() string {
 }
 
 // RunReport assembles the machine-readable report of the whole run:
-// environment, span tree and metric snapshot. Nil on a nil observer.
+// environment + reproducibility meta, span tree and metric snapshot. Nil
+// on a nil observer.
 func (o *Observer) RunReport() *RunReport {
 	if o == nil {
 		return nil
 	}
+	meta := *o.meta
+	meta.GoVersion = runtime.Version()
+	meta.GOOS = runtime.GOOS
+	meta.GOARCH = runtime.GOARCH
+	meta.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	meta.NumCPU = runtime.NumCPU()
 	return &RunReport{
-		Name:       o.root.Name(),
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Spans:      o.root.Report(),
-		Metrics:    o.reg.Snapshot(),
+		Name:    o.root.Name(),
+		Meta:    meta,
+		Spans:   o.root.Report(),
+		Metrics: o.reg.Snapshot(),
 	}
 }
 

@@ -47,18 +47,39 @@ func (r *SpanReport) Find(name string) *SpanReport {
 	return nil
 }
 
+// RunMeta is the report's environment + reproducibility block, recorded
+// so committed BENCH_*.json files are comparable across machines: wall
+// times only mean something next to the core count, and deterministic
+// sections only reproduce under the same seed and scale.
+type RunMeta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// Seed, Parallelism and Config come from SetMeta — the run's knobs as
+	// the CLI resolved them (Config is a one-line summary, e.g.
+	// "scale=small classify=true").
+	Seed        uint64 `json:"seed,omitempty"`
+	Parallelism int    `json:"parallelism,omitempty"`
+	Config      string `json:"config,omitempty"`
+}
+
 // RunReport is the machine-readable record of one pipeline run — the
 // format committed as BENCH_*.json to track the perf trajectory across
-// PRs. Wall times vary run to run; span structure, item counts and metric
-// totals are deterministic.
+// PRs. Wall times vary run to run; span structure, item counts, metric
+// totals and the quality/fidelity sections are deterministic.
 type RunReport struct {
-	Name       string             `json:"name"`
-	GoVersion  string             `json:"go_version"`
-	GOOS       string             `json:"goos"`
-	GOARCH     string             `json:"goarch"`
-	GOMAXPROCS int                `json:"gomaxprocs"`
-	Spans      *SpanReport        `json:"spans,omitempty"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Name    string             `json:"name"`
+	Meta    RunMeta            `json:"meta"`
+	Spans   *SpanReport        `json:"spans,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Quality carries the run's ground-truth quality scores and Fidelity
+	// the paper-band scoreboard (both produced by internal/fidelity, which
+	// sits above this package — hence the loose typing; they round-trip
+	// through JSON as generic maps).
+	Quality  any `json:"quality,omitempty"`
+	Fidelity any `json:"fidelity,omitempty"`
 }
 
 // WriteJSON writes the report as indented JSON (trailing newline included,

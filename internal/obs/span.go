@@ -35,6 +35,7 @@ type Span struct {
 	workers  int
 	items    int64
 	children []*Span
+	log      *Logger // optional; End emits a debug record when set
 
 	startMallocs, startBytes uint64
 }
@@ -78,15 +79,26 @@ func (s *Span) Child(name string) *Span {
 	return c
 }
 
+// setLogger attaches the run logger so End can emit a stage-end record.
+func (s *Span) setLogger(l *Logger) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.log = l
+	s.mu.Unlock()
+}
+
 // End closes the span, freezing its wall time and allocation delta.
-// Ending twice keeps the first measurement.
+// Ending twice keeps the first measurement. With a logger attached the
+// close emits one debug record (stage name, wall time, item count).
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if !s.end.IsZero() {
+		s.mu.Unlock()
 		return
 	}
 	s.end = time.Now()
@@ -97,6 +109,9 @@ func (s *Span) End() {
 	if bytes >= s.startBytes {
 		s.bytes = bytes - s.startBytes
 	}
+	log, name, wall, items := s.log, s.name, s.end.Sub(s.start), s.items
+	s.mu.Unlock()
+	log.Debug("stage end", "stage", name, "wall_ms", ms(wall), "items", items)
 }
 
 // AddPool folds one worker-pool invocation into the span: busy time

@@ -1,0 +1,89 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"failscope/internal/fidelity"
+)
+
+// Fidelity renders the reproduction-fidelity scoreboard: the ground-truth
+// quality scores followed by the paper-band verdict table.
+func Fidelity(sb *fidelity.Scoreboard) string {
+	if sb == nil {
+		return "Fidelity scoreboard: not computed\n"
+	}
+	var b strings.Builder
+	b.WriteString(fidelityQuality(sb.Quality))
+
+	t := NewTable(
+		fmt.Sprintf("Fidelity — paper-expected bands (%d pass, %d warn, %d fail, %d skip)",
+			sb.Passed, sb.Warned, sb.Failed, sb.Skipped),
+		"band", "verdict", "value", "pass range", "paper expectation")
+	for _, band := range sb.Bands {
+		value := F(band.Value)
+		if band.Unit != "" {
+			value += " " + band.Unit
+		}
+		if band.Verdict == fidelity.VerdictSkip {
+			value = "-"
+			if band.Note != "" {
+				value = band.Note
+			}
+		}
+		t.AddRow(band.Name, strings.ToUpper(string(band.Verdict)), value,
+			band.Pass.String(), band.Paper)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// fidelityQuality renders the ground-truth quality block.
+func fidelityQuality(q *fidelity.Quality) string {
+	if q == nil {
+		return ""
+	}
+	var b strings.Builder
+	if q.ClassifierRan {
+		t := NewTable("Fidelity — ground-truth quality (§III.A pipeline vs simulator truth)",
+			"score", "value")
+		t.AddRow("crash-ticket precision", Pct(q.CrashPrecision))
+		t.AddRow("crash-ticket recall", Pct(q.CrashRecall))
+		t.AddRow("crash-ticket F1", Pct(q.CrashF1))
+		t.AddRow("crash-class accuracy", Pct(q.CrashClassAccuracy))
+		t.AddRow("overall test accuracy", Pct(q.OverallAccuracy))
+		t.AddRow("stage-1 cluster purity", Pct(q.Stage1Purity))
+		t.AddRow("stage-2 cluster purity", Pct(q.Stage2Purity))
+		t.AddRow("train / test docs", fmt.Sprintf("%d / %d", q.TrainDocs, q.TestDocs))
+		b.WriteString(t.String())
+
+		if len(q.PerClass) > 0 {
+			ct := NewTable("Fidelity — six-class confusion summary (test set)",
+				"class", "truth", "predicted", "precision", "recall", "F1")
+			for _, cs := range q.PerClass {
+				ct.AddRow(cs.Class, D(cs.Truth), D(cs.Predicted),
+					Pct(cs.Precision), Pct(cs.Recall), Pct(cs.F1))
+			}
+			b.WriteString(ct.String())
+		}
+	} else {
+		b.WriteString("Fidelity — classification did not run (no ground-truth classifier scores)\n\n")
+	}
+
+	if q.Drops != nil {
+		d := q.Drops
+		t := NewTable("Fidelity — sanitization-drop accounting", "stream", "value")
+		t.AddRow("tickets generated", fmt.Sprintf("%d", d.TicketsGenerated))
+		t.AddRow("tickets in window", fmt.Sprintf("%d", d.TicketsInWindow))
+		t.AddRow("tickets window-dropped", fmt.Sprintf("%d", d.TicketsWindowDropped))
+		t.AddRow("monitor samples kept", fmt.Sprintf("%d", d.MonitorSamples))
+		t.AddRow("monitor samples dropped", fmt.Sprintf("%d", d.MonitorSamplesDropped))
+		t.AddRow("accounting consistent", fmt.Sprintf("%v", d.Consistent))
+		if total := q.JoinHits + q.JoinMisses; total > 0 {
+			t.AddRow("monitoring-join coverage",
+				fmt.Sprintf("%s (%d/%d machines)", Pct(q.JoinCoverage), q.JoinHits, total))
+		}
+		b.WriteString(t.String())
+	}
+	return b.String()
+}

@@ -18,6 +18,7 @@ type Classifier struct {
 	centroids [][]float64
 	norms     []float64 // squared norms of centroids, cached for Predict
 	labels    []int     // label per centroid
+	purity    float64   // training-set cluster purity, see Purity
 }
 
 // TrainOptions controls classifier training.
@@ -94,8 +95,10 @@ func Train(texts []string, labels []int, opts TrainOptions, r *xrand.RNG) (*Clas
 		frac = 1
 	}
 	votes := make([]map[int]float64, k)
+	raw := make([]map[int]int, k) // unweighted counts, for the purity score
 	for c := range votes {
 		votes[c] = make(map[int]float64)
+		raw[c] = make(map[int]int)
 	}
 	classFreq := make(map[int]int)
 	for _, l := range labels {
@@ -112,6 +115,7 @@ func Train(texts []string, labels []int, opts TrainOptions, r *xrand.RNG) (*Clas
 			continue
 		}
 		votes[c][labels[i]] += weight(labels[i])
+		raw[c][labels[i]]++
 	}
 	clusterLabels := make([]int, k)
 	globalMajority := majorityLabel(labels)
@@ -124,13 +128,38 @@ func Train(texts []string, labels []int, opts TrainOptions, r *xrand.RNG) (*Clas
 		}
 		clusterLabels[c] = best
 	}
+	// Cluster purity: the fraction of labeled training documents that sit
+	// in a cluster dominated by their own label. Low purity means the text
+	// clusters do not align with the resolution classes, so the cluster
+	// labeling — and everything downstream — rests on mixed evidence.
+	var pureDocs, labeledDocs int
+	for c := range raw {
+		total, max := 0, 0
+		for _, n := range raw[c] {
+			total += n
+			if n > max {
+				max = n
+			}
+		}
+		pureDocs += max
+		labeledDocs += total
+	}
+	purity := 0.0
+	if labeledDocs > 0 {
+		purity = float64(pureDocs) / float64(labeledDocs)
+	}
+	o.Metrics().Gauge("textmine.cluster_purity").Set(purity)
+	if purity < 0.5 {
+		o.Log().Warn("low k-means cluster purity", "purity", purity, "clusters", k, "labeled_docs", labeledDocs)
+	}
+
 	norms := make([]float64, len(res.Centroids))
 	for i, c := range res.Centroids {
 		for _, v := range c {
 			norms[i] += v * v
 		}
 	}
-	return &Classifier{vocab: vocab, centroids: res.Centroids, norms: norms, labels: clusterLabels}, nil
+	return &Classifier{vocab: vocab, centroids: res.Centroids, norms: norms, labels: clusterLabels, purity: purity}, nil
 }
 
 func majorityLabel(labels []int) int {
@@ -146,6 +175,12 @@ func majorityLabel(labels []int) int {
 	}
 	return best
 }
+
+// Purity returns the training-set cluster purity: the fraction of labeled
+// training documents whose cluster is dominated by their own label (1.0 =
+// every cluster is single-class). Computed over the manually labeled
+// subset the cluster labeling consulted.
+func (c *Classifier) Purity() float64 { return c.purity }
 
 // Predict returns the label of the nearest centroid. It only reads the
 // classifier, so callers may predict from concurrent workers.

@@ -2,6 +2,7 @@ package failscope
 
 import (
 	"bytes"
+	"io"
 	"runtime"
 	"testing"
 
@@ -21,6 +22,13 @@ func observedStudyFingerprint(t *testing.T, parallelism int, o *Observer) string
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Fidelity scoring is pure observation: run it before fingerprinting so
+	// any leakage into the pipeline output would show up as a diff.
+	if o != nil {
+		if sb := ScoreFidelity(res, o); sb == nil || len(sb.Bands) == 0 {
+			t.Fatal("fidelity scoreboard empty on an observed run")
+		}
+	}
 	var buf bytes.Buffer
 	if err := WriteDataset(&buf, res.Field.Data); err != nil {
 		t.Fatal(err)
@@ -33,10 +41,12 @@ func observedStudyFingerprint(t *testing.T, parallelism int, o *Observer) string
 }
 
 // TestObservedStudyByteIdentical enforces the cardinal rule of the
-// observability layer: attaching an Observer must not change a single byte
-// of any stage's output, at any worker count. It also checks the recorded
-// span tree actually covers the pipeline (all three top stages, ≥10 named
-// sub-stages) and that the machine-readable run report round-trips.
+// observability layer: attaching an Observer — with the structured logger
+// emitting at debug level and the fidelity scoreboard computed afterwards
+// — must not change a single byte of any stage's output, at any worker
+// count. It also checks the recorded span tree actually covers the
+// pipeline (all three top stages, ≥10 named sub-stages) and that the
+// machine-readable run report round-trips.
 func TestObservedStudyByteIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the small study several times")
@@ -44,7 +54,11 @@ func TestObservedStudyByteIdentical(t *testing.T) {
 	ref := observedStudyFingerprint(t, 1, nil)
 	workerCounts := []int{1, runtime.GOMAXPROCS(0)}
 	for _, p := range workerCounts {
-		o := NewObserver("observed-study")
+		log, err := NewLogger(io.Discard, "debug", "json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := NewObserver("observed-study").WithLogger(log)
 		got := observedStudyFingerprint(t, p, o)
 		if got != ref {
 			i := 0
@@ -86,6 +100,11 @@ func TestObservedStudyByteIdentical(t *testing.T) {
 			}
 		}
 
+		// The quality and fidelity sections ride along in the run report.
+		sb := ScoreFidelity(&Result{Report: nil}, o)
+		rep.Quality = sb.Quality
+		rep.Fidelity = sb
+
 		var js bytes.Buffer
 		if err := rep.WriteJSON(&js); err != nil {
 			t.Fatal(err)
@@ -98,9 +117,12 @@ func TestObservedStudyByteIdentical(t *testing.T) {
 			t.Fatalf("parallelism %d: run report did not round-trip: %d spans / %d metrics vs %d / %d",
 				p, back.Spans.NumSpans(), len(back.Metrics), rep.Spans.NumSpans(), len(rep.Metrics))
 		}
+		if back.Quality == nil || back.Fidelity == nil {
+			t.Fatalf("parallelism %d: quality/fidelity sections lost in the run-report round-trip", p)
+		}
 
 		// Deterministic pipeline metrics must not depend on the worker count.
-		for _, name := range []string{"dcsim.tickets", "ingest.tickets_in_window", "core.machines", "ingest.join_hits"} {
+		for _, name := range []string{"dcsim.tickets", "ingest.tickets_in_window", "core.machines", "ingest.join_hits", "textmine.cluster_purity"} {
 			if _, ok := rep.Metrics[name]; !ok {
 				t.Errorf("parallelism %d: metric %q missing from run report", p, name)
 			}
