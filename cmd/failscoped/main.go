@@ -1,0 +1,204 @@
+// Command failscoped is the live-analysis daemon: it keeps a streaming
+// failure-analysis engine (internal/stream) behind a small HTTP API, so
+// ticket and monitoring events can be POSTed as they happen and the
+// paper's §IV statistics queried at any moment.
+//
+//	POST /v1/events    ingest a JSONL event batch (400 names the bad line)
+//	GET  /v1/report    full snapshot: counters + the streaming core.Report
+//	GET  /v1/rates     the Fig. 2 weekly failure rates only
+//	GET  /v1/fidelity  the paper-band scoreboard for the current snapshot
+//	GET  /healthz      liveness + ingestion counters
+//
+// Usage:
+//
+//	failscoped [-addr localhost:8080] [-scale paper|small] [-seed N]
+//	failscoped -replay -scale small -replay-speed 0 [-classify]
+//	failscoped -scale small -v -debug-addr localhost:6060
+//
+// With -replay the daemon generates the selected dcsim dataset and streams
+// it into its own engine in arrival order — at full speed by default, or
+// paced by -replay-speed (simulated seconds per wall second).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"failscope"
+	"failscope/internal/clikit"
+	"failscope/internal/ingest"
+	"failscope/internal/stream"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "failscoped:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", "localhost:8080", "HTTP listen address")
+		scale       = flag.String("scale", "paper", "study scale the engine is configured for: paper or small")
+		seed        = flag.Uint64("seed", 0, "generator seed for -replay (0 keeps the calibrated default)")
+		parallel    = flag.Int("parallelism", 0, "worker count for -replay generation (0 = all CPUs)")
+		replay      = flag.Bool("replay", false, "generate the selected dataset and stream it into the engine")
+		replaySpeed = flag.Float64("replay-speed", 0, "simulated seconds streamed per wall second (0 = full speed)")
+		replayBatch = flag.Int("replay-batch", 5000, "events per replay ingestion batch")
+		classify    = flag.Bool("classify", false, "with -replay: train the two-stage ticket classifier on the generated tickets and score the stream online")
+	)
+	ofl := clikit.AddFlags(flag.CommandLine)
+	flag.Parse()
+
+	var study failscope.Study
+	switch *scale {
+	case "paper":
+		study = failscope.PaperStudy()
+	case "small":
+		study = failscope.SmallStudy()
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	if *seed != 0 {
+		study.Generator.Seed = *seed
+	}
+	study = study.WithParallelism(*parallel)
+	if *classify && !*replay {
+		return fmt.Errorf("-classify needs -replay (it trains on the generated tickets)")
+	}
+
+	o, stopDebug, err := ofl.Observer("failscoped")
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
+	o.SetMeta(study.Generator.Seed, *parallel,
+		fmt.Sprintf("scale=%s replay=%v speed=%g", *scale, *replay, *replaySpeed))
+
+	// Generate the replay dataset (and optionally train the classifier)
+	// before the server comes up, so the first snapshot already has the
+	// frozen model attached.
+	var events []stream.Event
+	cfg := stream.Config{
+		Observation:      study.Generator.Observation,
+		FineWindow:       study.Generator.FineWindow,
+		MonitorEpoch:     study.Generator.MonitorEpoch,
+		MonitorRetention: study.Generator.MonitorRetention,
+		Observer:         o,
+	}
+	if *replay {
+		genSpan := o.Start("generate")
+		study.Generator.Observer = o.Under(genSpan)
+		field, err := failscope.Generate(study.Generator)
+		genSpan.End()
+		if err != nil {
+			return err
+		}
+		if *classify {
+			trainSpan := o.Start("train-classifier")
+			study.Collect.Observer = o.Under(trainSpan)
+			clf, err := ingest.TrainOnlineClassifier(field.Data.Tickets, study.Collect)
+			trainSpan.End()
+			if err != nil {
+				return err
+			}
+			cfg.Classifier = clf
+		}
+		events = stream.EventsFromField(field.Data, field.Tickets, field.Monitor)
+		fmt.Fprintf(os.Stderr, "failscoped: replaying %d events (%s scale)\n", len(events), *scale)
+	}
+
+	eng, err := stream.NewEngine(cfg)
+	if err != nil {
+		return err
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: newServer(eng, o)}
+	fmt.Fprintf(os.Stderr, "failscoped: serving on http://%s/\n", l.Addr())
+
+	replayDone := make(chan error, 1)
+	stopReplay := make(chan struct{})
+	if *replay {
+		go func() { replayDone <- replayEvents(eng, events, *replayBatch, *replaySpeed, stopReplay) }()
+	} else {
+		replayDone <- nil
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "failscoped: %v, draining\n", s)
+	case err := <-serveErr:
+		close(stopReplay)
+		<-replayDone
+		return err
+	}
+	close(stopReplay)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := <-replayDone; err != nil {
+		return err
+	}
+	return ofl.Emit("failscoped", o, nil)
+}
+
+// replayEvents streams the dataset into the engine in arrival order.
+// speed > 0 paces the stream: that many simulated seconds pass per wall
+// second, measured batch to batch on the event timestamps.
+func replayEvents(eng *stream.Engine, events []stream.Event, batch int, speed float64, stop <-chan struct{}) error {
+	if batch < 1 {
+		batch = 1
+	}
+	var prev time.Time
+	for lo := 0; lo < len(events); lo += batch {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		hi := lo + batch
+		if hi > len(events) {
+			hi = len(events)
+		}
+		if speed > 0 {
+			if at := events[lo].When(); !at.IsZero() {
+				if !prev.IsZero() && at.After(prev) {
+					wait := time.Duration(float64(at.Sub(prev)) / speed)
+					select {
+					case <-stop:
+						return nil
+					case <-time.After(wait):
+					}
+				}
+				prev = at
+			}
+		}
+		if err := eng.Apply(events[lo:hi]); err != nil {
+			return fmt.Errorf("replay: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,371 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"failscope/internal/fidelity"
+	"failscope/internal/model"
+	"failscope/internal/obs"
+	"failscope/internal/stream"
+	"failscope/internal/textmine"
+)
+
+var testWindow = model.Window{
+	Start: time.Date(2012, 7, 1, 0, 0, 0, 0, time.UTC),
+	End:   time.Date(2013, 7, 1, 0, 0, 0, 0, time.UTC),
+}
+
+func testServer(t *testing.T) (*server, *stream.Engine) {
+	t.Helper()
+	eng, err := stream.NewEngine(stream.Config{Observation: testWindow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(eng, obs.NewObserver("failscoped-test")), eng
+}
+
+// testBatch is a tiny but complete JSONL batch: two machines, a crash
+// ticket on each, and one two-server incident.
+func testBatch(t *testing.T) string {
+	t.Helper()
+	at := testWindow.Start.Add(10 * 24 * time.Hour)
+	events := []stream.Event{
+		{Type: "machine", Machine: &model.Machine{ID: "pm-1", Kind: model.PM, System: model.SysI}},
+		{Type: "machine", Machine: &model.Machine{ID: "vm-1", Kind: model.VM, System: model.SysI}},
+		{Type: "ticket", Ticket: &model.Ticket{
+			ID: "t1", ServerID: "pm-1", System: model.SysI, Opened: at,
+			Closed: at.Add(3 * time.Hour), IsCrash: true, Class: model.ClassHardware, IncidentID: "i1",
+		}},
+		{Type: "ticket", Ticket: &model.Ticket{
+			ID: "t2", ServerID: "vm-1", System: model.SysI, Opened: at.Add(time.Hour),
+			Closed: at.Add(2 * time.Hour), IsCrash: true, Class: model.ClassHardware, IncidentID: "i1",
+		}},
+		{Type: "incident", Incident: &model.Incident{
+			ID: "i1", Class: model.ClassHardware, Time: at, Servers: []model.MachineID{"pm-1", "vm-1"},
+		}},
+	}
+	var sb strings.Builder
+	if err := stream.EncodeJSONL(&sb, events); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestEndpoints drives the full surface: ingest a batch, then query every
+// endpoint and check the numbers flowed through.
+func TestEndpoints(t *testing.T) {
+	srv, _ := testServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	res, err := http.Post(ts.URL+"/v1/events", "application/jsonl", strings.NewReader(testBatch(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var applied struct{ Applied int }
+	if err := json.NewDecoder(res.Body).Decode(&applied); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK || applied.Applied != 5 {
+		t.Fatalf("ingest: status %d applied %d, want 200 and 5", res.StatusCode, applied.Applied)
+	}
+
+	res, err = http.Get(ts.URL + "/v1/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap stream.Snapshot
+	if err := json.NewDecoder(res.Body).Decode(&snap); err != nil {
+		t.Fatalf("report decode: %v", err)
+	}
+	res.Body.Close()
+	if snap.Tickets != 2 || snap.CrashTickets != 2 || snap.Machines != 2 || snap.Incidents != 1 {
+		t.Fatalf("report counters = %+v", snap)
+	}
+	if snap.Report == nil || snap.Report.Spatial.Incidents != 1 || snap.Report.Spatial.MaxServers != 2 {
+		t.Fatalf("report spatial = %+v", snap.Report.Spatial)
+	}
+	if snap.Report.RepairPM.Summary.N != 1 || snap.Report.RepairPM.Summary.Mean != 3 {
+		t.Fatalf("report repair = %+v", snap.Report.RepairPM.Summary)
+	}
+
+	res, err = http.Get(ts.URL + "/v1/rates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rates struct {
+		Tickets int64
+		Rates   []struct {
+			Kind    model.MachineKind
+			Servers int
+		}
+	}
+	if err := json.NewDecoder(res.Body).Decode(&rates); err != nil {
+		t.Fatalf("rates decode: %v", err)
+	}
+	res.Body.Close()
+	if rates.Tickets != 2 || len(rates.Rates) != 12 {
+		t.Fatalf("rates: tickets %d rows %d, want 2 and 12", rates.Tickets, len(rates.Rates))
+	}
+
+	res, err = http.Get(ts.URL + "/v1/fidelity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb fidelity.Scoreboard
+	if err := json.NewDecoder(res.Body).Decode(&sb); err != nil {
+		t.Fatalf("fidelity decode: %v", err)
+	}
+	res.Body.Close()
+	if len(sb.Bands) == 0 {
+		t.Fatal("fidelity: no bands")
+	}
+
+	res, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string
+		Events int64
+	}
+	if err := json.NewDecoder(res.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if health.Status != "ok" || health.Events != 5 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	// Wrong methods are 405s.
+	for _, tc := range []struct{ method, path string }{
+		{http.MethodGet, "/v1/events"},
+		{http.MethodPost, "/v1/report"},
+		{http.MethodPost, "/v1/rates"},
+		{http.MethodPost, "/v1/fidelity"},
+	} {
+		req, _ := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		res, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want 405", tc.method, tc.path, res.StatusCode)
+		}
+	}
+}
+
+// TestReportOnEmptyEngine guards the JSON path against NaNs: a snapshot
+// with no data at all must still serialize.
+func TestReportOnEmptyEngine(t *testing.T) {
+	srv, _ := testServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	for _, path := range []string{"/v1/report", "/v1/rates", "/v1/fidelity", "/healthz"} {
+		res, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(res.Body)
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			t.Errorf("GET %s on empty engine: status %d (%s)", path, res.StatusCode, body)
+		}
+		if !json.Valid(body) {
+			t.Errorf("GET %s: invalid JSON: %.120s", path, body)
+		}
+	}
+}
+
+// TestMalformedJSONLNamesTheLine: a bad record must 400 with the 1-based
+// line number in the error, and nothing from the batch may be applied.
+func TestMalformedJSONLNamesTheLine(t *testing.T) {
+	srv, eng := testServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	body := `{"type":"machine","machine":{"id":"pm-9","kind":1,"system":1}}
+{"type":"advance","time":"2012-08-01T00:00:00Z"}
+{"type":"ticket","ticket":{{bad
+`
+	res, err := http.Post(ts.URL+"/v1/events", "application/jsonl", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", res.StatusCode)
+	}
+	if !strings.Contains(string(msg), "line 3") {
+		t.Fatalf("error %q does not name line 3", msg)
+	}
+	if snap := eng.Snapshot(); snap.Events != 0 || snap.Machines != 0 {
+		t.Fatalf("bad batch partially applied: %+v", snap)
+	}
+}
+
+// TestGracefulShutdownDrains serves on an ephemeral port alongside a debug
+// server (no -debug-addr port collision), starts an ingest whose body is
+// still streaming, initiates shutdown, and verifies the in-flight request
+// completes with a 200 before the server exits.
+func TestGracefulShutdownDrains(t *testing.T) {
+	srv, eng := testServer(t)
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(l) }()
+
+	// The debug listener binds its own ephemeral port — starting both must
+	// never collide.
+	debugAddr, stopDebug, err := obs.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("debug server alongside API server: %v", err)
+	}
+	defer stopDebug()
+	if debugAddr == l.Addr().String() {
+		t.Fatalf("debug server bound the API address %s", debugAddr)
+	}
+
+	pr, pw := io.Pipe()
+	reqDone := make(chan error, 1)
+	var status int
+	go func() {
+		res, err := http.Post("http://"+l.Addr().String()+"/v1/events", "application/jsonl", pr)
+		if err == nil {
+			status = res.StatusCode
+			io.Copy(io.Discard, res.Body)
+			res.Body.Close()
+		}
+		reqDone <- err
+	}()
+
+	// First half of the batch, then shutdown begins mid-request.
+	if _, err := io.WriteString(pw, `{"type":"machine","machine":{"id":"pm-1","kind":1,"system":1}}`+"\n"); err != nil {
+		t.Fatal(err)
+	}
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- hs.Shutdown(ctx)
+	}()
+
+	// Give shutdown a moment to stop accepting, then finish the body: the
+	// in-flight request must drain, not be cut off.
+	time.Sleep(50 * time.Millisecond)
+	fmt.Fprintln(pw, `{"type":"machine","machine":{"id":"vm-1","kind":2,"system":1}}`)
+	pw.Close()
+
+	if err := <-reqDone; err != nil {
+		t.Fatalf("in-flight request failed during shutdown: %v", err)
+	}
+	if status != http.StatusOK {
+		t.Fatalf("in-flight request status = %d, want 200", status)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+	if snap := eng.Snapshot(); snap.Machines != 2 {
+		t.Fatalf("drained batch applied %d machines, want 2", snap.Machines)
+	}
+}
+
+// TestReplayEventsPacingAndStop covers the replay loop: full-speed replay
+// applies everything; a closed stop channel halts it early.
+func TestReplayEventsPacingAndStop(t *testing.T) {
+	eng, err := stream.NewEngine(stream.Config{Observation: testWindow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := stream.DecodeJSONL(strings.NewReader(testBatch(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replayEvents(eng, events, 2, 0, make(chan struct{})); err != nil {
+		t.Fatal(err)
+	}
+	if snap := eng.Snapshot(); snap.Events != int64(len(events)) {
+		t.Fatalf("replayed %d events, want %d", snap.Events, len(events))
+	}
+
+	stopped := make(chan struct{})
+	close(stopped)
+	eng2, _ := stream.NewEngine(stream.Config{Observation: testWindow})
+	if err := replayEvents(eng2, events, 1, 0, stopped); err != nil {
+		t.Fatal(err)
+	}
+	if snap := eng2.Snapshot(); snap.Events != 0 {
+		t.Fatalf("stopped replay still applied %d events", snap.Events)
+	}
+}
+
+// TestReportWithClassifierSerializes is the regression test for the
+// confusion-matrix JSON hazard: with a classifier attached, the snapshot
+// carries an ingest.ClassifierReport whose ConfusionMatrix is keyed by
+// [2]int — /v1/report must still produce valid JSON, both before any
+// ticket is scored (NaN accuracy guard) and after ingestion.
+func TestReportWithClassifierSerializes(t *testing.T) {
+	eng, err := stream.NewEngine(stream.Config{
+		Observation: testWindow,
+		Classifier:  textmine.NewOnlineClassifier(nil, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(eng, obs.NewObserver("failscoped-test"))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for _, stage := range []string{"empty", "ingested"} {
+		res, err := http.Get(ts.URL + "/v1/report")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(res.Body)
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK || !json.Valid(body) || len(body) == 0 {
+			t.Fatalf("%s: status %d, %d bytes, valid=%v", stage, res.StatusCode, len(body), json.Valid(body))
+		}
+		var snap stream.Snapshot
+		if err := json.Unmarshal(body, &snap); err != nil {
+			t.Fatalf("%s: decode: %v", stage, err)
+		}
+		if snap.Classifier == nil || snap.Classifier.Confusion == nil {
+			t.Fatalf("%s: classifier report missing from snapshot", stage)
+		}
+		if stage == "ingested" {
+			if snap.Classifier.TestDocs != 2 || snap.Classifier.Confusion.Total != 2 {
+				t.Fatalf("scored %d docs, confusion total %d, want 2 and 2", snap.Classifier.TestDocs, snap.Classifier.Confusion.Total)
+			}
+		}
+		if stage == "empty" {
+			res, err := http.Post(ts.URL+"/v1/events", "application/jsonl", strings.NewReader(testBatch(t)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res.Body.Close()
+			if res.StatusCode != http.StatusOK {
+				t.Fatalf("ingest: status %d", res.StatusCode)
+			}
+		}
+	}
+}

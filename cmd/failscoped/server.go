@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"failscope/internal/obs"
+	"failscope/internal/stream"
+)
+
+// server is the failscoped HTTP surface: an ingestion endpoint feeding the
+// streaming engine plus query endpoints that snapshot it. The handler owns
+// no state beyond the engine and the observer, so the httptest suite can
+// exercise it without a listener.
+type server struct {
+	eng *stream.Engine
+	obs *obs.Observer
+	mux *http.ServeMux
+}
+
+func newServer(eng *stream.Engine, o *obs.Observer) *server {
+	s := &server{eng: eng, obs: o, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/events", s.handleEvents)
+	s.mux.HandleFunc("/v1/report", s.handleReport)
+	s.mux.HandleFunc("/v1/rates", s.handleRates)
+	s.mux.HandleFunc("/v1/fidelity", s.handleFidelity)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.obs.Metrics().Add("serve.requests", 1)
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		s.obs.Metrics().Add("serve.encode_errors", 1)
+	}
+}
+
+func (s *server) fail(w http.ResponseWriter, code int, err error) {
+	s.obs.Metrics().Add("serve.request_errors", 1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// handleEvents ingests one JSONL event batch. Malformed input is a 400
+// whose error names the offending line; nothing from a bad batch is
+// applied.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	n, err := s.eng.ApplyJSONL(r.Body)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	s.obs.Metrics().Add("serve.events_ingested", int64(n))
+	s.obs.Metrics().Histogram("serve.batch_events", 10, 100, 1000, 10000, 100000).Observe(float64(n))
+	s.writeJSON(w, map[string]int{"applied": n})
+}
+
+func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	s.writeJSON(w, s.eng.Snapshot())
+}
+
+// handleRates serves just the Fig. 2 weekly-rate section — the cheap
+// polling endpoint for dashboards.
+func (s *server) handleRates(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	snap := s.eng.Snapshot()
+	s.writeJSON(w, map[string]any{
+		"watermark": snap.Watermark,
+		"tickets":   snap.Tickets,
+		"rates":     snap.Report.WeeklyRates,
+	})
+}
+
+func (s *server) handleFidelity(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	s.writeJSON(w, s.eng.Snapshot().Fidelity())
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	snap := s.eng.Snapshot()
+	s.writeJSON(w, map[string]any{
+		"status":    "ok",
+		"time":      time.Now().UTC().Format(time.RFC3339),
+		"events":    snap.Events,
+		"tickets":   snap.Tickets,
+		"machines":  snap.Machines,
+		"watermark": snap.Watermark,
+	})
+}

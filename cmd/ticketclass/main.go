@@ -3,15 +3,24 @@
 // k-means classifier, and prints the confusion matrix and accuracy — the
 // paper reports 87% for this step.
 //
+// With -input the trained model classifies an external ticket stream
+// instead: tickets arrive as JSONL (one model.Ticket object per line, "-"
+// = stdin) and one prediction per ticket leaves on stdout as JSONL — the
+// scriptable companion to failscoped's online classification.
+//
 // Usage:
 //
 //	ticketclass [-seed N] [-scale small|paper] [-train-frac F] [-clusters K] [-parallelism P] [-v]
 //	ticketclass -scale small -trace-out run.json -debug-addr localhost:6060
+//	ticketclass -scale small -input - < tickets.jsonl > predictions.jsonl
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"failscope"
@@ -33,6 +42,7 @@ func run() error {
 		trainFrac = flag.Float64("train-frac", 0.30, "background labeling fraction")
 		clusters  = flag.Int("clusters", 0, "k-means clusters for crash identification (0 = default)")
 		parallel  = flag.Int("parallelism", 0, "worker count for generation and training (0 = all CPUs, 1 = sequential; results are identical)")
+		input     = flag.String("input", "", "classify this JSONL ticket stream with the trained model instead of scoring the test split ('-' = stdin); predictions leave on stdout as JSONL")
 	)
 	ofl := clikit.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -66,6 +76,32 @@ func run() error {
 	genSpan.End()
 	if err != nil {
 		return err
+	}
+	if *input != "" {
+		trainSpan := o.Start("train-classifier")
+		study.Collect.Observer = o.Under(trainSpan)
+		clf, err := failscope.TrainOnlineClassifier(field.Data.Tickets, study.Collect)
+		trainSpan.End()
+		if err != nil {
+			return err
+		}
+		in := io.Reader(os.Stdin)
+		if *input != "-" {
+			f, err := os.Open(*input)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			in = f
+		}
+		predSpan := o.Start("predict-stream")
+		n, err := classifyStream(clf, in, os.Stdout)
+		predSpan.AddItems(n)
+		predSpan.End()
+		if err != nil {
+			return err
+		}
+		return ofl.Emit("ticketclass", o, nil)
 	}
 	colSpan := o.Start("collect")
 	study.Collect.Observer = o.Under(colSpan)
@@ -103,4 +139,50 @@ func labelName(l int) string {
 		return "background"
 	}
 	return model.FailureClass(l).String()
+}
+
+// prediction is one output line of -input mode.
+type prediction struct {
+	ID       string `json:"id,omitempty"`
+	ServerID string `json:"serverID,omitempty"`
+	IsCrash  bool   `json:"isCrash"`
+	Label    int    `json:"label"`
+	Class    string `json:"class"`
+}
+
+// classifyStream reads one model.Ticket JSON object per input line and
+// emits the frozen model's prediction for each as a JSON line. Decode
+// errors name the 1-based input line. Returns the number classified.
+func classifyStream(clf *failscope.OnlineClassifier, r io.Reader, w io.Writer) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	n, line := 0, 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var t model.Ticket
+		if err := json.Unmarshal(sc.Bytes(), &t); err != nil {
+			return n, fmt.Errorf("input line %d: %w", line, err)
+		}
+		// The same text the collection pipeline classifies.
+		label := clf.Predict(t.Description + " " + t.Resolution)
+		if err := enc.Encode(prediction{
+			ID:       t.ID,
+			ServerID: string(t.ServerID),
+			IsCrash:  label > 0,
+			Label:    label,
+			Class:    labelName(label),
+		}); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, fmt.Errorf("read input: %w", err)
+	}
+	return n, bw.Flush()
 }

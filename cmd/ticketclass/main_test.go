@@ -1,0 +1,52 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestClassifyStreamShape feeds a tiny JSONL ticket stream through an
+// untrained (nil) model: Predict is nil-safe and returns background, so
+// the output shape and line accounting can be checked without training.
+func TestClassifyStreamShape(t *testing.T) {
+	in := `{"id":"t1","serverID":"pm-1","description":"kernel panic","resolution":"replaced DIMM"}
+
+{"id":"t2","serverID":"vm-9","description":"quota request"}
+`
+	var out strings.Builder
+	n, err := classifyStream(nil, strings.NewReader(in), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("classified %d tickets, want 2 (blank line skipped)", n)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("emitted %d lines, want 2", len(lines))
+	}
+	var p prediction
+	if err := json.Unmarshal([]byte(lines[0]), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.ID != "t1" || p.ServerID != "pm-1" || p.IsCrash || p.Label != 0 || p.Class != "background" {
+		t.Fatalf("prediction = %+v", p)
+	}
+}
+
+// TestClassifyStreamNamesBadLine: decode errors carry the 1-based input
+// line number so a broken feed is debuggable.
+func TestClassifyStreamNamesBadLine(t *testing.T) {
+	in := `{"id":"t1"}
+{not json
+`
+	var out strings.Builder
+	n, err := classifyStream(nil, strings.NewReader(in), &out)
+	if err == nil || !strings.Contains(err.Error(), "input line 2") {
+		t.Fatalf("err = %v, want one naming input line 2", err)
+	}
+	if n != 1 {
+		t.Fatalf("classified %d before the error, want 1", n)
+	}
+}

@@ -32,6 +32,8 @@ import (
 	"failscope/internal/obs"
 	"failscope/internal/predict"
 	"failscope/internal/report"
+	"failscope/internal/stream"
+	"failscope/internal/textmine"
 	"failscope/internal/ticketdb"
 	"failscope/internal/xrand"
 )
@@ -456,6 +458,68 @@ func ScoreFidelity(res *Result, o *Observer) *FidelityScoreboard {
 // ServeDebug starts an HTTP server on addr exposing /debug/pprof and
 // /debug/vars; it returns the bound address and a shutdown func.
 func ServeDebug(addr string) (string, func(), error) { return obs.ServeDebug(addr) }
+
+// Streaming, re-exported from internal/stream: the incremental engine that
+// keeps the paper's statistics continuously up to date as events arrive,
+// converging to the batch Analyze numbers on the same data. failscoped
+// serves it over HTTP; library users embed it directly:
+//
+//	eng, _ := failscope.NewStreamEngine(failscope.StreamConfig{Observation: win})
+//	eng.Apply(batch)                        // ordered ticket/sample events
+//	snap := eng.Snapshot()                  // partial AnalysisReport, anytime
+//	fmt.Println(snap.Fidelity().Passed)     // paper-band scoreboard
+type (
+	// StreamEngine is the incremental analysis engine.
+	StreamEngine = stream.Engine
+	// StreamConfig configures the engine (observation window, optional
+	// online classifier, optional monitoring retention).
+	StreamConfig = stream.Config
+	// StreamEvent is one element of the input stream (JSONL on the wire).
+	StreamEvent = stream.Event
+	// Snapshot is the engine's queryable state at one point in the stream.
+	Snapshot = stream.Snapshot
+
+	// OnlineClassifier is the frozen two-stage crash-ticket model, safe for
+	// concurrent streaming prediction.
+	OnlineClassifier = textmine.OnlineClassifier
+)
+
+// NewStreamEngine creates a streaming analysis engine.
+func NewStreamEngine(cfg StreamConfig) (*StreamEngine, error) {
+	eng, err := stream.NewEngine(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("failscope: new stream engine: %w", err)
+	}
+	return eng, nil
+}
+
+// TrainOnlineClassifier trains the two-stage k-means ticket classifier for
+// streaming use. The training draws are byte-for-byte those of the batch
+// collection pipeline with the same options, so a frozen model predicts
+// exactly what Collect would have.
+func TrainOnlineClassifier(tickets []Ticket, opts CollectOptions) (*OnlineClassifier, error) {
+	clf, err := ingest.TrainOnlineClassifier(tickets, opts)
+	if err != nil {
+		return nil, fmt.Errorf("failscope: %w", err)
+	}
+	return clf, nil
+}
+
+// StreamEventsFromField flattens generated (or ingested) field data into
+// the ordered event stream a live deployment would have produced —
+// inventory first, then every timed record in arrival order.
+func StreamEventsFromField(field *FieldData) []StreamEvent {
+	return stream.EventsFromField(field.Data, field.Tickets, field.Monitor)
+}
+
+// ReadStreamEvents decodes a JSONL event batch; errors name the 1-based
+// offending line.
+func ReadStreamEvents(r io.Reader) ([]StreamEvent, error) { return stream.DecodeJSONL(r) }
+
+// WriteStreamEvents writes events one JSON object per line.
+func WriteStreamEvents(w io.Writer, events []StreamEvent) error {
+	return stream.EncodeJSONL(w, events)
+}
 
 // PaperConfig exposes the calibrated generator configuration for callers
 // who want to tweak individual knobs (seeds, populations, curves).

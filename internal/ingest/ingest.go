@@ -161,14 +161,25 @@ func Collect(data *model.Dataset, tickets *ticketdb.Store, monitor *monitordb.DB
 	return col, nil
 }
 
-// classify reproduces the k-means classification step and scores it
-// against ground truth (the paper's "manual checking of all tickets").
-// It returns the report and the predicted label for every input ticket
-// (training tickets keep their manually assigned ground truth, exactly as
-// the paper's hand-labeled subset would).
-func classify(tickets []model.Ticket, opts Options, o *obs.Observer) (*ClassifierReport, []int, error) {
+// split is the outcome of the stratified train/test partition: the
+// training documents both stages learned from, the held-out test set, and
+// the per-input-ticket prediction slots (training tickets pre-filled with
+// their ground truth).
+type split struct {
+	trainTexts, testTexts   []string
+	trainLabels, testLabels []int
+	testIdx                 []int
+	preds                   []int
+}
+
+// trainStages runs the stratified split and both k-means training stages.
+// This is the single place the classification RNG is consumed — classify
+// (the batch path) and TrainOnlineClassifier (the streaming path) both
+// call it, so the draw sequence, and therefore every canonical seed's
+// output, is identical between them.
+func trainStages(tickets []model.Ticket, opts Options, o *obs.Observer) (stage1, stage2 *textmine.Classifier, sp *split, err error) {
 	if len(tickets) == 0 {
-		return nil, nil, fmt.Errorf("no tickets to classify")
+		return nil, nil, nil, fmt.Errorf("no tickets to classify")
 	}
 	rng := xrand.New(opts.Seed)
 
@@ -217,7 +228,7 @@ func classify(tickets []model.Ticket, opts Options, o *obs.Observer) (*Classifie
 		}
 	}
 	if len(trainTexts) == 0 || len(testTexts) == 0 {
-		return nil, nil, fmt.Errorf("degenerate train/test split (%d/%d)", len(trainTexts), len(testTexts))
+		return nil, nil, nil, fmt.Errorf("degenerate train/test split (%d/%d)", len(trainTexts), len(testTexts))
 	}
 
 	// Two-stage classification mirroring §III.A: first identify crash
@@ -247,22 +258,54 @@ func classify(tickets []model.Ticket, opts Options, o *obs.Observer) (*Classifie
 
 	s1Span := o.Start("train-stage1")
 	topts.Observer = o.Under(s1Span)
-	stage1, err := textmine.Train(trainTexts, binLabels, topts, rng)
+	stage1, err = textmine.Train(trainTexts, binLabels, topts, rng)
 	s1Span.AddItems(len(trainTexts))
 	s1Span.End()
 	if err != nil {
-		return nil, nil, fmt.Errorf("stage 1 (crash identification): %w", err)
+		return nil, nil, nil, fmt.Errorf("stage 1 (crash identification): %w", err)
 	}
 	fineOpts := topts
 	fineOpts.Clusters = 24
 	s2Span := o.Start("train-stage2")
 	fineOpts.Observer = o.Under(s2Span)
-	stage2, err := textmine.Train(crashTexts, crashLabels, fineOpts, rng)
+	stage2, err = textmine.Train(crashTexts, crashLabels, fineOpts, rng)
 	s2Span.AddItems(len(crashTexts))
 	s2Span.End()
 	if err != nil {
-		return nil, nil, fmt.Errorf("stage 2 (crash classification): %w", err)
+		return nil, nil, nil, fmt.Errorf("stage 2 (crash classification): %w", err)
 	}
+	return stage1, stage2, &split{
+		trainTexts: trainTexts, testTexts: testTexts,
+		trainLabels: trainLabels, testLabels: testLabels,
+		testIdx: testIdx, preds: preds,
+	}, nil
+}
+
+// TrainOnlineClassifier trains the two-stage model on a labeled ticket
+// population and packages it as a frozen textmine.OnlineClassifier for
+// streaming prediction. The training procedure — stratified split, RNG
+// draws, both k-means stages — is byte-for-byte the batch classify path,
+// so the same seed yields the same model the batch study scored.
+func TrainOnlineClassifier(tickets []model.Ticket, opts Options) (*textmine.OnlineClassifier, error) {
+	stage1, stage2, _, err := trainStages(tickets, opts, opts.Observer)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: train online classifier: %w", err)
+	}
+	return textmine.NewOnlineClassifier(stage1, stage2), nil
+}
+
+// classify reproduces the k-means classification step and scores it
+// against ground truth (the paper's "manual checking of all tickets").
+// It returns the report and the predicted label for every input ticket
+// (training tickets keep their manually assigned ground truth, exactly as
+// the paper's hand-labeled subset would).
+func classify(tickets []model.Ticket, opts Options, o *obs.Observer) (*ClassifierReport, []int, error) {
+	stage1, stage2, sp, err := trainStages(tickets, opts, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	trainTexts, testTexts := sp.trainTexts, sp.testTexts
+	testLabels, testIdx, preds := sp.testLabels, sp.testIdx, sp.preds
 
 	// Predicting the test set is embarrassingly parallel: both stages only
 	// read their classifier. The confusion matrix is tabulated afterwards

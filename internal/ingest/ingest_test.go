@@ -184,3 +184,46 @@ func TestUsePredictedLabels(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestOnlineClassifierMatchesBatch verifies the streaming classifier is
+// the batch model frozen: two independent trainings from the same options
+// agree on every held-out ticket, and OnlineClassifier.Predict implements
+// exactly the batch two-stage cascade.
+func TestOnlineClassifierMatchesBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("classifier training is expensive")
+	}
+	out, cfg := genField(t)
+	opts := DefaultOptions(cfg.Observation, cfg.FineWindow)
+	opts.Clusters = 32
+	opts.MaxIter = 20
+	tickets := out.Tickets.InWindow(cfg.Observation)
+
+	oc, err := TrainOnlineClassifier(tickets, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stage1, stage2, sp, err := trainStages(tickets, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatches, hits := 0, 0
+	for i, text := range sp.testTexts {
+		want := 0
+		if stage1.Predict(text) == 1 {
+			want = stage2.Predict(text)
+		}
+		if got := oc.Predict(text); got != want {
+			mismatches++
+		} else if got == sp.testLabels[i] {
+			hits++
+		}
+	}
+	if mismatches != 0 {
+		t.Fatalf("%d of %d test predictions differ between online and batch models",
+			mismatches, len(sp.testTexts))
+	}
+	if acc := float64(hits) / float64(len(sp.testTexts)); acc < 0.85 {
+		t.Errorf("online classifier test accuracy %.3f, want ≥0.85", acc)
+	}
+}

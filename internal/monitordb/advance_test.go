@@ -1,0 +1,151 @@
+package monitordb
+
+import (
+	"testing"
+	"time"
+
+	"failscope/internal/model"
+)
+
+// TestAdvanceEvictsWithMovingClock drives a live database with a moving
+// clock: samples land continuously, the window advances behind them, and
+// records older than the retention horizon must be gone while everything
+// inside it survives.
+func TestAdvanceEvictsWithMovingClock(t *testing.T) {
+	retention := 30 * 24 * time.Hour
+	db := New(epoch, retention)
+	id := model.MachineID("vm-live")
+
+	// Fill the initial fixed window with one sample per day.
+	day := 24 * time.Hour
+	for i := 0; i < 30; i++ {
+		db.Add(id, MetricCPUUtil, Sample{Time: epoch.Add(time.Duration(i) * day), Value: float64(i)})
+	}
+	db.AddPowerEvent(id, PowerEvent{Time: epoch.Add(2 * day), On: false})
+	db.SetPlacement(id, "pm-1", epoch)
+	all := model.Window{Start: epoch.Add(-365 * day), End: epoch.Add(10 * 365 * day)}
+	if got := len(db.Samples(id, MetricCPUUtil, all)); got != 30 {
+		t.Fatalf("seeded %d samples, want 30", got)
+	}
+
+	// Before the clock passes the window end, Advance is a no-op.
+	if n := db.Advance(epoch.Add(10 * day)); n != 0 {
+		t.Fatalf("early Advance evicted %d records, want 0", n)
+	}
+
+	// Move the clock forward day by day for two more months, adding a
+	// sample each day. At every step the database must hold exactly the
+	// samples inside [now-retention, now].
+	for i := 30; i < 90; i++ {
+		now := epoch.Add(time.Duration(i) * day)
+		db.Advance(now)
+		db.Add(id, MetricCPUUtil, Sample{Time: now, Value: float64(i)})
+
+		start, end := db.Window()
+		if !end.Equal(now) || !start.Equal(now.Add(-retention)) {
+			t.Fatalf("day %d: window = [%v, %v], want [%v, %v]",
+				i, start, end, now.Add(-retention), now)
+		}
+		samples := db.Samples(id, MetricCPUUtil, all)
+		want := int(retention/day) + 1 // one per day, endpoints inclusive
+		if len(samples) != want {
+			t.Fatalf("day %d: %d samples retained, want %d", i, len(samples), want)
+		}
+		if first := samples[0].Time; first.Before(start) {
+			t.Fatalf("day %d: expired sample at %v survived (window start %v)", i, first, start)
+		}
+	}
+
+	// A sample that predates the advanced window must now be rejected.
+	db.Add(id, MetricCPUUtil, Sample{Time: epoch, Value: 99})
+	for _, s := range db.Samples(id, MetricCPUUtil, all) {
+		if s.Time.Equal(epoch) {
+			t.Fatal("sample before the advanced window start was accepted")
+		}
+	}
+
+	// The expired power event is gone; first-seen survives eviction.
+	if got := db.OnOffCount(id, all); got != 0 {
+		t.Fatalf("OnOffCount = %d after power log eviction, want 0", got)
+	}
+	if _, ok := db.FirstSeen(id); !ok {
+		t.Fatal("FirstSeen lost by eviction")
+	}
+
+	// The month-granular placement from the epoch expired too, and its
+	// host-load accounting went with it.
+	if _, ok := db.HostOf(id, epoch); ok {
+		t.Fatal("expired placement record survived")
+	}
+	if lvl, ok := db.ConsolidationLevel(id, epoch); ok || lvl != 0 {
+		t.Fatalf("ConsolidationLevel = %d, %v after placement eviction", lvl, ok)
+	}
+}
+
+// TestAdvanceDropsEmptySeries verifies a machine whose records all expire
+// disappears from the series and power maps (no unbounded key growth).
+func TestAdvanceDropsEmptySeries(t *testing.T) {
+	retention := 10 * 24 * time.Hour
+	db := New(epoch, retention)
+	day := 24 * time.Hour
+	db.Add("vm-old", MetricCPUUtil, Sample{Time: epoch, Value: 1})
+	db.AddPowerEvent("vm-old", PowerEvent{Time: epoch, On: true})
+	db.Add("vm-new", MetricCPUUtil, Sample{Time: epoch.Add(9 * day), Value: 2})
+
+	db.Advance(epoch.Add(25 * day))
+
+	machines := db.Machines() // driven by firstSeen, which survives
+	if len(machines) != 2 {
+		t.Fatalf("Machines = %v, want both (first-seen outlives samples)", machines)
+	}
+	all := model.Window{Start: epoch.Add(-day), End: epoch.Add(100 * day)}
+	if got := len(db.Samples("vm-old", MetricCPUUtil, all)); got != 0 {
+		t.Fatalf("vm-old still has %d samples", got)
+	}
+	if got := len(db.Samples("vm-new", MetricCPUUtil, all)); got != 0 {
+		t.Fatalf("vm-new still has %d samples (9d-old sample inside 25d clock, 10d retention)", got)
+	}
+	db.ForEachSeries(func(id model.MachineID, m Metric, s []Sample) {
+		t.Fatalf("series %s/%s survived full eviction with %d samples", id, m, len(s))
+	})
+	db.ForEachPower(func(id model.MachineID, evs []PowerEvent) {
+		t.Fatalf("power log %s survived full eviction with %d events", id, len(evs))
+	})
+}
+
+// TestForEachIterationOrder checks the public iterators visit records in
+// the same deterministic order the codec writes them.
+func TestForEachIterationOrder(t *testing.T) {
+	db := newDB()
+	day := 24 * time.Hour
+	db.Add("m2", MetricMemUtil, Sample{Time: epoch.Add(2 * day), Value: 2})
+	db.Add("m1", MetricCPUUtil, Sample{Time: epoch.Add(day), Value: 1})
+	db.Add("m1", MetricCPUUtil, Sample{Time: epoch, Value: 0})
+	db.AddPowerEvent("m2", PowerEvent{Time: epoch.Add(day), On: false})
+	db.SetPlacement("m1", "h1", epoch)
+
+	var seen []string
+	db.ForEachSeries(func(id model.MachineID, m Metric, samples []Sample) {
+		seen = append(seen, string(id)+"/"+m.String())
+		for i := 1; i < len(samples); i++ {
+			if samples[i].Time.Before(samples[i-1].Time) {
+				t.Fatalf("series %s/%s not time-sorted", id, m)
+			}
+		}
+	})
+	if len(seen) != 2 || seen[0] != "m1/cpu_util" || seen[1] != "m2/mem_util" {
+		t.Fatalf("series order = %v", seen)
+	}
+	powerSeen := 0
+	db.ForEachPower(func(id model.MachineID, evs []PowerEvent) {
+		powerSeen += len(evs)
+	})
+	if powerSeen != 1 {
+		t.Fatalf("power events seen = %d, want 1", powerSeen)
+	}
+	db.ForEachPlacement(func(vm model.MachineID, steps []PlacementStep) {
+		if vm != "m1" || len(steps) != 1 || steps[0].Host != "h1" {
+			t.Fatalf("placement iteration = %s %v", vm, steps)
+		}
+	})
+}

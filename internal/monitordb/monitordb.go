@@ -82,7 +82,14 @@ type DB struct {
 	// so consolidation queries are O(1).
 	hostLoad  map[hostMonthKey]int
 	firstSeen map[model.MachineID]time.Time
-	epoch     time.Time // earliest observable record (start of retention)
+	epoch     time.Time // birth of the database (never moves)
+	// The acceptance window. Batch runs never call Advance, so it stays
+	// fixed at [epoch, epoch+retention] — the historical truncation the
+	// paper's databases exhibit. A live consumer calls Advance(now) as its
+	// clock moves, which slides the window to [now-retention, now] and
+	// evicts records that fell off the trailing edge.
+	windowStart time.Time
+	windowEnd   time.Time
 
 	// metrics, when instrumented, counts writes under "monitordb.*". A nil
 	// registry (the default) makes every count a no-op; counters are
@@ -132,13 +139,15 @@ type placementRecord struct {
 // the given duration (the paper's monitoring DBs keep two years).
 func New(epoch time.Time, retention time.Duration) *DB {
 	return &DB{
-		retention: retention,
-		series:    make(map[seriesKey][]Sample),
-		power:     make(map[model.MachineID][]PowerEvent),
-		placement: make(map[model.MachineID][]placementRecord),
-		hostLoad:  make(map[hostMonthKey]int),
-		firstSeen: make(map[model.MachineID]time.Time),
-		epoch:     epoch,
+		retention:   retention,
+		series:      make(map[seriesKey][]Sample),
+		power:       make(map[model.MachineID][]PowerEvent),
+		placement:   make(map[model.MachineID][]placementRecord),
+		hostLoad:    make(map[hostMonthKey]int),
+		firstSeen:   make(map[model.MachineID]time.Time),
+		epoch:       epoch,
+		windowStart: epoch,
+		windowEnd:   epoch.Add(retention),
 	}
 }
 
@@ -146,14 +155,20 @@ func New(epoch time.Time, retention time.Duration) *DB {
 // record coincides with the epoch may predate the database (§III.B).
 func (db *DB) Epoch() time.Time { return db.epoch }
 
-// Add appends a usage sample. Samples before the epoch or beyond retention
-// are silently dropped, mirroring the real databases' truncation.
+// outsideWindowLocked reports whether a record at t falls outside the
+// current acceptance window.
+func (db *DB) outsideWindowLocked(t time.Time) bool {
+	return t.Before(db.windowStart) || t.After(db.windowEnd)
+}
+
+// Add appends a usage sample. Samples outside the acceptance window are
+// silently dropped, mirroring the real databases' truncation.
 func (db *DB) Add(id model.MachineID, metric Metric, s Sample) {
-	if s.Time.Before(db.epoch) || s.Time.After(db.epoch.Add(db.retention)) {
-		return
-	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.outsideWindowLocked(s.Time) {
+		return
+	}
 	k := seriesKey{id, metric}
 	db.series[k] = append(db.series[k], s)
 	db.noteSeenLocked(id, s.Time)
@@ -178,7 +193,7 @@ func (db *DB) AddSeries(id model.MachineID, metric Metric, samples []Sample) {
 	k := seriesKey{id, metric}
 	accepted := 0
 	for _, s := range samples {
-		if s.Time.Before(db.epoch) || s.Time.After(db.epoch.Add(db.retention)) {
+		if db.outsideWindowLocked(s.Time) {
 			continue
 		}
 		db.series[k] = append(db.series[k], s)
@@ -208,7 +223,7 @@ func (db *DB) AddPowerEvents(id model.MachineID, events []PowerEvent) {
 	defer db.mu.Unlock()
 	accepted := 0
 	for _, ev := range events {
-		if ev.Time.Before(db.epoch) || ev.Time.After(db.epoch.Add(db.retention)) {
+		if db.outsideWindowLocked(ev.Time) {
 			continue
 		}
 		db.power[id] = append(db.power[id], ev)
@@ -448,6 +463,182 @@ func (db *DB) RollupAll(metric Metric, w model.Window, bucket time.Duration, par
 		}
 	}
 	return out
+}
+
+// Window returns the current acceptance window: [start, end] inclusive.
+// Fixed at [epoch, epoch+retention] until the first Advance call.
+func (db *DB) Window() (start, end time.Time) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.windowStart, db.windowEnd
+}
+
+// Advance moves the live edge of the acceptance window to now and evicts
+// every record that fell off the trailing edge (now - retention), so a
+// long-running database holds at most one retention period of data instead
+// of growing without bound. Returns the number of records evicted. Calls
+// with now at or before the current window end are no-ops — the window
+// only moves forward. First-seen times survive eviction: the paper reads
+// them as machine creation dates, which outlive the samples they came from.
+func (db *DB) Advance(now time.Time) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !now.After(db.windowEnd) {
+		return 0
+	}
+	db.windowEnd = now
+	start := now.Add(-db.retention)
+	if start.Before(db.windowStart) {
+		return 0 // window grew but nothing can have expired yet
+	}
+	db.windowStart = start
+
+	evicted := 0
+	for k, samples := range db.series {
+		i := 0
+		for i < len(samples) && samples[i].Time.Before(start) {
+			i++
+		}
+		// Series arrive time-sorted from the generators, but nothing
+		// enforces it — fall back to filtering when the prefix scan
+		// stopped short of an expired sample further in.
+		keep := samples[i:]
+		for _, s := range keep {
+			if s.Time.Before(start) {
+				keep = filterSamples(samples, start)
+				i = len(samples) - len(keep)
+				break
+			}
+		}
+		if i == 0 {
+			continue
+		}
+		evicted += i
+		if len(keep) == 0 {
+			delete(db.series, k)
+		} else {
+			db.series[k] = append(samples[:0], keep...)
+		}
+	}
+	for id, events := range db.power {
+		kept := events[:0]
+		for _, ev := range events {
+			if ev.Time.Before(start) {
+				evicted++
+			} else {
+				kept = append(kept, ev)
+			}
+		}
+		if len(kept) == 0 {
+			delete(db.power, id)
+		} else {
+			db.power[id] = kept
+		}
+	}
+	for vm, recs := range db.placement {
+		kept := recs[:0]
+		for _, rec := range recs {
+			// A placement record covers its whole month; it expires only
+			// once the month's last instant predates the window start.
+			if rec.month.AddDate(0, 1, 0).Before(start) || rec.month.AddDate(0, 1, 0).Equal(start) {
+				db.hostLoad[hostMonthKey{rec.host, rec.month}]--
+				if db.hostLoad[hostMonthKey{rec.host, rec.month}] <= 0 {
+					delete(db.hostLoad, hostMonthKey{rec.host, rec.month})
+				}
+				evicted++
+			} else {
+				kept = append(kept, rec)
+			}
+		}
+		if len(kept) == 0 {
+			delete(db.placement, vm)
+		} else {
+			db.placement[vm] = kept
+		}
+	}
+	if evicted > 0 {
+		db.metrics.Add("monitordb.evicted", int64(evicted))
+		db.log.Debug("monitoring records evicted past retention",
+			"window_start", start.Format(time.RFC3339), "evicted", evicted)
+	}
+	return evicted
+}
+
+func filterSamples(samples []Sample, start time.Time) []Sample {
+	out := make([]Sample, 0, len(samples))
+	for _, s := range samples {
+		if !s.Time.Before(start) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ForEachSeries calls fn for every (machine, metric) series in the same
+// deterministic order Encode writes them (machines sorted, then metric,
+// samples time-sorted). The slice passed to fn is a copy.
+func (db *DB) ForEachSeries(fn func(id model.MachineID, metric Metric, samples []Sample)) {
+	db.mu.RLock()
+	keys := make([]seriesKey, 0, len(db.series))
+	for k := range db.series {
+		keys = append(keys, k)
+	}
+	db.mu.RUnlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].id != keys[j].id {
+			return keys[i].id < keys[j].id
+		}
+		return keys[i].metric < keys[j].metric
+	})
+	for _, k := range keys {
+		db.mu.RLock()
+		samples := append([]Sample(nil), db.series[k]...)
+		db.mu.RUnlock()
+		sort.Slice(samples, func(i, j int) bool { return samples[i].Time.Before(samples[j].Time) })
+		fn(k.id, k.metric, samples)
+	}
+}
+
+// ForEachPower calls fn for every machine's power log, machines sorted and
+// events time-sorted. The slice passed to fn is a copy.
+func (db *DB) ForEachPower(fn func(id model.MachineID, events []PowerEvent)) {
+	db.mu.RLock()
+	ids := make([]model.MachineID, 0, len(db.power))
+	for id := range db.power {
+		ids = append(ids, id)
+	}
+	db.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		db.mu.RLock()
+		events := append([]PowerEvent(nil), db.power[id]...)
+		db.mu.RUnlock()
+		sort.Slice(events, func(i, j int) bool { return events[i].Time.Before(events[j].Time) })
+		fn(id, events)
+	}
+}
+
+// ForEachPlacement calls fn for every VM's placement schedule, VMs sorted
+// and months ascending.
+func (db *DB) ForEachPlacement(fn func(vm model.MachineID, steps []PlacementStep)) {
+	db.mu.RLock()
+	vms := make([]model.MachineID, 0, len(db.placement))
+	for id := range db.placement {
+		vms = append(vms, id)
+	}
+	db.mu.RUnlock()
+	sort.Slice(vms, func(i, j int) bool { return vms[i] < vms[j] })
+	for _, id := range vms {
+		db.mu.RLock()
+		recs := append([]placementRecord(nil), db.placement[id]...)
+		db.mu.RUnlock()
+		sort.Slice(recs, func(i, j int) bool { return recs[i].month.Before(recs[j].month) })
+		steps := make([]PlacementStep, len(recs))
+		for i, rec := range recs {
+			steps[i] = PlacementStep{Host: rec.host, Time: rec.month}
+		}
+		fn(id, steps)
+	}
 }
 
 // Machines returns the IDs of all machines with at least one record.

@@ -272,3 +272,47 @@ func TestServeDebug(t *testing.T) {
 		t.Fatalf("/debug/pprof/ index unexpected:\n%s", idx)
 	}
 }
+
+// TestHistogramQuantiles covers the sketch-backed percentile estimates:
+// snapshot entries, the Quantile accessor, and empty/nil behavior.
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", 10, 100)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	snap := r.Snapshot()
+	for _, tc := range []struct {
+		key  string
+		want float64
+	}{
+		{"lat.p50", 500}, {"lat.p95", 950}, {"lat.p99", 990},
+	} {
+		got, ok := snap[tc.key]
+		if !ok {
+			t.Fatalf("snapshot missing %s:\n%v", tc.key, snap)
+		}
+		if math.Abs(got-tc.want) > 25 { // 2.5% rank tolerance
+			t.Errorf("%s = %v, want ≈%v", tc.key, got, tc.want)
+		}
+	}
+	if got := h.Quantile(0.5); math.Abs(got-500) > 25 {
+		t.Errorf("Quantile(0.5) = %v, want ≈500", got)
+	}
+	if !strings.Contains(r.Dump(), "lat.p50") {
+		t.Error("Dump output missing percentile line")
+	}
+
+	// Empty histograms emit no percentile entries and report NaN.
+	empty := r.Histogram("empty", 1)
+	if _, ok := r.Snapshot()["empty.p50"]; ok {
+		t.Error("empty histogram emitted a percentile entry")
+	}
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty histogram Quantile should be NaN")
+	}
+	var nilH *Histogram
+	if !math.IsNaN(nilH.Quantile(0.5)) {
+		t.Error("nil histogram Quantile should be NaN")
+	}
+}

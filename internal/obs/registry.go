@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"failscope/internal/sketch"
 )
 
 // Counter is a monotonically increasing integer metric. All methods are
@@ -53,14 +55,16 @@ func (g *Gauge) Value() float64 {
 }
 
 // Histogram is a fixed-bucket distribution metric: counts per upper bound
-// plus one overflow bucket, with total count and sum for mean queries.
-// Nil-safe and concurrent-safe.
+// plus one overflow bucket, with total count and sum for mean queries, and
+// a quantile sketch for p50/p95/p99 estimates independent of the bucket
+// layout. Nil-safe and concurrent-safe.
 type Histogram struct {
 	mu     sync.Mutex
 	bounds []float64 // sorted upper bounds; counts has len(bounds)+1
 	counts []int64
 	sum    float64
 	n      int64
+	q      *sketch.Quantile // created on first Observe
 }
 
 // Observe records one sample.
@@ -73,7 +77,22 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i]++
 	h.sum += v
 	h.n++
+	if h.q == nil {
+		h.q = sketch.NewQuantile(0)
+	}
+	h.q.Add(v)
 	h.mu.Unlock()
+}
+
+// Quantile returns the estimated p-quantile of observed samples (NaN when
+// empty, nil, or p outside [0, 1]).
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.q.Query(p)
 }
 
 // Count returns the number of samples observed (0 on nil).
@@ -109,6 +128,11 @@ func (h *Histogram) snapshot(name string, out map[string]float64) {
 		out[fmt.Sprintf("%s.le_%g", name, b)] = float64(h.counts[i])
 	}
 	out[name+".le_inf"] = float64(h.counts[len(h.bounds)])
+	if h.n > 0 {
+		out[name+".p50"] = h.q.Query(0.5)
+		out[name+".p95"] = h.q.Query(0.95)
+		out[name+".p99"] = h.q.Query(0.99)
+	}
 }
 
 // Registry is a named metric store: counters, gauges and histograms keyed

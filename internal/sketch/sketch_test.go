@@ -1,0 +1,244 @@
+package sketch
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func exactQuantile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	idx := int(p * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func TestMomentsMatchesDirect(t *testing.T) {
+	vals := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8.5, -2, 0.25}
+	var m Moments
+	for _, v := range vals {
+		m.Add(v)
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	mean := sum / float64(len(vals))
+	var ss float64
+	for _, v := range vals {
+		ss += (v - mean) * (v - mean)
+	}
+	variance := ss / float64(len(vals)-1)
+
+	if m.N() != int64(len(vals)) {
+		t.Fatalf("N = %d, want %d", m.N(), len(vals))
+	}
+	if math.Abs(m.Mean()-mean) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", m.Mean(), mean)
+	}
+	if math.Abs(m.Variance()-variance) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", m.Variance(), variance)
+	}
+	if m.Min() != -2 || m.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want -2/9", m.Min(), m.Max())
+	}
+}
+
+func TestMomentsEmptyAndSingle(t *testing.T) {
+	var m Moments
+	if !math.IsNaN(m.Mean()) || !math.IsNaN(m.Min()) || !math.IsNaN(m.Max()) {
+		t.Error("empty accumulator should return NaN for mean/min/max")
+	}
+	m.Add(7)
+	if m.Mean() != 7 || m.Min() != 7 || m.Max() != 7 {
+		t.Errorf("single value: mean/min/max = %v/%v/%v, want 7", m.Mean(), m.Min(), m.Max())
+	}
+	if !math.IsNaN(m.Variance()) {
+		t.Error("variance of a single value should be NaN")
+	}
+}
+
+func TestMomentsMerge(t *testing.T) {
+	var whole, a, b Moments
+	for i := 0; i < 1000; i++ {
+		v := float64(i%97) * 1.5
+		whole.Add(v)
+		if i < 300 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if math.Abs(a.Mean()-whole.Mean()) > 1e-9 {
+		t.Errorf("merged mean = %v, want %v", a.Mean(), whole.Mean())
+	}
+	if math.Abs(a.Variance()-whole.Variance()) > 1e-9 {
+		t.Errorf("merged variance = %v, want %v", a.Variance(), whole.Variance())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Errorf("merged min/max = %v/%v, want %v/%v", a.Min(), a.Max(), whole.Min(), whole.Max())
+	}
+
+	// Merging into an empty accumulator copies the source.
+	var empty Moments
+	empty.Merge(whole)
+	if empty.N() != whole.N() || empty.Mean() != whole.Mean() {
+		t.Error("merge into empty should copy the source accumulator")
+	}
+}
+
+func TestQuantileExactWhenSmall(t *testing.T) {
+	q := NewQuantile(64)
+	vals := []float64{9, 3, 7, 1, 5}
+	for _, v := range vals {
+		q.Add(v)
+	}
+	if q.N() != 5 {
+		t.Fatalf("N = %d, want 5", q.N())
+	}
+	if q.Min() != 1 || q.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 1/9", q.Min(), q.Max())
+	}
+	if got := q.Query(0.5); got != 5 {
+		t.Errorf("median = %v, want 5", got)
+	}
+}
+
+func TestQuantileAccuracyUniform(t *testing.T) {
+	const n = 50000
+	q := NewQuantile(0) // DefaultK
+	sorted := make([]float64, 0, n)
+	// Deterministic low-discrepancy ordering: multiples of the golden ratio
+	// mod 1 visit the unit interval in a scrambled order without an RNG.
+	const phi = 0.6180339887498949
+	x := 0.0
+	for i := 0; i < n; i++ {
+		x += phi
+		v := x - math.Floor(x)
+		q.Add(v)
+		sorted = append(sorted, v)
+	}
+	sort.Float64s(sorted)
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99} {
+		got := q.Query(p)
+		want := exactQuantile(sorted, p)
+		if math.Abs(got-want) > 0.02 { // 2% of the value range
+			t.Errorf("p=%v: got %v, want %v (err %v)", p, got, want, math.Abs(got-want))
+		}
+	}
+}
+
+func TestQuantileAccuracySkewed(t *testing.T) {
+	// Exponential-ish heavy tail via the inverse CDF over a deterministic
+	// low-discrepancy sequence.
+	const n = 30000
+	q := NewQuantile(0)
+	sorted := make([]float64, 0, n)
+	const phi = 0.6180339887498949
+	x := 0.0
+	for i := 0; i < n; i++ {
+		x += phi
+		u := x - math.Floor(x)
+		v := -math.Log(1 - 0.999*u)
+		q.Add(v)
+		sorted = append(sorted, v)
+	}
+	sort.Float64s(sorted)
+	for _, p := range []float64{0.5, 0.9, 0.95, 0.99} {
+		got := q.Query(p)
+		want := exactQuantile(sorted, p)
+		// Rank-error tolerance: the estimate must fall between the exact
+		// quantiles 2 rank-percent either side.
+		lo := exactQuantile(sorted, math.Max(0, p-0.02))
+		hi := exactQuantile(sorted, math.Min(1, p+0.02))
+		if got < lo || got > hi {
+			t.Errorf("p=%v: got %v outside rank band [%v, %v] (exact %v)", p, got, lo, hi, want)
+		}
+	}
+}
+
+func TestQuantileMergeMatchesCombined(t *testing.T) {
+	const n = 20000
+	whole := NewQuantile(128)
+	a := NewQuantile(128)
+	b := NewQuantile(128)
+	sorted := make([]float64, 0, n)
+	const phi = 0.6180339887498949
+	x := 0.0
+	for i := 0; i < n; i++ {
+		x += phi
+		v := x - math.Floor(x)
+		whole.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+		sorted = append(sorted, v)
+	}
+	sort.Float64s(sorted)
+	a.Merge(b)
+	if a.N() != int64(n) {
+		t.Fatalf("merged N = %d, want %d", a.N(), n)
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Errorf("merged min/max = %v/%v, want %v/%v", a.Min(), a.Max(), whole.Min(), whole.Max())
+	}
+	for _, p := range []float64{0.25, 0.5, 0.9, 0.99} {
+		got := a.Query(p)
+		lo := exactQuantile(sorted, math.Max(0, p-0.04))
+		hi := exactQuantile(sorted, math.Min(1, p+0.04))
+		if got < lo || got > hi {
+			t.Errorf("merged p=%v: got %v outside rank band [%v, %v]", p, got, lo, hi)
+		}
+	}
+}
+
+func TestQuantileDeterministic(t *testing.T) {
+	build := func() *Quantile {
+		q := NewQuantile(32)
+		for i := 0; i < 10000; i++ {
+			q.Add(float64((i * 2654435761) % 100003))
+		}
+		return q
+	}
+	q1, q2 := build(), build()
+	for p := 0.0; p <= 1.0; p += 0.05 {
+		if q1.Query(p) != q2.Query(p) {
+			t.Fatalf("same stream produced different sketches at p=%v: %v vs %v",
+				p, q1.Query(p), q2.Query(p))
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var nilQ *Quantile
+	if nilQ.N() != 0 || !math.IsNaN(nilQ.Query(0.5)) {
+		t.Error("nil sketch should report empty")
+	}
+	q := NewQuantile(8)
+	if !math.IsNaN(q.Query(0.5)) {
+		t.Error("empty sketch should return NaN")
+	}
+	q.Add(42)
+	if q.Query(0) != 42 || q.Query(1) != 42 || q.Query(0.5) != 42 {
+		t.Error("single-value sketch should return that value at any p")
+	}
+	if !math.IsNaN(q.Query(-0.1)) || !math.IsNaN(q.Query(1.1)) {
+		t.Error("out-of-range p should return NaN")
+	}
+	// Merge with nil and empty must be no-ops.
+	q.Merge(nil)
+	q.Merge(NewQuantile(8))
+	if q.N() != 1 {
+		t.Errorf("N after no-op merges = %d, want 1", q.N())
+	}
+}

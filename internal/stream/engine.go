@@ -1,0 +1,546 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"failscope/internal/model"
+	"failscope/internal/monitordb"
+	"failscope/internal/obs"
+	"failscope/internal/sketch"
+	"failscope/internal/textmine"
+)
+
+// Config configures the incremental engine.
+type Config struct {
+	// Observation is the study window (weekly buckets, censoring horizon).
+	// Required: the engine exploits knowing the window end up front to keep
+	// recurrence denominators incremental.
+	Observation model.Window
+
+	// FineWindow is where 15-minute data exists (kept for parity with the
+	// batch options; the streaming statistics do not consume it yet).
+	FineWindow model.Window
+
+	// MonitorEpoch/MonitorRetention configure the live monitoring store.
+	// Zero values disable monitoring ingestion.
+	MonitorEpoch     time.Time
+	MonitorRetention time.Duration
+
+	// Classifier, when set, classifies every ticket text online
+	// (nearest-centroid on the frozen model) and scores the predictions
+	// against the tickets' ground-truth labels.
+	Classifier *textmine.OnlineClassifier
+
+	// UsePredictions makes the engine trust the online classifier's
+	// crash/class decision instead of the tickets' ground-truth labels —
+	// the live-operation mode, where tickets arrive unlabeled. Requires
+	// Classifier.
+	UsePredictions bool
+
+	// Observer, when non-nil, counts stream metrics under "stream.*". It
+	// never affects the statistics.
+	Observer *obs.Observer
+}
+
+// kindIndex maps PM/VM to the engine's dense array index; -1 otherwise.
+func kindIndex(k model.MachineKind) int {
+	switch k {
+	case model.PM:
+		return 0
+	case model.VM:
+		return 1
+	}
+	return -1
+}
+
+// distAcc accumulates one empirical distribution: exact moments plus a
+// quantile sketch for the order statistics.
+type distAcc struct {
+	m sketch.Moments
+	q *sketch.Quantile
+}
+
+// distAccK sizes the engine's quantile sketches: a few thousand gap/repair
+// observations per kind, so a deeper level capacity than the obs-histogram
+// default keeps the quartiles within the convergence test's 5% band.
+const distAccK = 1024
+
+func (d *distAcc) add(v float64) {
+	if d.q == nil {
+		d.q = sketch.NewQuantile(distAccK)
+	}
+	d.m.Add(v)
+	d.q.Add(v)
+}
+
+// recCounters tracks the §IV.D recurrence probabilities incrementally.
+// Because the observation end is known up front, a trigger failure's
+// membership in each window's denominator (trigger + window ≤ end) is
+// decided at arrival; the numerator increments when the server's next
+// failure arrives inside the window — exactly the batch censoring rule.
+type recCounters struct {
+	failures                  int
+	uncDay, uncWeek, uncMonth int
+	hitDay, hitWeek, hitMonth int
+}
+
+// classSpatialAcc aggregates Table VII for one class.
+type classSpatialAcc struct {
+	incidents, servers, max int
+}
+
+// Engine is the incremental analysis engine. All methods are safe for
+// concurrent use; Apply batches are serialized internally.
+type Engine struct {
+	mu  sync.Mutex
+	cfg Config
+	win model.Window
+
+	events    int64
+	watermark time.Time
+
+	machines    map[model.MachineID]*model.Machine
+	machineList []*model.Machine
+	// serverCount[kind][sys] with sys index 0 = all systems, 1..5 = Sys I–V.
+	serverCount [2][model.NumSystems + 1]int
+
+	tickets, crashTickets int64
+	droppedOutOfWindow    int64
+	outOfOrder            int64
+
+	// Table II counters, indexed by the ticket's subsystem (1..5).
+	sysAll, sysCrash [model.NumSystems + 1]int
+	sysKindCrash     [2][model.NumSystems + 1]int
+
+	// weekly[kind][sys] is the per-week crash count (Fig. 2 numerators);
+	// weeklyFailed the distinct failing servers per week (Table V random
+	// probability).
+	weekly       [2][model.NumSystems + 1][]int
+	weeklyFailed [2][model.NumSystems + 1][]map[model.MachineID]bool
+
+	// classCounts[sys][class] with sys 0 = all (Fig. 1).
+	classCounts map[model.System]map[model.FailureClass]int
+	classTotals map[model.System]int
+
+	// Per-server crash history for gaps and recurrence.
+	lastCrash  map[model.MachineID]time.Time
+	crashCount map[model.MachineID]int
+
+	gaps        [2]distAcc // inter-failure gaps, days
+	repairs     [2]distAcc // repair times, hours
+	kindCrashes [2]int
+	reboots     [2]int
+	failing     [2]int // servers with ≥1 crash
+	singles     [2]int // servers with exactly 1 crash
+
+	rec [2][model.NumSystems + 1]recCounters
+
+	// Spatial (§IV.E) counters.
+	incidents       int
+	incidentOne     int
+	incidentTwoPlus int
+	incidentServers int
+	maxIncident     int
+	maxIncidentCls  model.FailureClass
+	pmBuckets       [3]int // 0 / 1 / 2+ PMs per incident
+	vmBuckets       [3]int
+	classSpatial    map[model.FailureClass]*classSpatialAcc
+
+	monitor        *monitordb.DB
+	monitorEnd     time.Time // cached acceptance-window end
+	monitorSamples int64
+
+	// Online classification scoring (when cfg.Classifier is set).
+	confusion map[[2]int]int
+	scored    int64
+	scoredHit int64
+}
+
+// NewEngine creates an engine for the given configuration.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Observation.Duration() <= 0 {
+		return nil, fmt.Errorf("stream: empty observation window")
+	}
+	if cfg.UsePredictions && cfg.Classifier == nil {
+		return nil, fmt.Errorf("stream: UsePredictions requires a Classifier")
+	}
+	e := &Engine{
+		cfg:          cfg,
+		win:          cfg.Observation,
+		machines:     make(map[model.MachineID]*model.Machine),
+		classCounts:  make(map[model.System]map[model.FailureClass]int),
+		classTotals:  make(map[model.System]int),
+		lastCrash:    make(map[model.MachineID]time.Time),
+		crashCount:   make(map[model.MachineID]int),
+		classSpatial: make(map[model.FailureClass]*classSpatialAcc),
+		confusion:    make(map[[2]int]int),
+	}
+	weeks := cfg.Observation.NumWeeks()
+	for k := 0; k < 2; k++ {
+		for s := 0; s <= model.NumSystems; s++ {
+			e.weekly[k][s] = make([]int, weeks)
+			e.weeklyFailed[k][s] = make([]map[model.MachineID]bool, weeks)
+		}
+	}
+	if cfg.MonitorRetention > 0 {
+		e.monitor = monitordb.New(cfg.MonitorEpoch, cfg.MonitorRetention)
+		_, e.monitorEnd = e.monitor.Window()
+	}
+	return e, nil
+}
+
+// Apply folds one ordered event batch into the engine's state.
+func (e *Engine) Apply(events []Event) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := range events {
+		if err := e.applyLocked(&events[i]); err != nil {
+			return fmt.Errorf("stream: event %d: %w", i, err)
+		}
+	}
+	e.advanceLocked()
+	m := e.cfg.Observer.Metrics()
+	m.Set("stream.events", float64(e.events))
+	m.Set("stream.tickets", float64(e.tickets))
+	m.Set("stream.crash_tickets", float64(e.crashTickets))
+	return nil
+}
+
+// ApplyJSONL decodes a JSONL batch and applies it, returning the number of
+// events applied. Decode errors name the offending line.
+func (e *Engine) ApplyJSONL(r io.Reader) (int, error) {
+	events, err := DecodeJSONL(r)
+	if err != nil {
+		return 0, err
+	}
+	if err := e.Apply(events); err != nil {
+		return 0, err
+	}
+	return len(events), nil
+}
+
+// monitorAdvanceStep is how far ahead of a record's timestamp the engine
+// moves the monitor acceptance window. Advancing in week-granular steps
+// amortizes the eviction scan (O(records) per advance) over many writes
+// instead of paying it once per time-ordered sample.
+const monitorAdvanceStep = 7 * 24 * time.Hour
+
+// ensureMonitorWindowLocked opens the monitor acceptance window up to t
+// before a write that would otherwise fall past its live edge and be
+// dropped. The trailing edge follows retention behind, so eviction runs at
+// most step-early relative to the record clock.
+func (e *Engine) ensureMonitorWindowLocked(t time.Time) {
+	if !t.After(e.monitorEnd) {
+		return
+	}
+	if n := e.monitor.Advance(t.Add(monitorAdvanceStep)); n > 0 {
+		e.cfg.Observer.Metrics().Add("stream.monitor_evicted", int64(n))
+	}
+	_, e.monitorEnd = e.monitor.Window()
+}
+
+// advanceLocked slides the monitoring store's retention window up to the
+// stream watermark, evicting expired records.
+func (e *Engine) advanceLocked() {
+	if e.monitor == nil || e.watermark.IsZero() {
+		return
+	}
+	if n := e.monitor.Advance(e.watermark); n > 0 {
+		e.cfg.Observer.Metrics().Add("stream.monitor_evicted", int64(n))
+	}
+	_, e.monitorEnd = e.monitor.Window()
+}
+
+func (e *Engine) applyLocked(ev *Event) error {
+	e.events++
+	if t := ev.When(); t.After(e.watermark) {
+		e.watermark = t
+	}
+	switch ev.Type {
+	case "machine":
+		if ev.Machine == nil {
+			return fmt.Errorf("machine event without machine")
+		}
+		return e.addMachineLocked(ev.Machine)
+	case "ticket":
+		if ev.Ticket == nil {
+			return fmt.Errorf("ticket event without ticket")
+		}
+		e.addTicketLocked(*ev.Ticket)
+		return nil
+	case "incident":
+		if ev.Incident == nil {
+			return fmt.Errorf("incident event without incident")
+		}
+		e.addIncidentLocked(*ev.Incident)
+		return nil
+	case "sample":
+		if e.monitor != nil && ev.Time != nil {
+			e.ensureMonitorWindowLocked(*ev.Time)
+			e.monitor.Add(ev.ServerID, ev.Metric, monitordb.Sample{Time: *ev.Time, Value: ev.Value})
+			e.monitorSamples++
+		}
+		return nil
+	case "power":
+		if e.monitor != nil && ev.Time != nil && ev.On != nil {
+			e.ensureMonitorWindowLocked(*ev.Time)
+			e.monitor.AddPowerEvent(ev.ServerID, monitordb.PowerEvent{Time: *ev.Time, On: *ev.On})
+		}
+		return nil
+	case "placement":
+		if e.monitor != nil && ev.Time != nil && ev.Host != "" {
+			e.ensureMonitorWindowLocked(*ev.Time)
+			e.monitor.SetPlacement(ev.ServerID, ev.Host, *ev.Time)
+		}
+		return nil
+	case "advance":
+		return nil // watermark already taken above
+	default:
+		return fmt.Errorf("unknown event type %q", ev.Type)
+	}
+}
+
+func (e *Engine) addMachineLocked(m *model.Machine) error {
+	if m.ID == "" {
+		return fmt.Errorf("machine with empty ID")
+	}
+	if _, dup := e.machines[m.ID]; dup {
+		return nil // idempotent re-registration
+	}
+	cp := *m
+	e.machines[cp.ID] = &cp
+	e.machineList = append(e.machineList, &cp)
+	if k := kindIndex(cp.Kind); k >= 0 {
+		e.serverCount[k][0]++
+		if cp.System >= 1 && cp.System <= model.NumSystems {
+			e.serverCount[k][int(cp.System)]++
+		}
+	}
+	return nil
+}
+
+// labelOf mirrors the batch pipeline's classification label: 0 for
+// background tickets, otherwise the failure class.
+func labelOf(isCrash bool, class model.FailureClass) int {
+	if !isCrash {
+		return 0
+	}
+	return int(class)
+}
+
+func (e *Engine) addTicketLocked(t model.Ticket) {
+	if !e.win.Contains(t.Opened) {
+		e.droppedOutOfWindow++
+		return
+	}
+	e.tickets++
+	if t.System >= 1 && t.System <= model.NumSystems {
+		e.sysAll[t.System]++
+	}
+
+	isCrash, class := t.IsCrash, t.Class
+	if e.cfg.Classifier != nil {
+		pred := e.cfg.Classifier.Predict(t.Description + " " + t.Resolution)
+		truth := labelOf(t.IsCrash, t.Class)
+		e.confusion[[2]int{truth, pred}]++
+		e.scored++
+		if pred == truth {
+			e.scoredHit++
+		}
+		if e.cfg.UsePredictions {
+			isCrash = pred > 0
+			class = model.FailureClass(pred)
+			if pred == 0 {
+				class = 0
+			}
+		}
+	}
+	if !isCrash {
+		return
+	}
+	e.crashTickets++
+	if t.System >= 1 && t.System <= model.NumSystems {
+		e.sysCrash[t.System]++
+	}
+
+	// Fig. 1 class mix, keyed by the ticket's subsystem plus the
+	// system-0 "all" row — the same double increment core.ClassDistribution
+	// performs.
+	if e.classCounts[t.System] == nil {
+		e.classCounts[t.System] = make(map[model.FailureClass]int)
+	}
+	e.classCounts[t.System][class]++
+	e.classTotals[t.System]++
+	if e.classCounts[0] == nil {
+		e.classCounts[0] = make(map[model.FailureClass]int)
+	}
+	e.classCounts[0][class]++
+	e.classTotals[0]++
+
+	m := e.machines[t.ServerID]
+	k := -1
+	if m != nil {
+		k = kindIndex(m.Kind)
+	}
+	if k >= 0 && t.System >= 1 && t.System <= model.NumSystems {
+		e.sysKindCrash[k][t.System]++
+	}
+	if k < 0 {
+		// Unknown server or box: the batch analyses skip these tickets in
+		// every kind-keyed statistic; the class mix above still counts them.
+		return
+	}
+	sysIdx := 0
+	if m.System >= 1 && m.System <= model.NumSystems {
+		sysIdx = int(m.System)
+	}
+
+	// Fig. 2 weekly rate numerators + Table V distinct failing servers.
+	if wi := e.win.WeekIndex(t.Opened); wi >= 0 && wi < len(e.weekly[k][0]) {
+		for _, s := range []int{0, sysIdx} {
+			e.weekly[k][s][wi]++
+			if e.weeklyFailed[k][s][wi] == nil {
+				e.weeklyFailed[k][s][wi] = make(map[model.MachineID]bool)
+			}
+			e.weeklyFailed[k][s][wi][t.ServerID] = true
+			if sysIdx == 0 {
+				break
+			}
+		}
+	}
+
+	// Fig. 4 repair hours and reboot share.
+	e.kindCrashes[k]++
+	if class == model.ClassReboot {
+		e.reboots[k]++
+	}
+	if h := t.RepairTime().Hours(); h > 0 {
+		e.repairs[k].add(h)
+	}
+
+	// Fig. 3 inter-failure gaps + Fig. 5 recurrence, driven by the
+	// server's previous crash.
+	prev, seen := e.lastCrash[t.ServerID]
+	if seen {
+		if t.Opened.Before(prev) {
+			e.outOfOrder++
+			e.cfg.Observer.Metrics().Add("stream.out_of_order", 1)
+		}
+		if gap := t.Opened.Sub(prev).Hours() / 24; gap > 0 {
+			e.gaps[k].add(gap)
+		}
+		// The previous crash's recurrence windows resolve now: a hit in
+		// each window whose full extent fit inside the observation.
+		d := t.Opened.Sub(prev)
+		for _, s := range []int{0, sysIdx} {
+			rc := &e.rec[k][s]
+			if !prev.Add(day).After(e.win.End) && d <= day {
+				rc.hitDay++
+			}
+			if !prev.Add(week).After(e.win.End) && d <= week {
+				rc.hitWeek++
+			}
+			if !prev.Add(month).After(e.win.End) && d <= month {
+				rc.hitMonth++
+			}
+			if sysIdx == 0 {
+				break
+			}
+		}
+	}
+	// This crash becomes a trigger: denominators are decided immediately
+	// because the observation end is known.
+	for _, s := range []int{0, sysIdx} {
+		rc := &e.rec[k][s]
+		rc.failures++
+		if !t.Opened.Add(day).After(e.win.End) {
+			rc.uncDay++
+		}
+		if !t.Opened.Add(week).After(e.win.End) {
+			rc.uncWeek++
+		}
+		if !t.Opened.Add(month).After(e.win.End) {
+			rc.uncMonth++
+		}
+		if sysIdx == 0 {
+			break
+		}
+	}
+
+	// Single-failure share (§IV.B).
+	e.crashCount[t.ServerID]++
+	switch e.crashCount[t.ServerID] {
+	case 1:
+		e.failing[k]++
+		e.singles[k]++
+	case 2:
+		e.singles[k]--
+	}
+	if !seen || t.Opened.After(prev) {
+		e.lastCrash[t.ServerID] = t.Opened
+	}
+}
+
+func (e *Engine) addIncidentLocked(inc model.Incident) {
+	e.incidents++
+	n := len(inc.Servers)
+	e.incidentServers += n
+	if n == 1 {
+		e.incidentOne++
+	} else if n >= 2 {
+		e.incidentTwoPlus++
+	}
+	if n > e.maxIncident {
+		e.maxIncident = n
+		e.maxIncidentCls = inc.Class
+	}
+	pms, vms := 0, 0
+	for _, id := range inc.Servers {
+		if m := e.machines[id]; m != nil {
+			switch m.Kind {
+			case model.PM:
+				pms++
+			case model.VM:
+				vms++
+			}
+		}
+	}
+	e.pmBuckets[bucketOf(pms)]++
+	e.vmBuckets[bucketOf(vms)]++
+
+	cs := e.classSpatial[inc.Class]
+	if cs == nil {
+		cs = &classSpatialAcc{}
+		e.classSpatial[inc.Class] = cs
+	}
+	cs.incidents++
+	cs.servers += n
+	if n > cs.max {
+		cs.max = n
+	}
+}
+
+func bucketOf(n int) int {
+	switch {
+	case n == 0:
+		return 0
+	case n == 1:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// recurrence windows, identical to the batch definitions.
+var (
+	day   = 24 * time.Hour
+	week  = 7 * day
+	month = 30 * day
+)
+
+// Monitor returns the engine's live monitoring store (nil when monitoring
+// ingestion is disabled).
+func (e *Engine) Monitor() *monitordb.DB { return e.monitor }

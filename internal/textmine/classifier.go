@@ -1,6 +1,7 @@
 package textmine
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 
@@ -229,6 +230,58 @@ func (c *Classifier) Evaluate(texts []string, truth []int) (*ConfusionMatrix, er
 	}
 	sortInts(cm.Labels)
 	return cm, nil
+}
+
+// confusionJSON is the wire form of a ConfusionMatrix: the Counts map is
+// keyed by [2]int, which encoding/json cannot represent, so it travels as
+// a dense matrix in Labels order (rows = truth, cols = predicted).
+type confusionJSON struct {
+	Labels []int   `json:"labels"`
+	Counts [][]int `json:"counts"`
+	Total  int     `json:"total"`
+	Hits   int     `json:"hits"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (cm *ConfusionMatrix) MarshalJSON() ([]byte, error) {
+	cj := confusionJSON{Labels: cm.Labels, Total: cm.Total, Hits: cm.Hits}
+	if cj.Labels == nil {
+		cj.Labels = []int{}
+	}
+	cj.Counts = make([][]int, len(cm.Labels))
+	for i, truth := range cm.Labels {
+		cj.Counts[i] = make([]int, len(cm.Labels))
+		for j, pred := range cm.Labels {
+			cj.Counts[i][j] = cm.Counts[[2]int{truth, pred}]
+		}
+	}
+	return json.Marshal(cj)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (cm *ConfusionMatrix) UnmarshalJSON(data []byte) error {
+	var cj confusionJSON
+	if err := json.Unmarshal(data, &cj); err != nil {
+		return err
+	}
+	if len(cj.Counts) != len(cj.Labels) {
+		return fmt.Errorf("textmine: confusion matrix has %d rows for %d labels", len(cj.Counts), len(cj.Labels))
+	}
+	cm.Labels = cj.Labels
+	cm.Total = cj.Total
+	cm.Hits = cj.Hits
+	cm.Counts = make(map[[2]int]int)
+	for i, row := range cj.Counts {
+		if len(row) != len(cj.Labels) {
+			return fmt.Errorf("textmine: confusion matrix row %d has %d columns for %d labels", i, len(row), len(cj.Labels))
+		}
+		for j, n := range row {
+			if n != 0 {
+				cm.Counts[[2]int{cj.Labels[i], cj.Labels[j]}] = n
+			}
+		}
+	}
+	return nil
 }
 
 // Accuracy returns the fraction of correct predictions.

@@ -1,0 +1,37 @@
+package textmine
+
+// OnlineClassifier is the two-stage crash-ticket model packaged for
+// streaming use: stage 1 separates crash tickets from the background
+// population, stage 2 assigns crash tickets one of the six resolution
+// classes. Both stages are frozen k-means classifiers — prediction is
+// nearest-centroid on the training-time vocabulary, reads no mutable
+// state, and is safe from concurrent goroutines, so one trained model can
+// serve every ingest worker of a live daemon.
+type OnlineClassifier struct {
+	stage1 *Classifier // crash (1) vs background (0)
+	stage2 *Classifier // failure class for crash tickets
+}
+
+// NewOnlineClassifier wraps trained stage-1 (binary crash identification)
+// and stage-2 (failure-class assignment) classifiers.
+func NewOnlineClassifier(stage1, stage2 *Classifier) *OnlineClassifier {
+	return &OnlineClassifier{stage1: stage1, stage2: stage2}
+}
+
+// Predict classifies one ticket text: 0 for background, otherwise the
+// predicted failure-class label. Nil-safe (returns 0).
+func (c *OnlineClassifier) Predict(text string) int {
+	if c == nil || c.stage1 == nil || c.stage2 == nil {
+		return 0
+	}
+	if c.stage1.Predict(text) != 1 {
+		return 0
+	}
+	return c.stage2.Predict(text)
+}
+
+// Stage1 returns the crash-identification classifier.
+func (c *OnlineClassifier) Stage1() *Classifier { return c.stage1 }
+
+// Stage2 returns the failure-class classifier.
+func (c *OnlineClassifier) Stage2() *Classifier { return c.stage2 }

@@ -1,8 +1,10 @@
 package textmine
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -256,5 +258,36 @@ func TestSortIntsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestConfusionMatrixJSONRoundTrip: the Counts map is keyed by [2]int,
+// which encoding/json cannot represent directly — the custom codec must
+// round-trip the matrix losslessly (it rides along in API snapshots).
+func TestConfusionMatrixJSONRoundTrip(t *testing.T) {
+	cm := &ConfusionMatrix{
+		Labels: []int{0, 1, 3},
+		Counts: map[[2]int]int{
+			{0, 0}: 10, {0, 1}: 2,
+			{1, 1}: 7, {1, 3}: 1,
+			{3, 3}: 4,
+		},
+		Total: 24,
+		Hits:  21,
+	}
+	data, err := json.Marshal(cm)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back ConfusionMatrix
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(cm, &back) {
+		t.Fatalf("round trip: got %+v, want %+v", &back, cm)
+	}
+	// An empty matrix (no predictions scored yet) must still serialize.
+	if _, err := json.Marshal(&ConfusionMatrix{Counts: map[[2]int]int{}}); err != nil {
+		t.Fatalf("marshal empty: %v", err)
 	}
 }
