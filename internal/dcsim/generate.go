@@ -124,6 +124,7 @@ func Generate(cfg Config) (*Output, error) {
 		writeMonitoring(cfg, ss, monitor, monSpan)
 	}
 	monSpan.End()
+	monitor.RecordFootprint()
 
 	// Assemble and validate the dataset.
 	asmSpan := o.Start("assemble")

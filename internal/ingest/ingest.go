@@ -308,17 +308,32 @@ func classify(tickets []model.Ticket, opts Options, o *obs.Observer) (*Classifie
 	testLabels, testIdx, preds := sp.testLabels, sp.testIdx, sp.preds
 
 	// Predicting the test set is embarrassingly parallel: both stages only
-	// read their classifier. The confusion matrix is tabulated afterwards
-	// in test order so its contents don't depend on worker scheduling.
+	// read their classifier. Each block reuses one scratch (token and
+	// vector buffers) across its tickets instead of reallocating per call.
+	// The confusion matrix is tabulated afterwards in test order so its
+	// contents don't depend on worker scheduling.
 	predSpan := o.Start("predict")
 	testPreds := make([]int, len(testTexts))
-	predSpan.AddPool(par.ForEach(opts.Parallelism, len(testTexts), func(i int) {
-		pred := 0
-		if stage1.Predict(testTexts[i]) == 1 {
-			pred = stage2.Predict(testTexts[i])
+	online := textmine.NewOnlineClassifier(stage1, stage2)
+	nb := par.Blocks(len(testTexts))
+	blockDist := make([]int64, nb)
+	blockPruned := make([]int64, nb)
+	predSpan.AddPool(par.ForEachBlock(opts.Parallelism, len(testTexts), func(b, lo, hi int) {
+		var scratch textmine.PredictScratch
+		for i := lo; i < hi; i++ {
+			testPreds[i] = online.PredictWith(&scratch, testTexts[i])
 		}
-		testPreds[i] = pred
+		blockDist[b] = scratch.Distances
+		blockPruned[b] = scratch.Pruned
 	}))
+	var nDist, nPruned int64
+	for b := 0; b < nb; b++ {
+		nDist += blockDist[b]
+		nPruned += blockPruned[b]
+	}
+	m := o.Metrics()
+	m.Add("textmine.predict_distances", nDist)
+	m.Add("textmine.predict_distances_pruned", nPruned)
 	predSpan.End()
 
 	cm := &textmine.ConfusionMatrix{Counts: make(map[[2]int]int)}

@@ -1,0 +1,87 @@
+package monitordb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"failscope/internal/model"
+)
+
+// benchSamples builds one year of 15-minute cadence samples with a birth
+// marker — the shape dcsim writes for every machine.
+func benchSamples(n int) []Sample {
+	samples := make([]Sample, 0, n+1)
+	samples = append(samples, Sample{Time: obsWin.Start.Add(-90 * 24 * time.Hour), Value: 1})
+	for i := 0; i < n; i++ {
+		samples = append(samples, Sample{
+			Time:  obsWin.Start.Add(time.Duration(i) * 15 * time.Minute),
+			Value: float64(i % 100),
+		})
+	}
+	return samples
+}
+
+func benchStore(machines, perSeries int) *DB {
+	db := newDB()
+	samples := benchSamples(perSeries)
+	for m := 0; m < machines; m++ {
+		id := model.MachineID(fmt.Sprintf("vm%04d", m))
+		for _, metric := range Metrics() {
+			db.AddSeries(id, metric, samples)
+		}
+	}
+	return db
+}
+
+// BenchmarkMonitorStore_Append measures the bulk write path: one machine's
+// four metric series of grid-cadence samples, as the generator writes them.
+func BenchmarkMonitorStore_Append(b *testing.B) {
+	samples := benchSamples(2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := newDB()
+		id := model.MachineID("vm0")
+		for _, metric := range Metrics() {
+			db.AddSeries(id, metric, samples)
+		}
+	}
+}
+
+// BenchmarkMonitorStore_Rollup measures the bucketed aggregation path over
+// a detected grid: daily buckets across a year of 15-minute samples.
+func BenchmarkMonitorStore_Rollup(b *testing.B) {
+	db := benchStore(8, 35000) // one year at 15 min
+	w := model.Window{Start: obsWin.Start, End: obsWin.Start.Add(365 * 24 * time.Hour)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := db.Rollup("vm0003", MetricCPUUtil, w, 24*time.Hour); len(out) == 0 {
+			b.Fatal("empty rollup")
+		}
+	}
+}
+
+// BenchmarkMonitorStore_Join measures the ingest-shaped monitoring join:
+// per-machine window averages of all four usage metrics.
+func BenchmarkMonitorStore_Join(b *testing.B) {
+	db := benchStore(64, 5000)
+	w := model.Window{Start: obsWin.Start, End: obsWin.Start.Add(60 * 24 * time.Hour)}
+	ids := db.Machines()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hits := 0
+		for _, id := range ids {
+			for _, metric := range Metrics() {
+				if _, ok := db.Average(id, metric, w); ok {
+					hits++
+				}
+			}
+		}
+		if hits == 0 {
+			b.Fatal("join found no series")
+		}
+	}
+}

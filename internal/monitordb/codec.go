@@ -67,15 +67,18 @@ func (db *DB) Encode(w io.Writer) error {
 		return keys[i].metric < keys[j].metric
 	})
 	for _, k := range keys {
-		samples := append([]Sample(nil), db.series[k]...)
-		sort.Slice(samples, func(i, j int) bool { return samples[i].Time.Before(samples[j].Time) })
-		for _, s := range samples {
-			at := s.Time
-			if err := enc.Encode(monitorRecord{
-				Kind: "sample", Machine: k.id, Metric: k.metric, Time: &at, Value: s.Value,
-			}); err != nil {
-				return fmt.Errorf("monitordb: encode sample: %w", err)
+		var encErr error
+		db.series[k].each(func(t int64, v float64) {
+			if encErr != nil {
+				return
 			}
+			at := sampleTime(t)
+			encErr = enc.Encode(monitorRecord{
+				Kind: "sample", Machine: k.id, Metric: k.metric, Time: &at, Value: v,
+			})
+		})
+		if encErr != nil {
+			return fmt.Errorf("monitordb: encode sample: %w", encErr)
 		}
 	}
 

@@ -8,7 +8,10 @@
 // (HP OpenView / IBM Tivoli Monitoring): writers push samples at a native
 // resolution; readers query averages and rollups over windows, the earliest
 // record for a machine (which the paper uses as the VM creation date), and
-// the placement table.
+// the placement table. Series are held columnar (see columnar.go): an
+// implicit time grid plus value column instead of per-sample structs, so a
+// paper-scale year of fixed-cadence telemetry fits in a quarter of the
+// memory and window queries index arithmetically.
 package monitordb
 
 import (
@@ -54,7 +57,9 @@ func (m Metric) String() string {
 	}
 }
 
-// Sample is one time-stamped measurement.
+// Sample is one time-stamped measurement. It is the store's interchange
+// view: the columnar layout materializes Samples on demand rather than
+// holding them.
 type Sample struct {
 	Time  time.Time
 	Value float64
@@ -75,7 +80,7 @@ type PowerEvent struct {
 type DB struct {
 	mu        sync.RWMutex
 	retention time.Duration
-	series    map[seriesKey][]Sample
+	series    map[seriesKey]*colSeries
 	power     map[model.MachineID][]PowerEvent
 	placement map[model.MachineID][]placementRecord
 	// hostLoad counts VMs per (host, month); kept in sync with placement
@@ -140,7 +145,7 @@ type placementRecord struct {
 func New(epoch time.Time, retention time.Duration) *DB {
 	return &DB{
 		retention:   retention,
-		series:      make(map[seriesKey][]Sample),
+		series:      make(map[seriesKey]*colSeries),
 		power:       make(map[model.MachineID][]PowerEvent),
 		placement:   make(map[model.MachineID][]placementRecord),
 		hostLoad:    make(map[hostMonthKey]int),
@@ -161,6 +166,23 @@ func (db *DB) outsideWindowLocked(t time.Time) bool {
 	return t.Before(db.windowStart) || t.After(db.windowEnd)
 }
 
+// seriesLocked returns the series for k, creating it on first write.
+func (db *DB) seriesLocked(k seriesKey) *colSeries {
+	s := db.series[k]
+	if s == nil {
+		s = &colSeries{}
+		db.series[k] = s
+	}
+	return s
+}
+
+// sampleTime materializes a grid or row timestamp. Stored instants are UTC
+// wall-clock nanoseconds; the reconstructed time carries the UTC location
+// the generators and codec write.
+func sampleTime(nanos int64) time.Time {
+	return time.Unix(0, nanos).UTC()
+}
+
 // Add appends a usage sample. Samples outside the acceptance window are
 // silently dropped, mirroring the real databases' truncation.
 func (db *DB) Add(id model.MachineID, metric Metric, s Sample) {
@@ -169,8 +191,7 @@ func (db *DB) Add(id model.MachineID, metric Metric, s Sample) {
 	if db.outsideWindowLocked(s.Time) {
 		return
 	}
-	k := seriesKey{id, metric}
-	db.series[k] = append(db.series[k], s)
+	db.seriesLocked(seriesKey{id, metric}).add(s.Time.UnixNano(), s.Value)
 	db.noteSeenLocked(id, s.Time)
 	db.metrics.Add("monitordb.samples", 1)
 }
@@ -190,16 +211,17 @@ func (db *DB) AddSeries(id model.MachineID, metric Metric, samples []Sample) {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	k := seriesKey{id, metric}
+	col := db.seriesLocked(seriesKey{id, metric})
 	accepted := 0
 	for _, s := range samples {
 		if db.outsideWindowLocked(s.Time) {
 			continue
 		}
-		db.series[k] = append(db.series[k], s)
+		col.add(s.Time.UnixNano(), s.Value)
 		db.noteSeenLocked(id, s.Time)
 		accepted++
 	}
+	col.trim()
 	db.metrics.Add("monitordb.samples", int64(accepted))
 	if dropped := len(samples) - accepted; dropped > 0 {
 		db.metrics.Add("monitordb.samples_dropped", int64(dropped))
@@ -294,58 +316,72 @@ func (db *DB) FirstSeen(id model.MachineID) (time.Time, bool) {
 // Samples returns the samples of one series inside the window, time-sorted.
 func (db *DB) Samples(id model.MachineID, metric Metric, w model.Window) []Sample {
 	db.mu.RLock()
-	all := db.series[seriesKey{id, metric}]
-	db.mu.RUnlock()
-	sorted := append([]Sample(nil), all...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Time.Before(sorted[j].Time) })
-	var out []Sample
-	for _, s := range sorted {
-		if w.Contains(s.Time) {
-			out = append(out, s)
-		}
+	defer db.mu.RUnlock()
+	s := db.series[seriesKey{id, metric}]
+	if s == nil {
+		return nil
 	}
+	var out []Sample
+	s.eachIn(w.Start.UnixNano(), w.End.UnixNano(), func(t int64, v float64) {
+		out = append(out, Sample{Time: sampleTime(t), Value: v})
+	})
 	return out
 }
 
 // Average returns the mean of a series over the window; ok is false when
 // the series has no samples there.
 func (db *DB) Average(id model.MachineID, metric Metric, w model.Window) (float64, bool) {
-	samples := db.Samples(id, metric, w)
-	if len(samples) == 0 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := db.series[seriesKey{id, metric}]
+	if s == nil {
 		return 0, false
 	}
-	sum := 0.0
-	for _, s := range samples {
-		sum += s.Value
+	sum, n := 0.0, 0
+	s.eachIn(w.Start.UnixNano(), w.End.UnixNano(), func(_ int64, v float64) {
+		sum += v
+		n++
+	})
+	if n == 0 {
+		return 0, false
 	}
-	return sum / float64(len(samples)), true
+	return sum / float64(n), true
 }
 
 // Rollup aggregates a series into buckets of the given width over the
 // window, returning the per-bucket averages (empty buckets are skipped).
-// This is the hourly/daily/weekly/monthly view of §III.A.
+// This is the hourly/daily/weekly/monthly view of §III.A. Bucket membership
+// is index arithmetic on the columnar grid — no per-sample search.
 func (db *DB) Rollup(id model.MachineID, metric Metric, w model.Window, bucket time.Duration) []Sample {
 	if bucket <= 0 {
 		return nil
 	}
-	samples := db.Samples(id, metric, w)
-	if len(samples) == 0 {
+	db.mu.RLock()
+	s := db.series[seriesKey{id, metric}]
+	if s == nil {
+		db.mu.RUnlock()
 		return nil
 	}
 	type acc struct {
 		sum float64
 		n   int
 	}
+	startN := w.Start.UnixNano()
+	bucketN := int64(bucket)
 	buckets := make(map[int64]*acc)
-	for _, s := range samples {
-		idx := int64(s.Time.Sub(w.Start) / bucket)
+	s.eachIn(startN, w.End.UnixNano(), func(t int64, v float64) {
+		idx := (t - startN) / bucketN
 		a := buckets[idx]
 		if a == nil {
 			a = &acc{}
 			buckets[idx] = a
 		}
-		a.sum += s.Value
+		a.sum += v
 		a.n++
+	})
+	db.mu.RUnlock()
+	if len(buckets) == 0 {
+		return nil
 	}
 	idxs := make([]int64, 0, len(buckets))
 	for i := range buckets {
@@ -492,32 +528,13 @@ func (db *DB) Advance(now time.Time) int {
 		return 0 // window grew but nothing can have expired yet
 	}
 	db.windowStart = start
+	startN := start.UnixNano()
 
 	evicted := 0
-	for k, samples := range db.series {
-		i := 0
-		for i < len(samples) && samples[i].Time.Before(start) {
-			i++
-		}
-		// Series arrive time-sorted from the generators, but nothing
-		// enforces it — fall back to filtering when the prefix scan
-		// stopped short of an expired sample further in.
-		keep := samples[i:]
-		for _, s := range keep {
-			if s.Time.Before(start) {
-				keep = filterSamples(samples, start)
-				i = len(samples) - len(keep)
-				break
-			}
-		}
-		if i == 0 {
-			continue
-		}
-		evicted += i
-		if len(keep) == 0 {
+	for k, s := range db.series {
+		evicted += s.evictBefore(startN)
+		if s.len() == 0 {
 			delete(db.series, k)
-		} else {
-			db.series[k] = append(samples[:0], keep...)
 		}
 	}
 	for id, events := range db.power {
@@ -564,16 +581,6 @@ func (db *DB) Advance(now time.Time) int {
 	return evicted
 }
 
-func filterSamples(samples []Sample, start time.Time) []Sample {
-	out := make([]Sample, 0, len(samples))
-	for _, s := range samples {
-		if !s.Time.Before(start) {
-			out = append(out, s)
-		}
-	}
-	return out
-}
-
 // ForEachSeries calls fn for every (machine, metric) series in the same
 // deterministic order Encode writes them (machines sorted, then metric,
 // samples time-sorted). The slice passed to fn is a copy.
@@ -592,9 +599,17 @@ func (db *DB) ForEachSeries(fn func(id model.MachineID, metric Metric, samples [
 	})
 	for _, k := range keys {
 		db.mu.RLock()
-		samples := append([]Sample(nil), db.series[k]...)
+		var samples []Sample
+		if s := db.series[k]; s != nil {
+			samples = make([]Sample, 0, s.len())
+			s.each(func(t int64, v float64) {
+				samples = append(samples, Sample{Time: sampleTime(t), Value: v})
+			})
+		}
 		db.mu.RUnlock()
-		sort.Slice(samples, func(i, j int) bool { return samples[i].Time.Before(samples[j].Time) })
+		if len(samples) == 0 {
+			continue
+		}
 		fn(k.id, k.metric, samples)
 	}
 }

@@ -303,10 +303,13 @@ func TestHistogramQuantiles(t *testing.T) {
 		t.Error("Dump output missing percentile line")
 	}
 
-	// Empty histograms emit no percentile entries and report NaN.
+	// Empty histograms emit no entries at all — not even zero-valued
+	// count/sum/bucket lines — and report NaN.
 	empty := r.Histogram("empty", 1)
-	if _, ok := r.Snapshot()["empty.p50"]; ok {
-		t.Error("empty histogram emitted a percentile entry")
+	for key := range r.Snapshot() {
+		if strings.HasPrefix(key, "empty.") {
+			t.Errorf("empty histogram emitted snapshot entry %s", key)
+		}
 	}
 	if !math.IsNaN(empty.Quantile(0.5)) {
 		t.Error("empty histogram Quantile should be NaN")

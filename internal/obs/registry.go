@@ -118,21 +118,24 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.n)
 }
 
-// snapshot flattens the histogram into metric entries under its name.
+// snapshot flattens the histogram into metric entries under its name. A
+// histogram that never observed a sample emits nothing: zero-valued
+// count/sum/bucket/quantile entries would only pollute RunReport diffs.
 func (h *Histogram) snapshot(name string, out map[string]float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.n == 0 {
+		return
+	}
 	out[name+".count"] = float64(h.n)
 	out[name+".sum"] = h.sum
 	for i, b := range h.bounds {
 		out[fmt.Sprintf("%s.le_%g", name, b)] = float64(h.counts[i])
 	}
 	out[name+".le_inf"] = float64(h.counts[len(h.bounds)])
-	if h.n > 0 {
-		out[name+".p50"] = h.q.Query(0.5)
-		out[name+".p95"] = h.q.Query(0.95)
-		out[name+".p99"] = h.q.Query(0.99)
-	}
+	out[name+".p50"] = h.q.Query(0.5)
+	out[name+".p95"] = h.q.Query(0.95)
+	out[name+".p99"] = h.q.Query(0.99)
 }
 
 // Registry is a named metric store: counters, gauges and histograms keyed

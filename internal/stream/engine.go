@@ -154,9 +154,13 @@ type Engine struct {
 	monitorSamples int64
 
 	// Online classification scoring (when cfg.Classifier is set).
-	confusion map[[2]int]int
-	scored    int64
-	scoredHit int64
+	// predScratch holds the classifier's reusable token/vector buffers —
+	// the engine is serialized under mu, so one scratch serves every
+	// ticket.
+	confusion   map[[2]int]int
+	scored      int64
+	scoredHit   int64
+	predScratch textmine.PredictScratch
 }
 
 // NewEngine creates an engine for the given configuration.
@@ -187,6 +191,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	if cfg.MonitorRetention > 0 {
 		e.monitor = monitordb.New(cfg.MonitorEpoch, cfg.MonitorRetention)
+		e.monitor.Instrument(cfg.Observer.Metrics())
+		e.monitor.SetLogger(cfg.Observer.Log())
 		_, e.monitorEnd = e.monitor.Window()
 	}
 	return e, nil
@@ -206,6 +212,8 @@ func (e *Engine) Apply(events []Event) error {
 	m.Set("stream.events", float64(e.events))
 	m.Set("stream.tickets", float64(e.tickets))
 	m.Set("stream.crash_tickets", float64(e.crashTickets))
+	m.Set("stream.predict_distances", float64(e.predScratch.Distances))
+	m.Set("stream.predict_distances_pruned", float64(e.predScratch.Pruned))
 	return nil
 }
 
@@ -243,7 +251,9 @@ func (e *Engine) ensureMonitorWindowLocked(t time.Time) {
 }
 
 // advanceLocked slides the monitoring store's retention window up to the
-// stream watermark, evicting expired records.
+// stream watermark, evicting expired records, and refreshes the
+// resident-bytes gauges so a long-running daemon exposes its live store
+// footprint.
 func (e *Engine) advanceLocked() {
 	if e.monitor == nil || e.watermark.IsZero() {
 		return
@@ -252,6 +262,7 @@ func (e *Engine) advanceLocked() {
 		e.cfg.Observer.Metrics().Add("stream.monitor_evicted", int64(n))
 	}
 	_, e.monitorEnd = e.monitor.Window()
+	e.monitor.RecordFootprint()
 }
 
 func (e *Engine) applyLocked(ev *Event) error {
@@ -343,7 +354,7 @@ func (e *Engine) addTicketLocked(t model.Ticket) {
 
 	isCrash, class := t.IsCrash, t.Class
 	if e.cfg.Classifier != nil {
-		pred := e.cfg.Classifier.Predict(t.Description + " " + t.Resolution)
+		pred := e.cfg.Classifier.PredictWith(&e.predScratch, t.Description+" "+t.Resolution)
 		truth := labelOf(t.IsCrash, t.Class)
 		e.confusion[[2]int{truth, pred}]++
 		e.scored++

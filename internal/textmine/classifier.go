@@ -18,8 +18,12 @@ type Classifier struct {
 	vocab     *Vocabulary
 	centroids [][]float64
 	norms     []float64 // squared norms of centroids, cached for Predict
-	labels    []int     // label per centroid
-	purity    float64   // training-set cluster purity, see Purity
+	// ccDist[i][j] is the Euclidean distance between centroids i and j,
+	// cached at training time so Predict can skip centroids by the
+	// triangle inequality (nil disables pruning).
+	ccDist [][]float64
+	labels []int   // label per centroid
+	purity float64 // training-set cluster purity, see Purity
 }
 
 // TrainOptions controls classifier training.
@@ -160,7 +164,41 @@ func Train(texts []string, labels []int, opts TrainOptions, r *xrand.RNG) (*Clas
 			norms[i] += v * v
 		}
 	}
-	return &Classifier{vocab: vocab, centroids: res.Centroids, norms: norms, labels: clusterLabels, purity: purity}, nil
+	return &Classifier{
+		vocab:     vocab,
+		centroids: res.Centroids,
+		norms:     norms,
+		ccDist:    centroidDistances(res.Centroids, opts.Parallelism),
+		labels:    clusterLabels,
+		purity:    purity,
+	}, nil
+}
+
+// centroidDistances returns the k×k Euclidean inter-centroid distance
+// matrix, the cache Predict's triangle-inequality pruning reads. Rows fan
+// out over parallelism workers; row i owns every (i, j>i) pair, so the two
+// symmetric cells are written by exactly one worker.
+func centroidDistances(centroids [][]float64, parallelism int) [][]float64 {
+	k := len(centroids)
+	backing := make([]float64, k*k)
+	dist := make([][]float64, k)
+	for i := range dist {
+		dist[i] = backing[i*k : (i+1)*k : (i+1)*k]
+	}
+	par.ForEach(parallelism, k, func(i int) {
+		ci := centroids[i]
+		for j := i + 1; j < k; j++ {
+			ss := 0.0
+			for m, v := range ci {
+				dv := v - centroids[j][m]
+				ss += dv * dv
+			}
+			d := math.Sqrt(ss)
+			dist[i][j] = d
+			dist[j][i] = d
+		}
+	})
+	return dist
 }
 
 func majorityLabel(labels []int) int {
@@ -183,15 +221,59 @@ func majorityLabel(labels []int) int {
 // subset the cluster labeling consulted.
 func (c *Classifier) Purity() float64 { return c.purity }
 
+// PredictScratch carries the reusable buffers and pruning counters of a
+// prediction loop. A scratch may be reused across any number of PredictWith
+// calls (and across classifiers) but not from concurrent goroutines; the
+// zero value is ready to use.
+type PredictScratch struct {
+	tokens []string
+	idxs   []int
+	vals   []float64
+
+	// Distances counts centroid distance evaluations performed and Pruned
+	// the evaluations skipped by the triangle-inequality bound; callers
+	// fold them into their metrics registry.
+	Distances int64
+	Pruned    int64
+}
+
 // Predict returns the label of the nearest centroid. It only reads the
-// classifier, so callers may predict from concurrent workers.
+// classifier, so callers may predict from concurrent workers. Loops that
+// predict many tickets should reuse a PredictScratch via PredictWith to
+// avoid the per-call buffer allocations.
 func (c *Classifier) Predict(text string) int {
-	vec := c.vocab.Vectorize(Tokenize(text))
+	var s PredictScratch
+	return c.PredictWith(&s, text)
+}
+
+// PredictWith is Predict with caller-owned scratch buffers.
+func (c *Classifier) PredictWith(s *PredictScratch, text string) int {
+	s.tokens = AppendTokens(s.tokens[:0], text)
+	return c.predictTokens(s, s.tokens)
+}
+
+// predictTokens classifies an already-tokenized document. Centroids are
+// scanned in index order exactly as the exhaustive loop would, except that
+// centroid i is skipped when the cached inter-centroid distance proves it
+// strictly farther than the incumbent: with e = ‖x−c_best‖, the triangle
+// inequality gives ‖x−c_i‖ ≥ ‖c_best−c_i‖ − e > e + boundEps, so the
+// skipped evaluation could never have won (nor tied — boundEps absorbs
+// rounding), leaving the chosen label bit-identical to the full scan.
+func (c *Classifier) predictTokens(s *PredictScratch, tokens []string) int {
+	vec := c.vocab.vectorizeInto(s.idxs, s.vals, tokens)
+	s.idxs, s.vals = vec.Idx, vec.Val
 	best, bestDist := 0, math.Inf(1)
+	eBest := math.Inf(1)
 	for i, centroid := range c.centroids {
+		if c.ccDist != nil && !math.IsInf(eBest, 1) && c.ccDist[best][i] >= 2*eBest+boundEps {
+			s.Pruned++
+			continue
+		}
 		d := 1 + c.norms[i] - 2*vec.Dot(centroid)
+		s.Distances++
 		if d < bestDist {
 			best, bestDist = i, d
+			eBest = math.Sqrt(math.Max(d, 0))
 		}
 	}
 	return c.labels[best]
@@ -212,8 +294,9 @@ func (c *Classifier) Evaluate(texts []string, truth []int) (*ConfusionMatrix, er
 	}
 	cm := &ConfusionMatrix{Counts: make(map[[2]int]int)}
 	seen := make(map[int]bool)
+	var scratch PredictScratch
 	for i, t := range texts {
-		pred := c.Predict(t)
+		pred := c.PredictWith(&scratch, t)
 		cm.Counts[[2]int{truth[i], pred}]++
 		cm.Total++
 		if pred == truth[i] {

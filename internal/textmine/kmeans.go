@@ -41,11 +41,30 @@ func KMeansParallel(vectors []SparseVector, dim, k, maxIter int, r *xrand.RNG, p
 	return KMeansObserved(vectors, dim, k, maxIter, r, parallelism, nil)
 }
 
+// boundEps is the absolute safety margin the distance-bound pruning keeps
+// between a bound and the exact distance it compares against. Distances on
+// the unit sphere lie in [0, 2] (squared in [0, 4]) and their float64
+// rounding error is below 1e-12, so a 1e-6 margin makes every pruning
+// decision unambiguous: a centroid is only skipped when it is provably
+// farther than the incumbent by more than any possible rounding noise, and
+// genuine near-ties fall through to the exact scan. This is what keeps the
+// pruned kernels bit-identical to the exhaustive ones.
+const boundEps = 1e-6
+
 // KMeansObserved is KMeansParallel with stage observability: the k-means++
 // seeding and the Lloyd sweeps record spans (pool busy time, iteration
 // counts) and convergence metrics on o. Observation reads the clock only —
 // never the RNG — so the clustering is bit-identical to KMeansParallel.
 func KMeansObserved(vectors []SparseVector, dim, k, maxIter int, r *xrand.RNG, parallelism int, o *obs.Observer) (*KMeansResult, error) {
+	return kmeansRun(vectors, dim, k, maxIter, r, parallelism, o, true)
+}
+
+// kmeansRun is the shared Lloyd implementation. With prune set, assignment
+// sweeps use Hamerly-style bounds (see below) to skip full centroid scans;
+// the pruned path computes the exact same float expressions whenever a
+// distance is actually evaluated, so the result is bit-identical either
+// way (TestKMeansPrunedMatchesExact holds the two paths together).
+func kmeansRun(vectors []SparseVector, dim, k, maxIter int, r *xrand.RNG, parallelism int, o *obs.Observer, prune bool) (*KMeansResult, error) {
 	n := len(vectors)
 	if n == 0 {
 		return nil, ErrNoData
@@ -69,23 +88,145 @@ func KMeansObserved(vectors []SparseVector, dim, k, maxIter int, r *xrand.RNG, p
 	nb := par.Blocks(n)
 	blockInertia := make([]float64, nb)
 	blockChanged := make([]bool, nb)
+	blockDist := make([]int64, nb)
+	blockPruned := make([]int64, nb)
+
+	// Hamerly-style pruning state. lb[i] lower-bounds the Euclidean
+	// distance from document i to every centroid other than its assigned
+	// one: it is the second-best distance recorded at i's last full scan,
+	// decayed by the maximum centroid drift of every centroid update since.
+	// A sweep first computes the exact distance to the assigned centroid
+	// (the same expression the full scan would produce for it); when that
+	// distance stays below lb[i] by more than boundEps, no other centroid
+	// can be closer — or even tie — so the remaining k-1 evaluations are
+	// skipped and the assignment and inertia contribution are unchanged
+	// bit for bit. lb[i] is only touched by the block that owns i.
+	lb := make([]float64, n)
+	// lastD caches the exact squared distance from document i to its
+	// assigned centroid, valid while that centroid has not moved since the
+	// distance was last evaluated (and the assignment is unchanged). In a
+	// converging run most centroids stop moving sweeps before the run ends,
+	// so the cache removes even the single dot product the bound test costs
+	// — a stable document is assigned at zero distance evaluations. Reuse is
+	// bit-safe: an unmoved centroid means every input to the distance
+	// expression is numerically unchanged, so recomputing it would produce
+	// the same float64.
+	// dirty tracks which centroids gained or lost a member in the last
+	// sweep (per block during the sweep, merged after). A clean centroid's
+	// member set is unchanged, so its sum, count, mean and squared norm
+	// would all recompute to the same bits — the pruned path skips them and
+	// rebuilds only dirty centroids, turning the O(n·nnz + k·dim) recompute
+	// into work proportional to how much actually changed. Empty centroids
+	// stay dirty every iteration because the reference path redraws their
+	// reseed from the RNG each time.
+	// cT is the centroid matrix transposed (feature-major, cT[j*k+c] =
+	// centroids[c][j]). A full scan then walks the document's features once
+	// and accumulates all k dot products from k-contiguous slabs, instead
+	// of striding k separate dim-length rows per document. Each per-
+	// centroid sum still accumulates in feature order — the exact order
+	// SparseVector.Dot uses — so every distance comes out bit-identical.
+	// blockAcc gives each block its own k accumulators.
+	var (
+		prev       []float64 // previous centroids, for drift; k*dim
+		lastD      []float64
+		lastDValid []bool
+		cMoved     []bool
+		dirty      []bool
+		blockDirty []bool // nb*k, block b owns blockDirty[b*k : (b+1)*k]
+		cT         []float64
+		blockAcc   []float64 // nb*k, block b owns blockAcc[b*k : (b+1)*k]
+	)
+	if prune {
+		prev = make([]float64, k*dim)
+		lastD = make([]float64, n)
+		lastDValid = make([]bool, n)
+		cMoved = make([]bool, k)
+		dirty = make([]bool, k)
+		blockDirty = make([]bool, nb*k)
+		cT = make([]float64, dim*k)
+		for j := 0; j < dim; j++ {
+			col := cT[j*k : j*k+k]
+			for c := range centroids {
+				col[c] = centroids[c][j]
+			}
+		}
+		blockAcc = make([]float64, nb*k)
+	}
 
 	// One closure for every sweep (instead of one per iteration) keeps the
 	// iteration loop allocation-free.
 	sweep := func(b, lo, hi int) {
 		partial := 0.0
 		changed := false
+		nDist, nPruned := int64(0), int64(0)
 		for i := lo; i < hi; i++ {
 			vec := vectors[i]
-			best, bestDist := -1, math.Inf(1)
-			for c := range centroids {
-				// ||x - c||^2 = ||x||^2 + ||c||^2 - 2 x·c, with ||x|| = 1.
-				d := 1 + cNorm2[c] - 2*vec.Dot(centroids[c])
-				if d < bestDist {
-					best, bestDist = c, d
+			if prune {
+				if a := assign[i]; a >= 0 {
+					var dA float64
+					if lastDValid[i] {
+						dA = lastD[i]
+						nPruned++
+					} else {
+						// ||x - c||^2 = ||x||^2 + ||c||^2 - 2 x·c, ||x|| = 1.
+						dA = 1 + cNorm2[a] - 2*vec.Dot(centroids[a])
+						nDist++
+						lastD[i] = dA
+						lastDValid[i] = true
+					}
+					if math.Sqrt(math.Max(dA, 0))+boundEps < lb[i] {
+						nPruned += int64(k - 1)
+						partial += dA
+						continue
+					}
 				}
 			}
+			best, bestDist, secondDist := -1, math.Inf(1), math.Inf(1)
+			if prune {
+				acc := blockAcc[b*k : (b+1)*k]
+				for c := range acc {
+					acc[c] = 0
+				}
+				for fi, idx := range vec.Idx {
+					v := vec.Val[fi]
+					col := cT[idx*k : idx*k+k]
+					for c := range col {
+						acc[c] += v * col[c]
+					}
+				}
+				for c := range acc {
+					d := 1 + cNorm2[c] - 2*acc[c]
+					if d < bestDist {
+						secondDist = bestDist
+						best, bestDist = c, d
+					} else if d < secondDist {
+						secondDist = d
+					}
+				}
+			} else {
+				for c := range centroids {
+					d := 1 + cNorm2[c] - 2*vec.Dot(centroids[c])
+					if d < bestDist {
+						secondDist = bestDist
+						best, bestDist = c, d
+					} else if d < secondDist {
+						secondDist = d
+					}
+				}
+			}
+			nDist += int64(k)
+			lb[i] = math.Sqrt(math.Max(secondDist, 0))
+			if prune {
+				lastD[i] = bestDist
+				lastDValid[i] = true
+			}
 			if assign[i] != best {
+				if prune {
+					if a := assign[i]; a >= 0 {
+						blockDirty[b*k+a] = true
+					}
+					blockDirty[b*k+best] = true
+				}
 				assign[i] = best
 				changed = true
 			}
@@ -93,13 +234,19 @@ func KMeansObserved(vectors []SparseVector, dim, k, maxIter int, r *xrand.RNG, p
 		}
 		blockInertia[b] = partial
 		blockChanged[b] = changed
+		blockDist[b] = nDist
+		blockPruned[b] = nPruned
 	}
 
 	lloydSpan := o.Start("kmeans-lloyd")
 	var inertia float64
+	var totalDist, totalPruned int64
 	iter := 0
 	for ; iter < maxIter; iter++ {
 		for c := range centroids {
+			if prune && iter > 0 && !dirty[c] {
+				continue // unchanged centroid: same bits, same norm
+			}
 			cNorm2[c] = 0
 			for _, v := range centroids[c] {
 				cNorm2[c] += v * v
@@ -111,39 +258,148 @@ func KMeansObserved(vectors []SparseVector, dim, k, maxIter int, r *xrand.RNG, p
 		for b := 0; b < nb; b++ {
 			inertia += blockInertia[b]
 			changed = changed || blockChanged[b]
+			totalDist += blockDist[b]
+			totalPruned += blockPruned[b]
 		}
 		if !changed {
 			break
 		}
 		// Recompute centroids. Sequential: a factor k cheaper than the
-		// assignment sweep and trivially deterministic this way.
-		for c := range counts {
-			counts[c] = 0
-		}
-		for c := range centroids {
-			for j := range centroids[c] {
-				centroids[c][j] = 0
+		// assignment sweep and trivially deterministic this way. The pruned
+		// path rebuilds only dirty centroids — the member sums accumulate in
+		// document index order either way, so a rebuilt centroid gets the
+		// same bits the full pass would give it, and a skipped one keeps
+		// them. Empty clusters always rebuild because the reference path
+		// redraws their reseed each iteration (same RNG sequence).
+		if prune {
+			for c := range dirty {
+				dirty[c] = counts[c] == 0
+			}
+			for b := 0; b < nb; b++ {
+				row := blockDirty[b*k : (b+1)*k]
+				for c, d := range row {
+					if d {
+						dirty[c] = true
+						row[c] = false
+					}
+				}
+			}
+			for c := range centroids {
+				if !dirty[c] {
+					continue
+				}
+				copy(prev[c*dim:(c+1)*dim], centroids[c])
+				counts[c] = 0
+				for j := range centroids[c] {
+					centroids[c][j] = 0
+				}
+			}
+			for i, vec := range vectors {
+				if a := assign[i]; dirty[a] {
+					vec.AddTo(centroids[a])
+					counts[a]++
+				}
+			}
+			for c := range centroids {
+				if !dirty[c] {
+					continue
+				}
+				if counts[c] == 0 {
+					// Re-seed an empty cluster at a random document.
+					copyInto(centroids[c], vectors[r.Intn(n)])
+					continue
+				}
+				inv := 1 / float64(counts[c])
+				for j := range centroids[c] {
+					centroids[c][j] *= inv
+				}
+			}
+			// Refresh the transposed matrix feature-major: the writes land
+			// in each feature's k-slab and the reads stream one row per
+			// dirty centroid, instead of a stride-k write per coordinate.
+			for j := 0; j < dim; j++ {
+				col := cT[j*k : j*k+k]
+				for c := range centroids {
+					if dirty[c] {
+						col[c] = centroids[c][j]
+					}
+				}
+			}
+		} else {
+			for c := range counts {
+				counts[c] = 0
+			}
+			for c := range centroids {
+				for j := range centroids[c] {
+					centroids[c][j] = 0
+				}
+			}
+			for i, vec := range vectors {
+				vec.AddTo(centroids[assign[i]])
+				counts[assign[i]]++
+			}
+			for c := range centroids {
+				if counts[c] == 0 {
+					// Re-seed an empty cluster at a random document.
+					copyInto(centroids[c], vectors[r.Intn(n)])
+					continue
+				}
+				inv := 1 / float64(counts[c])
+				for j := range centroids[c] {
+					centroids[c][j] *= inv
+				}
 			}
 		}
-		for i, vec := range vectors {
-			vec.AddTo(centroids[assign[i]])
-			counts[assign[i]]++
-		}
-		for c := range centroids {
-			if counts[c] == 0 {
-				// Re-seed an empty cluster at a random document.
-				copyInto(centroids[c], vectors[r.Intn(n)])
-				continue
+		if prune {
+			// Every lower bound loses at most the largest distance any
+			// centroid just moved; an empty-cluster reseed simply shows up
+			// as a large drift and disables pruning until bounds tighten.
+			// The same pass flags which centroids moved at all, which is
+			// what invalidates the cached assigned-centroid distances.
+			maxDrift := 0.0
+			anyMoved := false
+			for c := range centroids {
+				if !dirty[c] {
+					cMoved[c] = false // skipped rebuild: identical bits
+					continue
+				}
+				ss := 0.0
+				moved := false
+				old := prev[c*dim : (c+1)*dim]
+				for j, v := range centroids[c] {
+					dv := v - old[j]
+					if dv != 0 {
+						moved = true
+					}
+					ss += dv * dv
+				}
+				cMoved[c] = moved
+				if moved {
+					anyMoved = true
+				}
+				if d := math.Sqrt(ss); d > maxDrift {
+					maxDrift = d
+				}
 			}
-			inv := 1 / float64(counts[c])
-			for j := range centroids[c] {
-				centroids[c][j] *= inv
+			if maxDrift > 0 {
+				for i := range lb {
+					lb[i] -= maxDrift
+				}
+			}
+			if anyMoved {
+				for i, a := range assign {
+					if cMoved[a] {
+						lastDValid[i] = false
+					}
+				}
 			}
 		}
 	}
 	lloydSpan.End()
 	m := o.Metrics()
 	m.Add("textmine.kmeans_iterations", int64(iter))
+	m.Add("textmine.kmeans_distances", totalDist)
+	m.Add("textmine.kmeans_distances_pruned", totalPruned)
 	if iter < maxIter {
 		m.Add("textmine.kmeans_converged", 1)
 	} else {

@@ -21,13 +21,21 @@ func NewOnlineClassifier(stage1, stage2 *Classifier) *OnlineClassifier {
 // Predict classifies one ticket text: 0 for background, otherwise the
 // predicted failure-class label. Nil-safe (returns 0).
 func (c *OnlineClassifier) Predict(text string) int {
+	var s PredictScratch
+	return c.PredictWith(&s, text)
+}
+
+// PredictWith is Predict with caller-owned scratch buffers: the text is
+// tokenized once and both stages classify the shared token slice.
+func (c *OnlineClassifier) PredictWith(s *PredictScratch, text string) int {
 	if c == nil || c.stage1 == nil || c.stage2 == nil {
 		return 0
 	}
-	if c.stage1.Predict(text) != 1 {
+	s.tokens = AppendTokens(s.tokens[:0], text)
+	if c.stage1.predictTokens(s, s.tokens) != 1 {
 		return 0
 	}
-	return c.stage2.Predict(text)
+	return c.stage2.predictTokens(s, s.tokens)
 }
 
 // Stage1 returns the crash-identification classifier.

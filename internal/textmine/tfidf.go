@@ -19,11 +19,20 @@ func (s SparseVector) Norm() float64 {
 
 // Vectorize converts a tokenized document to a unit-normalized TF-IDF
 // sparse vector over the vocabulary. Unknown tokens are ignored. It is a
-// pure read of the vocabulary, safe to call from concurrent workers.
+// pure read of the vocabulary, safe to call from concurrent workers. The
+// returned vector owns its storage; transient callers (prediction) use
+// vectorizeInto with reused buffers instead.
 func (v *Vocabulary) Vectorize(doc []string) SparseVector {
+	return v.vectorizeInto(make([]int, 0, len(doc)), make([]float64, 0, len(doc)), doc)
+}
+
+// vectorizeInto is Vectorize over caller-provided buffers (grown as
+// needed). The returned vector aliases them, so it is only valid until the
+// buffers' next reuse.
+func (v *Vocabulary) vectorizeInto(idxs []int, vals []float64, doc []string) SparseVector {
 	// Collect known-token indices with duplicates, sort, then run-length
-	// count the term frequencies in place — map-free, two allocations.
-	idxs := make([]int, 0, len(doc))
+	// count the term frequencies in place — map-free.
+	idxs = idxs[:0]
 	for _, tok := range doc {
 		if idx, ok := v.Index[tok]; ok {
 			idxs = append(idxs, idx)
@@ -31,7 +40,7 @@ func (v *Vocabulary) Vectorize(doc []string) SparseVector {
 	}
 	// Deterministic ordering keeps clustering reproducible.
 	sortInts(idxs)
-	vals := make([]float64, 0, len(idxs))
+	vals = vals[:0]
 	w := 0
 	for i := 0; i < len(idxs); {
 		j := i
@@ -40,7 +49,7 @@ func (v *Vocabulary) Vectorize(doc []string) SparseVector {
 		}
 		idx := idxs[i]
 		tf := float64(j - i)
-		idf := math.Log(float64(v.Docs+1)/float64(v.DocFreq[idx]+1)) + 1
+		idf := v.idf[idx]
 		idxs[w] = idx
 		vals = append(vals, tf*idf)
 		w++

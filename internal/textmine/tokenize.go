@@ -6,6 +6,7 @@
 package textmine
 
 import (
+	"math"
 	"sort"
 	"strings"
 	"unicode"
@@ -26,17 +27,65 @@ var stopwords = map[string]bool{
 // Tokenize lower-cases text, splits on non-alphanumeric runes and drops
 // stopwords and single-character tokens.
 func Tokenize(text string) []string {
+	return AppendTokens(nil, text)
+}
+
+// AppendTokens is Tokenize appending into a caller-owned buffer, for hot
+// paths that tokenize in a loop. ASCII text — the overwhelming case for
+// ticket descriptions — is scanned in a single byte pass: tokens are
+// substrings of the input (zero-copy), and only a token containing an
+// upper-case letter allocates for its lowered form. Any non-ASCII byte
+// falls back to the rune-correct path with identical output.
+func AppendTokens(dst []string, text string) []string {
+	for i := 0; i < len(text); i++ {
+		if text[i] >= 0x80 {
+			return appendTokensSlow(dst, text)
+		}
+	}
+	for i := 0; i < len(text); {
+		if !isASCIIAlnum(text[i]) {
+			i++
+			continue
+		}
+		j := i
+		hasUpper := false
+		for j < len(text) && isASCIIAlnum(text[j]) {
+			if text[j] >= 'A' && text[j] <= 'Z' {
+				hasUpper = true
+			}
+			j++
+		}
+		if j-i >= 2 {
+			tok := text[i:j]
+			if hasUpper {
+				tok = strings.ToLower(tok)
+			}
+			if !stopwords[tok] {
+				dst = append(dst, tok)
+			}
+		}
+		i = j
+	}
+	return dst
+}
+
+func isASCIIAlnum(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+// appendTokensSlow handles text with non-ASCII runes: the original
+// lower-then-split-by-rune-class implementation.
+func appendTokensSlow(dst []string, text string) []string {
 	fields := strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
 		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
 	})
-	out := fields[:0]
 	for _, f := range fields {
 		if len(f) < 2 || stopwords[f] {
 			continue
 		}
-		out = append(out, f)
+		dst = append(dst, f)
 	}
-	return out
+	return dst
 }
 
 // Vocabulary maps tokens to dense feature indices with document
@@ -46,6 +95,13 @@ type Vocabulary struct {
 	Tokens  []string
 	DocFreq []int
 	Docs    int
+
+	// idf[i] is the smoothed inverse document frequency of Tokens[i],
+	// precomputed once at build time: vectorization is the hot loop of both
+	// training and prediction, and a math.Log per distinct term per document
+	// dominates it. The vocabulary is immutable after BuildVocabulary, so
+	// the cached value is exactly the float64 the inline expression yields.
+	idf []float64
 }
 
 // BuildVocabulary scans tokenized documents and returns a vocabulary of
@@ -80,6 +136,10 @@ func BuildVocabulary(docs [][]string, minDocs int) *Vocabulary {
 	for i, tok := range tokens {
 		v.Index[tok] = i
 		v.DocFreq[i] = df[tok]
+	}
+	v.idf = make([]float64, len(tokens))
+	for i := range v.idf {
+		v.idf[i] = math.Log(float64(v.Docs+1)/float64(v.DocFreq[i]+1)) + 1
 	}
 	return v
 }

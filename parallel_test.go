@@ -6,6 +6,10 @@ import (
 	"runtime"
 	"sort"
 	"testing"
+	"time"
+
+	"failscope/internal/model"
+	"failscope/internal/monitordb"
 )
 
 // smallStudyFingerprint runs the scaled-down study end to end — simulate,
@@ -32,6 +36,26 @@ func smallStudyFingerprint(t *testing.T, parallelism int) string {
 	}
 	if err := WriteMonitor(&buf, res.Field.Monitor); err != nil {
 		t.Fatal(err)
+	}
+
+	// Windowed rollups over the monitoring store: this pins the columnar
+	// grid's bucket index arithmetic and float accumulation order, which the
+	// raw encode above cannot see.
+	mon := res.Field.Monitor
+	wStart, wEnd := mon.Window()
+	rollWin := model.Window{Start: wStart, End: wEnd.Add(time.Nanosecond)}
+	rollups := mon.RollupAll(monitordb.MetricCPUUtil, rollWin, 7*24*time.Hour, parallelism)
+	ids := make([]string, 0, len(rollups))
+	for id := range rollups {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&buf, "rollup %s", id)
+		for _, s := range rollups[model.MachineID(id)] {
+			fmt.Fprintf(&buf, " %d:%v", s.Time.UnixNano(), s.Value)
+		}
+		buf.WriteByte('\n')
 	}
 
 	c := res.Collection.Classifier
