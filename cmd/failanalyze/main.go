@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	failanalyze [-seed N] [-scale small|paper] [-classify] [-section NAME] [-parallelism P]
+//	failanalyze [-seed N] [-scale small|paper|fleet] [-classify] [-section NAME] [-parallelism P]
 //	failanalyze -input dataset.jsonl [-monitor monitor.jsonl] [-csv outdir]
 //	failanalyze -scale small -v -trace-out run.json    # stage spans + run report
 //	failanalyze -scale small -classify -section fidelity -fidelity-gate    # CI band gate
@@ -97,7 +97,7 @@ func sectionNames() []string {
 func run() error {
 	var (
 		seed      = flag.Uint64("seed", 0, "generator seed (0 keeps the calibrated default)")
-		scale     = flag.String("scale", "paper", "dataset scale: paper or small")
+		scale     = flag.String("scale", "paper", "dataset scale: paper, small or fleet")
 		classify  = flag.Bool("classify", false, "also run the k-means ticket classification (slower)")
 		section   = flag.String("section", "", "print only one section: "+strings.Join(sectionNames(), "|"))
 		inputPath = flag.String("input", "", "analyze an existing dataset (JSONL from dcgen) instead of generating")
@@ -121,6 +121,8 @@ func run() error {
 		study = failscope.PaperStudy()
 	case "small":
 		study = failscope.SmallStudy()
+	case "fleet":
+		study = failscope.FleetStudy()
 	default:
 		return fmt.Errorf("unknown scale %q", *scale)
 	}

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -35,6 +36,7 @@ import (
 	"failscope"
 	"failscope/internal/clikit"
 	"failscope/internal/ingest"
+	"failscope/internal/obs"
 	"failscope/internal/stream"
 )
 
@@ -48,12 +50,13 @@ func main() {
 func run() error {
 	var (
 		addr        = flag.String("addr", "localhost:8080", "HTTP listen address")
-		scale       = flag.String("scale", "paper", "study scale the engine is configured for: paper or small")
+		scale       = flag.String("scale", "paper", "study scale the engine is configured for: paper, small or fleet")
 		seed        = flag.Uint64("seed", 0, "generator seed for -replay (0 keeps the calibrated default)")
 		parallel    = flag.Int("parallelism", 0, "worker count for -replay generation (0 = all CPUs)")
 		replay      = flag.Bool("replay", false, "generate the selected dataset and stream it into the engine")
 		replaySpeed = flag.Float64("replay-speed", 0, "simulated seconds streamed per wall second (0 = full speed)")
 		replayBatch = flag.Int("replay-batch", 5000, "events per replay ingestion batch")
+		replayWire  = flag.Bool("replay-wire", false, "with -replay: push the events through the JSONL wire codec (encode once, then pooled decode + grouped ingest under decode/ingest spans) instead of applying in-process slices")
 		classify    = flag.Bool("classify", false, "with -replay: train the two-stage ticket classifier on the generated tickets and score the stream online")
 	)
 	ofl := clikit.AddFlags(flag.CommandLine)
@@ -65,8 +68,13 @@ func run() error {
 		study = failscope.PaperStudy()
 	case "small":
 		study = failscope.SmallStudy()
+	case "fleet":
+		study = failscope.FleetStudy()
 	default:
 		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	if *replayWire && !*replay {
+		return fmt.Errorf("-replay-wire needs -replay")
 	}
 	if *seed != 0 {
 		study.Generator.Seed = *seed
@@ -131,7 +139,9 @@ func run() error {
 
 	replayDone := make(chan error, 1)
 	stopReplay := make(chan struct{})
-	if *replay {
+	if *replay && *replayWire {
+		go func() { replayDone <- replayWireEvents(eng, o, events, *replayBatch, stopReplay) }()
+	} else if *replay {
 		go func() { replayDone <- replayEvents(eng, events, *replayBatch, *replaySpeed, stopReplay) }()
 	} else {
 		replayDone <- nil
@@ -163,6 +173,75 @@ func run() error {
 		return err
 	}
 	return ofl.Emit("failscoped", o, nil)
+}
+
+// replayWireEvents replays through the full wire path so RunReports carry
+// decode and ingest spans: the events are encoded to JSONL once (one batch
+// per *batch events), then every batch goes through a pooled zero-copy
+// decode pass (the "decode" span, pure codec cost) and a decode+group-
+// commit pass (the "ingest" span, the server's end-to-end ingestion cost).
+func replayWireEvents(eng *stream.Engine, o *obs.Observer, events []stream.Event, batch int, stop <-chan struct{}) error {
+	if batch < 1 {
+		batch = 1
+	}
+	encSpan := o.Start("encode-wire")
+	var wire bytes.Buffer
+	bounds := []int{0}
+	for lo := 0; lo < len(events); lo += batch {
+		hi := lo + batch
+		if hi > len(events) {
+			hi = len(events)
+		}
+		if err := stream.EncodeJSONL(&wire, events[lo:hi]); err != nil {
+			encSpan.End()
+			return err
+		}
+		bounds = append(bounds, wire.Len())
+	}
+	encSpan.AddItems(len(events))
+	encSpan.End()
+	raw := wire.Bytes()
+
+	stopped := func() bool {
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
+	var rd bytes.Reader
+	decSpan := o.Start("decode")
+	for i := 0; i+1 < len(bounds) && !stopped(); i++ {
+		rd.Reset(raw[bounds[i]:bounds[i+1]])
+		b := stream.GetBatch()
+		n, err := b.DecodeJSONLInto(&rd)
+		b.Release()
+		if err != nil {
+			decSpan.End()
+			return fmt.Errorf("replay decode: %w", err)
+		}
+		decSpan.AddItems(n)
+	}
+	decSpan.End()
+
+	ingSpan := o.Start("ingest")
+	for i := 0; i+1 < len(bounds) && !stopped(); i++ {
+		rd.Reset(raw[bounds[i]:bounds[i+1]])
+		b := stream.GetBatch()
+		n, err := b.DecodeJSONLInto(&rd)
+		if err == nil {
+			err = eng.ApplyGrouped(b.Events)
+		}
+		b.Release()
+		if err != nil {
+			ingSpan.End()
+			return fmt.Errorf("replay ingest: %w", err)
+		}
+		ingSpan.AddItems(n)
+	}
+	ingSpan.End()
+	return nil
 }
 
 // replayEvents streams the dataset into the engine in arrival order.

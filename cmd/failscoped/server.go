@@ -53,14 +53,22 @@ func (s *server) fail(w http.ResponseWriter, code int, err error) {
 
 // handleEvents ingests one JSONL event batch. Malformed input is a 400
 // whose error names the offending line; nothing from a bad batch is
-// applied.
+// applied. The body decodes into a pooled zero-copy batch and commits
+// through the engine's group-commit path, so concurrent posts share one
+// engine-lock acquisition per group instead of contending per batch.
 func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
 	}
-	n, err := s.eng.ApplyJSONL(r.Body)
+	b := stream.GetBatch()
+	defer b.Release()
+	n, err := b.DecodeJSONLInto(r.Body)
 	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.eng.ApplyGrouped(b.Events); err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}

@@ -261,6 +261,20 @@ func SmallStudy() Study {
 	}
 }
 
+// FleetStudy returns the ~10⁶-machine stress study behind the BENCH_fleet
+// baseline: the paper's subsystems scaled up 106×, an 8-week observation
+// window, and text classification off (the fleet run benchmarks the
+// generate/collect/analyze hot paths at fleet cardinality, not the miner).
+func FleetStudy() Study {
+	gen := dcsim.FleetConfig()
+	opts := ingest.DefaultOptions(gen.Observation, gen.FineWindow)
+	opts.SkipClassification = true
+	return Study{
+		Generator: gen,
+		Collect:   opts,
+	}
+}
+
 // Result is a completed study run.
 type Result struct {
 	Field      *FieldData

@@ -140,6 +140,7 @@ func Generate(cfg Config) (*Output, error) {
 			machines = append(machines, st.m)
 		}
 	}
+	store.Reserve(len(tickets))
 	for i := range tickets {
 		stored := store.Append(tickets[i])
 		tickets[i].ID = stored.ID
@@ -208,28 +209,34 @@ func backgroundTickets(cfg Config, ss *systemState, renderer *ticketdb.Renderer,
 // every parallelism level.
 func writeMonitoring(cfg Config, ss *systemState, db *monitordb.DB, sp *obs.Span) {
 	machines := allMachines(ss)
-	sp.AddPool(par.ForEach(cfg.Parallelism, len(machines), func(i int) {
-		writeUsage(cfg, machines[i], db)
+	sp.AddPool(par.ForEachBlock(cfg.Parallelism, len(machines), func(_, lo, hi int) {
+		sc := scratchPool.Get()
+		for i := lo; i < hi; i++ {
+			writeUsage(cfg, machines[i], db, sc)
+		}
+		scratchPool.Put(sc)
 	}))
-	sp.AddPool(par.ForEach(cfg.Parallelism, len(ss.vms), func(i int) {
-		st := ss.vms[i]
-		writePlacements(cfg, ss, st, db)
-		writePowerEvents(cfg, st, db)
+	sp.AddPool(par.ForEachBlock(cfg.Parallelism, len(ss.vms), func(_, lo, hi int) {
+		sc := scratchPool.Get()
+		for i := lo; i < hi; i++ {
+			st := ss.vms[i]
+			writePlacements(cfg, ss, st, db, sc)
+			writePowerEvents(cfg, st, db, sc)
+		}
+		scratchPool.Put(sc)
 	}))
 }
 
-// writeUsage emits one machine's birth marker and weekly usage series.
-func writeUsage(cfg Config, st *machineState, db *monitordb.DB) {
+// writeUsage emits one machine's birth marker and weekly usage series,
+// staging them in the worker's scratch buffers (AddSeries copies what it
+// accepts, so the buffers recycle machine to machine).
+func writeUsage(cfg Config, st *machineState, db *monitordb.DB, sc *genScratch) {
 	rng := machineRNG(cfg, streamUsage, st.m.ID)
 	first := st.m.Created
 	if first.Before(cfg.MonitorEpoch) {
 		first = cfg.MonitorEpoch
 	}
-	weeks := int(cfg.Observation.Duration().Hours()/(24*7)) + 2
-	cpu := make([]monitordb.Sample, 0, weeks)
-	mem := make([]monitordb.Sample, 0, weeks)
-	dsk := make([]monitordb.Sample, 0, weeks)
-	net := make([]monitordb.Sample, 0, weeks)
+	cpu, mem, dsk, net := sc.cpu[:0], sc.mem[:0], sc.dsk[:0], sc.net[:0]
 
 	// Birth marker: the machine's first heartbeat in the database,
 	// which is what the paper uses as the VM creation date.
@@ -249,14 +256,15 @@ func writeUsage(cfg Config, st *machineState, db *monitordb.DB) {
 	db.AddSeries(st.m.ID, monitordb.MetricMemUtil, mem)
 	db.AddSeries(st.m.ID, monitordb.MetricDiskUtil, dsk)
 	db.AddSeries(st.m.ID, monitordb.MetricNetKbps, net)
+	sc.cpu, sc.mem, sc.dsk, sc.net = cpu, mem, dsk, net
 }
 
 // writePlacements emits one VM's monthly placements over the observation
 // year, with rare migrations.
-func writePlacements(cfg Config, ss *systemState, st *machineState, db *monitordb.DB) {
+func writePlacements(cfg Config, ss *systemState, st *machineState, db *monitordb.DB, sc *genScratch) {
 	rng := machineRNG(cfg, streamPlacement, st.m.ID)
 	cur := ss.boxes[st.boxIdx]
-	steps := make([]monitordb.PlacementStep, 0, 13)
+	steps := sc.steps[:0]
 	for t := cfg.Observation.Start; t.Before(cfg.Observation.End); t = t.AddDate(0, 1, 0) {
 		if st.m.Created.After(t) {
 			continue
@@ -267,11 +275,12 @@ func writePlacements(cfg Config, ss *systemState, st *machineState, db *monitord
 		steps = append(steps, monitordb.PlacementStep{Host: cur.m.ID, Time: t})
 	}
 	db.SetPlacements(st.m.ID, steps)
+	sc.steps = steps
 }
 
 // writePowerEvents emits one VM's power-state transitions inside the fine
 // 15-minute window only — the paper has two months of fine-grained data.
-func writePowerEvents(cfg Config, st *machineState, db *monitordb.DB) {
+func writePowerEvents(cfg Config, st *machineState, db *monitordb.DB, sc *genScratch) {
 	if st.onOffPerMonth <= 0 {
 		return
 	}
@@ -279,7 +288,7 @@ func writePowerEvents(cfg Config, st *machineState, db *monitordb.DB) {
 	fine := cfg.FineWindow
 	months := fine.Duration().Hours() / (24 * 30)
 	cycles := rng.Poisson(st.onOffPerMonth * months)
-	events := make([]monitordb.PowerEvent, 0, 2*cycles)
+	events := sc.events[:0]
 	for i := 0; i < cycles; i++ {
 		off := fine.Start.Add(time.Duration(rng.Float64() * float64(fine.Duration())))
 		downFor := time.Duration((0.5 + 6*rng.Float64()) * float64(time.Hour))
@@ -290,6 +299,7 @@ func writePowerEvents(cfg Config, st *machineState, db *monitordb.DB) {
 		}
 	}
 	db.AddPowerEvents(st.m.ID, events)
+	sc.events = events
 }
 
 func noisy(rng *xrand.RNG, v, sd float64) float64 {

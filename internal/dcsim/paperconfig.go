@@ -238,3 +238,28 @@ func scaleDown(n, by int) int {
 	}
 	return v
 }
+
+// FleetConfig returns the ~10⁶-machine stress configuration behind the
+// BENCH_fleet baseline: the paper's five subsystems with populations
+// scaled up 106× (≈998k machines) and ticket volumes 8×, over an 8-week
+// observation window so the weekly monitoring volume (~33M samples) stays
+// within a CI container's memory budget. The calibration shapes (class
+// mixes, curves, repair models) are untouched — fleet runs exercise the
+// hot paths at fleet cardinality, they are not fidelity targets.
+func FleetConfig() Config {
+	c := PaperConfig()
+	obsStart := c.Observation.Start
+	c.Observation.End = obsStart.Add(8 * 7 * 24 * time.Hour)
+	// Fine-grained data covers the last two weeks, like the paper's two
+	// months cover the tail of its year.
+	c.FineWindow = model.Window{
+		Start: c.Observation.End.Add(-2 * 7 * 24 * time.Hour),
+		End:   c.Observation.End,
+	}
+	for i := range c.Systems {
+		c.Systems[i].PMs *= 106
+		c.Systems[i].VMs *= 106
+		c.Systems[i].AllTickets *= 8
+	}
+	return c
+}

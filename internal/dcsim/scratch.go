@@ -1,0 +1,33 @@
+package dcsim
+
+import (
+	"failscope/internal/mempool"
+	"failscope/internal/monitordb"
+)
+
+// genScratch is one worker's buffer set for the monitoring writers: the
+// four usage-series buffers plus the placement and power-event staging
+// slices. The monitordb bulk writers copy every element they accept, so
+// the buffers go straight back to the pool after each machine. One scratch
+// serves a whole par block (256 machines), so the pool traffic is per
+// block, not per machine.
+type genScratch struct {
+	cpu, mem, dsk, net []monitordb.Sample
+	steps              []monitordb.PlacementStep
+	events             []monitordb.PowerEvent
+}
+
+func (sc *genScratch) reset() *genScratch {
+	sc.cpu = sc.cpu[:0]
+	sc.mem = sc.mem[:0]
+	sc.dsk = sc.dsk[:0]
+	sc.net = sc.net[:0]
+	sc.steps = sc.steps[:0]
+	sc.events = sc.events[:0]
+	return sc
+}
+
+var scratchPool = mempool.New("dcsim.scratch", 32,
+	func() *genScratch { return &genScratch{} },
+	func(sc *genScratch) *genScratch { return sc.reset() },
+)

@@ -92,6 +92,53 @@ func growCap(need, have int) int {
 	return c
 }
 
+// reserveRows grows the row-section capacity for n more samples so a bulk
+// append lands in one backing array instead of doubling through several.
+// Capacity-only: lengths, contents and detection timing are untouched.
+func (s *colSeries) reserveRows(n int) {
+	need := len(s.rowT) + n
+	if cap(s.rowT) >= need {
+		return
+	}
+	rowT := make([]int64, len(s.rowT), need)
+	rowV := make([]float64, len(s.rowV), need)
+	copy(rowT, s.rowT)
+	copy(rowV, s.rowV)
+	s.rowT, s.rowV = rowT, rowV
+}
+
+// reserveGrid grows the value-column capacity to cover the slot of maxT if
+// it lies on the lattice, ahead of a batch of n samples. Capacity-only: the
+// gridGapSlots admission check in add reads lengths, so pre-reserving never
+// changes which samples reach the grid — it only removes the append
+// doublings on the way there. The reservation is bounded by how far n
+// accepted samples could legally extend the column (each moves the length
+// by at most gridGapSlots+1), so one far-future timestamp that add would
+// route to the rows cannot balloon the reservation either.
+func (s *colSeries) reserveGrid(maxT int64, n int) {
+	if s.stride <= 0 {
+		return
+	}
+	off := maxT - s.base
+	if off < 0 || off%s.stride != 0 {
+		return
+	}
+	need64 := off/s.stride + 1
+	if need64 <= int64(cap(s.vals)) || need64 > int64(len(s.vals))+int64(n)*(gridGapSlots+1) {
+		return
+	}
+	need := int(need64)
+	vals := make([]float64, len(s.vals), need)
+	copy(vals, s.vals)
+	s.vals = vals
+	words := (need + 63) / 64
+	if cap(s.valid) < words {
+		valid := make([]uint64, len(s.valid), words)
+		copy(valid, s.valid)
+		s.valid = valid
+	}
+}
+
 // insertRow places a sample into the sorted row section, after any existing
 // rows with the same timestamp so arrival order is preserved for ties.
 func (s *colSeries) insertRow(t int64, v float64) {
@@ -182,14 +229,21 @@ func (s *colSeries) detectGrid() {
 	ts := s.rowT
 	var stride int64
 	bestN := 0
-	deltas := make(map[int64]int)
+	// Counting runs over at most nextDetect rows, so the distinct-value
+	// tallies live in small linear-scanned pair slices on fixed stack
+	// buffers instead of maps — detection is on the bulk-write path and a
+	// map costs several bucket allocations per series. The incremental
+	// best-so-far updates are kept verbatim so tie-breaking (smallest delta
+	// among equals; first residue to reach the modal count) is unchanged.
+	var deltaBuf [detectAfterRows * 2]modeCount
+	deltas := deltaBuf[:0]
 	for i := 1; i < len(ts); i++ {
 		d := ts[i] - ts[i-1]
 		if d <= 0 {
 			continue
 		}
-		deltas[d]++
-		if n := deltas[d]; n > bestN || (n == bestN && d < stride) {
+		n := bumpMode(&deltas, d)
+		if n > bestN || (n == bestN && d < stride) {
 			stride, bestN = d, n
 		}
 	}
@@ -201,14 +255,15 @@ func (s *colSeries) detectGrid() {
 	}
 	// Modal residue class mod stride picks the lattice; the earliest row in
 	// that class anchors slot 0.
-	residues := make(map[int64]int)
+	var residueBuf [detectAfterRows * 2]modeCount
+	residues := residueBuf[:0]
 	var base int64
 	baseSet := false
 	bestR, bestRN := int64(0), 0
 	for _, t := range ts {
 		r := ((t % stride) + stride) % stride
-		residues[r]++
-		if n := residues[r]; n > bestRN {
+		n := bumpMode(&residues, r)
+		if n > bestRN {
 			bestR, bestRN = r, n
 			baseSet = false
 		}
@@ -248,6 +303,27 @@ func (s *colSeries) detectGrid() {
 		keepV = append(keepV, s.rowV[i])
 	}
 	s.rowT, s.rowV = keepT, keepV
+}
+
+// modeCount is one (value, count) tally for detectGrid's modal scans.
+type modeCount struct {
+	v int64
+	n int
+}
+
+// bumpMode increments the tally for v, appending it on first sight, and
+// returns the new count. Linear scan: the slices hold at most one entry per
+// distinct delta/residue among the buffered rows, a few dozen at worst.
+func bumpMode(m *[]modeCount, v int64) int {
+	s := *m
+	for i := range s {
+		if s[i].v == v {
+			s[i].n++
+			return s[i].n
+		}
+	}
+	*m = append(s, modeCount{v: v, n: 1})
+	return 1
 }
 
 // gridEnd returns the number of leading grid slots whose timestamp is

@@ -11,7 +11,13 @@
 // TestObservedStudyByteIdentical at the repo root).
 package obs
 
-import "runtime"
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+)
 
 // Observer bundles the tracing position (a current span under which a
 // stage records its sub-stages) with the run's metrics registry. Pipeline
@@ -134,12 +140,48 @@ func (o *Observer) RunReport() *RunReport {
 	meta.GOARCH = runtime.GOARCH
 	meta.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	meta.NumCPU = runtime.NumCPU()
+	meta.MemoryMB = totalMemoryMB()
 	return &RunReport{
 		Name:    o.root.Name(),
 		Meta:    meta,
 		Spans:   o.root.Report(),
 		Metrics: o.reg.Snapshot(),
 	}
+}
+
+var memoryOnce struct {
+	sync.Once
+	mb int
+}
+
+// totalMemoryMB reads the machine's physical memory from /proc/meminfo
+// (MemTotal, reported in KiB) and caches the answer. Returns 0 when the
+// file is missing or unparseable — e.g. off Linux — which RunMeta encodes
+// as an absent field rather than a lie.
+func totalMemoryMB() int {
+	memoryOnce.Do(func() {
+		data, err := os.ReadFile("/proc/meminfo")
+		if err != nil {
+			return
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			rest, ok := strings.CutPrefix(line, "MemTotal:")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) < 1 {
+				return
+			}
+			kb, err := strconv.ParseInt(fields[0], 10, 64)
+			if err != nil {
+				return
+			}
+			memoryOnce.mb = int(kb / 1024)
+			return
+		}
+	})
+	return memoryOnce.mb
 }
 
 // Publish exposes the run's metrics registry under the expvar name.

@@ -8,14 +8,18 @@ import (
 
 // SpanReport is the JSON form of one span.
 type SpanReport struct {
-	Name       string        `json:"name"`
-	WallMS     float64       `json:"wall_ms"`
-	BusyMS     float64       `json:"busy_ms,omitempty"`
-	MaxBusyMS  float64       `json:"max_busy_ms,omitempty"`
-	Workers    int           `json:"workers,omitempty"`
-	Items      int64         `json:"items,omitempty"`
-	Allocs     uint64        `json:"allocs,omitempty"`
-	AllocBytes uint64        `json:"alloc_bytes,omitempty"`
+	Name       string  `json:"name"`
+	WallMS     float64 `json:"wall_ms"`
+	BusyMS     float64 `json:"busy_ms,omitempty"`
+	MaxBusyMS  float64 `json:"max_busy_ms,omitempty"`
+	Workers    int     `json:"workers,omitempty"`
+	Items      int64   `json:"items,omitempty"`
+	Allocs     uint64  `json:"allocs,omitempty"`
+	AllocBytes uint64  `json:"alloc_bytes,omitempty"`
+	// GOMAXPROCS is the parallelism available when the span closed. Tools
+	// comparing wall times across reports (cmd/benchdiff) refuse spans that
+	// ran with different parallelism; 0 means the span never ended.
+	GOMAXPROCS int           `json:"gomaxprocs,omitempty"`
 	Children   []*SpanReport `json:"children,omitempty"`
 }
 
@@ -57,6 +61,12 @@ type RunMeta struct {
 	GOARCH     string `json:"goarch"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	NumCPU     int    `json:"num_cpu"`
+	// MemoryMB is the machine's total physical memory in MiB (0 when the
+	// platform offers no cheap way to read it). A comparability hint: wall
+	// times and allocation behaviour from a memory-starved machine are not
+	// commensurable with a roomy one, so benchdiff treats a large mismatch
+	// like a core-count mismatch.
+	MemoryMB int `json:"memory_mb,omitempty"`
 	// Seed, Parallelism and Config come from SetMeta — the run's knobs as
 	// the CLI resolved them (Config is a one-line summary, e.g.
 	// "scale=small classify=true").

@@ -34,6 +34,7 @@ type Span struct {
 	maxBusy  time.Duration
 	workers  int
 	items    int64
+	procs    int // GOMAXPROCS at span close (0 until End)
 	children []*Span
 	log      *Logger // optional; End emits a debug record when set
 
@@ -102,6 +103,11 @@ func (s *Span) End() {
 		return
 	}
 	s.end = time.Now()
+	// GOMAXPROCS at close time rides along in the report: span wall times
+	// are only comparable across runs that had the same parallelism
+	// available, and the setting can change mid-process (GOMAXPROCS calls,
+	// runtime defaults), so the run-level meta alone is not enough.
+	s.procs = runtime.GOMAXPROCS(0)
 	mallocs, bytes := memCounters()
 	if mallocs >= s.startMallocs {
 		s.allocs = mallocs - s.startMallocs
@@ -318,6 +324,7 @@ func (s *Span) Report() *SpanReport {
 		Items:      s.items,
 		Allocs:     s.allocs,
 		AllocBytes: s.bytes,
+		GOMAXPROCS: s.procs,
 	}
 	children := append([]*Span(nil), s.children...)
 	s.mu.Unlock()

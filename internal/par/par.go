@@ -12,8 +12,10 @@
 // model (verified with go test -race); workers communicate only through an
 // atomic work counter and a WaitGroup, and each index is visited exactly
 // once by exactly one worker. No sync.Pool is used anywhere — scratch
-// buffers are owned by their worker for the duration of a call, so there is
-// no cross-call aliasing and nothing for the GC to reclaim mid-run. A panic
+// buffers are owned by their worker for the duration of a call (callers
+// that recycle scratch across calls use internal/mempool, whose free lists
+// are deterministic and explicitly bounded, unlike sync.Pool's GC-coupled
+// emptying), so there is no cross-call aliasing within a call. A panic
 // in a worker is captured and re-raised on the calling goroutine after the
 // pool drains.
 package par

@@ -1,8 +1,8 @@
 package ticketdb
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -28,10 +28,37 @@ func (s *Store) Append(t model.Ticket) model.Ticket {
 	defer s.mu.Unlock()
 	if t.ID == "" {
 		s.nextID++
-		t.ID = fmt.Sprintf("T%07d", s.nextID)
+		t.ID = formatTicketID(s.nextID)
 	}
 	s.tickets = append(s.tickets, t)
 	return t
+}
+
+// Reserve pre-grows the store for n more tickets, so a bulk Append loop
+// lands in one backing array instead of doubling through several.
+func (s *Store) Reserve(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if free := cap(s.tickets) - len(s.tickets); free < n {
+		grown := make([]model.Ticket, len(s.tickets), len(s.tickets)+n)
+		copy(grown, s.tickets)
+		s.tickets = grown
+	}
+}
+
+// formatTicketID renders "T%07d" with a single retained allocation — the
+// assemble stage stamps every generated ticket through here, so the
+// fmt.Sprintf boxing (~2 extra allocs each) is worth avoiding.
+func formatTicketID(n int) string {
+	var digBuf [20]byte
+	digits := strconv.AppendInt(digBuf[:0], int64(n), 10)
+	var out [28]byte
+	b := append(out[:0], 'T')
+	for pad := 7 - len(digits); pad > 0; pad-- {
+		b = append(b, '0')
+	}
+	b = append(b, digits...)
+	return string(b)
 }
 
 // Len returns the number of stored tickets.

@@ -1,0 +1,17 @@
+package ticketdb
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestFormatTicketID pins the manual zero-padded renderer against the
+// fmt.Sprintf("T%07d") contract it replaced.
+func TestFormatTicketID(t *testing.T) {
+	for _, n := range []int{1, 9, 10, 999, 1234567, 9999999, 10000000, 123456789} {
+		want := fmt.Sprintf("T%07d", n)
+		if got := formatTicketID(n); got != want {
+			t.Errorf("formatTicketID(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"failscope/internal/mempool"
 	"failscope/internal/model"
 	"failscope/internal/monitordb"
 )
@@ -108,5 +109,27 @@ func TestParallelStudyByteIdentical(t *testing.T) {
 		}
 		t.Fatalf("parallelism %d diverges from the sequential reference at byte %d:\nseq: …%q…\npar: …%q…",
 			p, i, ref[lo:end(ref)], got[lo:end(got)])
+	}
+}
+
+// TestPooledStudyByteIdentical proves buffer pooling is semantics-free: the
+// full pipeline must produce byte-identical output with the mempool free
+// lists disabled (every Get a miss, every Put a drop) at every worker
+// count. Combined with TestParallelStudyByteIdentical (pooling on, the
+// default), this pins the licensing invariant of the allocation-discipline
+// work: pools may only ever change where memory comes from, never a byte
+// of what the pipeline computes.
+func TestPooledStudyByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the small study four times")
+	}
+	ref := smallStudyFingerprint(t, 1)
+
+	prev := mempool.SetEnabled(false)
+	defer mempool.SetEnabled(prev)
+	for _, p := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		if got := smallStudyFingerprint(t, p); got != ref {
+			t.Fatalf("pooling disabled at parallelism %d diverges from the pooled sequential reference", p)
+		}
 	}
 }
