@@ -3,11 +3,14 @@
 // ticket and monitoring events can be POSTed as they happen and the
 // paper's §IV statistics queried at any moment.
 //
-//	POST /v1/events    ingest a JSONL event batch (400 names the bad line)
-//	GET  /v1/report    full snapshot: counters + the streaming core.Report
-//	GET  /v1/rates     the Fig. 2 weekly failure rates only
-//	GET  /v1/fidelity  the paper-band scoreboard for the current snapshot
-//	GET  /healthz      liveness + ingestion counters
+//	POST /v1/events            ingest a JSONL event batch (400 names the bad line)
+//	GET  /v1/report            full snapshot: counters + the streaming core.Report
+//	GET  /v1/rates             the Fig. 2 weekly failure rates only
+//	GET  /v1/fidelity          the paper-band scoreboard for the current snapshot
+//	GET  /healthz              liveness + build identity + ingestion counters
+//	GET  /metrics              Prometheus text exposition of the live registry
+//	GET  /v1/metrics/history   windowed JSON over the self-monitoring ring
+//	GET  /debug/requests       bounded buffer of slow and errored requests
 //
 // Usage:
 //
@@ -58,6 +61,9 @@ func run() error {
 		replayBatch = flag.Int("replay-batch", 5000, "events per replay ingestion batch")
 		replayWire  = flag.Bool("replay-wire", false, "with -replay: push the events through the JSONL wire codec (encode once, then pooled decode + grouped ingest under decode/ingest spans) instead of applying in-process slices")
 		classify    = flag.Bool("classify", false, "with -replay: train the two-stage ticket classifier on the generated tickets and score the stream online")
+		histSize    = flag.Int("history-size", 720, "snapshots retained in the metrics history ring")
+		traceSlow   = flag.Duration("trace-slow", 100*time.Millisecond, "requests at or above this duration are kept in /debug/requests (0 keeps every request)")
+		traceBuffer = flag.Int("trace-buffer", 128, "slow/errored requests retained for /debug/requests")
 	)
 	ofl := clikit.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -89,6 +95,11 @@ func run() error {
 		return err
 	}
 	defer stopDebug()
+	if o == nil {
+		// The daemon always observes itself so /metrics and the history
+		// ring have a live registry; Emit stays silent without -v/-trace-out.
+		o = obs.NewObserver("failscoped")
+	}
 	o.SetMeta(study.Generator.Seed, *parallel,
 		fmt.Sprintf("scale=%s replay=%v speed=%g", *scale, *replay, *replaySpeed))
 
@@ -134,7 +145,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: newServer(eng, o)}
+	// -history-interval comes from the shared clikit flag set; it paces the
+	// API server's history ring here and the debug server's when set.
+	api := newServer(eng, o, serverOptions{
+		historyInterval: ofl.HistoryTick,
+		historySize:     *histSize,
+		traceSlow:       *traceSlow,
+		traceBuffer:     *traceBuffer,
+	})
+	defer api.Close()
+	srv := &http.Server{Handler: api}
 	fmt.Fprintf(os.Stderr, "failscoped: serving on http://%s/\n", l.Addr())
 
 	replayDone := make(chan error, 1)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -16,6 +17,7 @@ import (
 	"failscope/internal/model"
 	"failscope/internal/obs"
 	"failscope/internal/stream"
+	"failscope/internal/telemetry"
 	"failscope/internal/textmine"
 )
 
@@ -30,7 +32,9 @@ func testServer(t *testing.T) (*server, *stream.Engine) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(eng, obs.NewObserver("failscoped-test")), eng
+	srv := newServer(eng, obs.NewObserver("failscoped-test"), serverOptions{})
+	t.Cleanup(srv.Close)
+	return srv, eng
 }
 
 // testBatch is a tiny but complete JSONL batch: two machines, a crash
@@ -331,7 +335,8 @@ func TestReportWithClassifierSerializes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(eng, obs.NewObserver("failscoped-test"))
+	srv := newServer(eng, obs.NewObserver("failscoped-test"), serverOptions{})
+	t.Cleanup(srv.Close)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -367,5 +372,218 @@ func TestReportWithClassifierSerializes(t *testing.T) {
 				t.Fatalf("ingest: status %d", res.StatusCode)
 			}
 		}
+	}
+}
+
+// TestTelemetryEndpoints drives the live-telemetry surface: ingest good
+// and bad batches, then check /metrics is conformant and carries the RED
+// metrics (including latency quantiles and the labeled rejected-batch
+// counter), /v1/metrics/history accumulates snapshots on cadence, and
+// /debug/requests retained the errored request with its spans.
+func TestTelemetryEndpoints(t *testing.T) {
+	o := obs.NewObserver("failscoped-telemetry-test")
+	eng, err := stream.NewEngine(stream.Config{Observation: testWindow, Observer: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(eng, o, serverOptions{ // engine and server share one registry
+		historyInterval: 5 * time.Millisecond,
+		historySize:     16,
+		traceSlow:       0, // retain every request
+	})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	res, err := http.Post(ts.URL+"/v1/events", "application/jsonl", strings.NewReader(testBatch(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d", res.StatusCode)
+	}
+	if res.Header.Get("X-Trace-Id") == "" {
+		t.Error("ingest response missing X-Trace-Id")
+	}
+	res, err = http.Post(ts.URL+"/v1/events", "application/jsonl", strings.NewReader("{bad\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad ingest status = %d, want 400", res.StatusCode)
+	}
+
+	// /metrics must pass the conformance parser and carry the counters.
+	res, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := telemetry.ParseMetrics(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatalf("/metrics not conformant: %v", err)
+	}
+	if got := fams.Value("serve_events_ingested_total"); got != 5 {
+		t.Errorf("serve_events_ingested_total = %v, want 5", got)
+	}
+	if got := fams.Value("http_requests_total", "endpoint", "/v1/events"); got != 2 {
+		t.Errorf("http_requests_total{endpoint=/v1/events} = %v, want 2", got)
+	}
+	if got := fams.Value("serve_rejected_batches_total", "reason", "decode"); got != 1 {
+		t.Errorf("serve_rejected_batches_total{reason=decode} = %v, want 1", got)
+	}
+	if got := fams.Value("http_errors_total", "endpoint", "/v1/events", "code", "400"); got != 1 {
+		t.Errorf("http_errors_total = %v, want 1", got)
+	}
+	hist := fams.Get("http_request_ms")
+	if hist == nil || hist.Type != "histogram" {
+		t.Fatalf("http_request_ms family = %+v, want histogram", hist)
+	}
+	for _, q := range []string{"p50", "p95", "p99"} {
+		if v := fams.Value("http_request_ms_"+q, "endpoint", "/v1/events"); math.IsNaN(v) {
+			t.Errorf("http_request_ms_%s missing from /metrics", q)
+		}
+	}
+	if v := fams.Value("stream_watermark_unix_seconds"); math.IsNaN(v) || v <= 0 {
+		t.Errorf("stream_watermark_unix_seconds = %v, want > 0", v)
+	}
+
+	// The history ring accumulates >= 2 snapshots on its 5ms cadence.
+	deadline := time.Now().Add(5 * time.Second)
+	var snapshots int
+	for time.Now().Before(deadline) {
+		res, err = http.Get(ts.URL + "/v1/metrics/history?last=10")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hr struct {
+			Points    int              `json:"points"`
+			Snapshots []map[string]any `json:"snapshots"`
+		}
+		err = json.NewDecoder(res.Body).Decode(&hr)
+		res.Body.Close()
+		if err != nil {
+			t.Fatalf("history decode: %v", err)
+		}
+		snapshots = hr.Points
+		if snapshots >= 2 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if snapshots < 2 {
+		t.Fatalf("history holds %d snapshots, want >= 2", snapshots)
+	}
+
+	// /debug/requests retained the errored ingest with its decode span.
+	res, err = http.Get(ts.URL + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs struct {
+		Total    int64
+		Errored  int64
+		Requests []telemetry.RequestRecord
+	}
+	err = json.NewDecoder(res.Body).Decode(&reqs)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqs.Errored != 1 || len(reqs.Requests) == 0 {
+		t.Fatalf("debug/requests = %+v, want 1 errored", reqs)
+	}
+	var errored *telemetry.RequestRecord
+	for i := range reqs.Requests {
+		if reqs.Requests[i].Status == 400 {
+			errored = &reqs.Requests[i]
+		}
+	}
+	if errored == nil || errored.Error == "" {
+		t.Fatalf("errored request not retained: %+v", reqs.Requests)
+	}
+	var sawDecode bool
+	for _, sp := range errored.Spans {
+		if sp.Name == "decode" {
+			sawDecode = true
+		}
+	}
+	if !sawDecode {
+		t.Errorf("errored request missing decode span: %+v", errored.Spans)
+	}
+
+	// A good ingest carries all three pipeline spans.
+	var full *telemetry.RequestRecord
+	for i := range reqs.Requests {
+		if reqs.Requests[i].Status == 200 && reqs.Requests[i].Endpoint == "/v1/events" {
+			full = &reqs.Requests[i]
+		}
+	}
+	if full == nil {
+		t.Fatal("successful ingest not retained with traceSlow=0")
+	}
+	want := map[string]bool{"decode": false, "group-commit": false, "engine-apply": false}
+	for _, sp := range full.Spans {
+		if _, ok := want[sp.Name]; ok {
+			want[sp.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("ingest trace missing %s span: %+v", name, full.Spans)
+		}
+	}
+	if full.Items != 5 {
+		t.Errorf("ingest trace items = %d, want 5", full.Items)
+	}
+}
+
+// TestHealthzEnrichment: the liveness probe carries build identity, uptime
+// and ingestion counters alongside the engine counters.
+func TestHealthzEnrichment(t *testing.T) {
+	srv, _ := testServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	res, err := http.Post(ts.URL+"/v1/events", "application/jsonl", strings.NewReader(testBatch(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+
+	res, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status         string            `json:"status"`
+		Build          map[string]string `json:"build"`
+		UptimeSeconds  float64           `json:"uptime_seconds"`
+		Events         int64             `json:"events"`
+		EventsIngested int64             `json:"events_ingested"`
+		Requests       int64             `json:"requests"`
+		Watermark      time.Time         `json:"watermark"`
+	}
+	err = json.NewDecoder(res.Body).Decode(&health)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Events != 5 || health.EventsIngested != 5 {
+		t.Fatalf("healthz = %+v", health)
+	}
+	if health.Build["go"] == "" {
+		t.Errorf("healthz build info missing go version: %+v", health.Build)
+	}
+	if health.UptimeSeconds <= 0 {
+		t.Errorf("uptime_seconds = %v, want > 0", health.UptimeSeconds)
+	}
+	if health.Requests < 2 {
+		t.Errorf("requests = %d, want >= 2", health.Requests)
+	}
+	if health.Watermark.IsZero() {
+		t.Errorf("watermark missing from healthz")
 	}
 }

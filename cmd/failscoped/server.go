@@ -4,31 +4,84 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime/debug"
+	"sync"
 	"time"
 
+	"failscope/internal/mempool"
 	"failscope/internal/obs"
 	"failscope/internal/stream"
+	"failscope/internal/telemetry"
 )
 
-// server is the failscoped HTTP surface: an ingestion endpoint feeding the
-// streaming engine plus query endpoints that snapshot it. The handler owns
-// no state beyond the engine and the observer, so the httptest suite can
-// exercise it without a listener.
-type server struct {
-	eng *stream.Engine
-	obs *obs.Observer
-	mux *http.ServeMux
+// metricHelp maps the daemon's registry names to their /metrics HELP text.
+var metricHelp = map[string]string{
+	"serve.requests":                "HTTP requests accepted by the daemon, any endpoint",
+	"serve.events_ingested":         "events applied to the streaming engine via /v1/events",
+	"serve.batch_events":            "events per ingested batch",
+	"serve.rejected_batches":        "POST /v1/events batches rejected with a 400, by reason",
+	"serve.request_errors":          "requests answered with an error status",
+	"http.requests":                 "requests completed, by endpoint",
+	"http.errors":                   "requests answered >= 400, by endpoint and status code",
+	"http.request_ms":               "request latency in milliseconds, by endpoint",
+	"stream.events":                 "events applied by the streaming engine",
+	"stream.apply_ms":               "engine batch-apply latency in milliseconds",
+	"stream.watermark_unix_seconds": "engine event-time watermark as a unix timestamp",
 }
 
-func newServer(eng *stream.Engine, o *obs.Observer) *server {
-	s := &server{eng: eng, obs: o, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/v1/events", s.handleEvents)
-	s.mux.HandleFunc("/v1/report", s.handleReport)
-	s.mux.HandleFunc("/v1/rates", s.handleRates)
-	s.mux.HandleFunc("/v1/fidelity", s.handleFidelity)
-	s.mux.HandleFunc("/healthz", s.handleHealth)
+// serverOptions sizes the telemetry attached to the HTTP surface. The zero
+// value is usable: NewTracer and NewHistory apply their own defaults.
+type serverOptions struct {
+	historyInterval time.Duration // self-monitoring snapshot cadence
+	historySize     int           // history ring capacity (snapshots)
+	traceSlow       time.Duration // slow-request retention threshold (0 = keep all)
+	traceBuffer     int           // slow/errored request ring capacity
+}
+
+// server is the failscoped HTTP surface: an ingestion endpoint feeding the
+// streaming engine plus query endpoints that snapshot it, and the
+// telemetry surface (/metrics, /v1/metrics/history, /debug/requests)
+// observing both. The handler owns no state beyond the engine, the
+// observer and the telemetry rings, so the httptest suite can exercise it
+// without a listener.
+type server struct {
+	eng     *stream.Engine
+	obs     *obs.Observer
+	mux     *http.ServeMux
+	tracer  *telemetry.Tracer
+	history *telemetry.History
+	started time.Time
+
+	closeOnce sync.Once
+}
+
+func newServer(eng *stream.Engine, o *obs.Observer, opts serverOptions) *server {
+	// The telemetry surface needs a live registry even when the user asked
+	// for no observer output, so the daemon always observes itself.
+	if o == nil {
+		o = obs.NewObserver("failscoped")
+	}
+	s := &server{eng: eng, obs: o, mux: http.NewServeMux(), started: time.Now()}
+	s.tracer = telemetry.NewTracer(o.Metrics(), opts.traceBuffer, opts.traceSlow)
+	s.history = telemetry.NewHistory(o.Metrics().Snapshot, opts.historyInterval, opts.historySize)
+	s.history.Start()
+
+	handle := func(pattern string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, s.tracer.Wrap(pattern, h))
+	}
+	handle("/v1/events", s.handleEvents)
+	handle("/v1/report", s.handleReport)
+	handle("/v1/rates", s.handleRates)
+	handle("/v1/fidelity", s.handleFidelity)
+	handle("/healthz", s.handleHealth)
+	handle("/metrics", s.handleMetrics)
+	handle("/v1/metrics/history", s.history.Handler().ServeHTTP)
+	handle("/debug/requests", s.tracer.Handler().ServeHTTP)
 	return s
 }
+
+// Close stops the history sampler. Idempotent.
+func (s *server) Close() { s.closeOnce.Do(s.history.Stop) }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.obs.Metrics().Add("serve.requests", 1)
@@ -44,8 +97,9 @@ func (s *server) writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-func (s *server) fail(w http.ResponseWriter, code int, err error) {
+func (s *server) fail(w http.ResponseWriter, r *http.Request, code int, err error) {
 	s.obs.Metrics().Add("serve.request_errors", 1)
+	telemetry.ActiveFrom(r.Context()).SetError(err.Error())
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
@@ -55,23 +109,35 @@ func (s *server) fail(w http.ResponseWriter, code int, err error) {
 // whose error names the offending line; nothing from a bad batch is
 // applied. The body decodes into a pooled zero-copy batch and commits
 // through the engine's group-commit path, so concurrent posts share one
-// engine-lock acquisition per group instead of contending per batch.
+// engine-lock acquisition per group instead of contending per batch. The
+// request trace carries a span per stage — decode, group-commit (queueing
+// plus apply), engine-apply (this batch's own time under the engine lock).
 func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		s.fail(w, r, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
 	}
+	a := telemetry.ActiveFrom(r.Context())
 	b := stream.GetBatch()
 	defer b.Release()
+	endDecode := a.StartSpan("decode")
 	n, err := b.DecodeJSONLInto(r.Body)
+	endDecode()
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.obs.Metrics().Add(telemetry.Labeled("serve.rejected_batches", "reason", "decode"), 1)
+		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.eng.ApplyGrouped(b.Events); err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+	a.SetItems(n)
+	endCommit := a.StartSpan("group-commit")
+	applied, err := s.eng.ApplyGroupedTimed(b.Events)
+	endCommit()
+	if err != nil {
+		s.obs.Metrics().Add(telemetry.Labeled("serve.rejected_batches", "reason", "apply"), 1)
+		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
+	a.AddSpan("engine-apply", applied)
 	s.obs.Metrics().Add("serve.events_ingested", int64(n))
 	s.obs.Metrics().Histogram("serve.batch_events", 10, 100, 1000, 10000, 100000).Observe(float64(n))
 	s.writeJSON(w, map[string]int{"applied": n})
@@ -79,7 +145,7 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		s.fail(w, r, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
 		return
 	}
 	s.writeJSON(w, s.eng.Snapshot())
@@ -89,7 +155,7 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 // polling endpoint for dashboards.
 func (s *server) handleRates(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		s.fail(w, r, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
 		return
 	}
 	snap := s.eng.Snapshot()
@@ -102,20 +168,60 @@ func (s *server) handleRates(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleFidelity(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		s.fail(w, r, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
 		return
 	}
 	s.writeJSON(w, s.eng.Snapshot().Fidelity())
 }
 
+// handleMetrics serves the observer registry (plus Go runtime gauges) in
+// the Prometheus text exposition format. Buffer-pool hit/miss gauges are
+// refreshed first so every scrape carries the live reuse picture.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, r, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	mempool.Publish(s.obs.Metrics())
+	telemetry.Handler(s.obs.Metrics(), metricHelp).ServeHTTP(w, r)
+}
+
+// buildVersion reads the module and VCS stamp out of the binary once.
+var buildVersion = sync.OnceValue(func() map[string]string {
+	out := map[string]string{}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out["go"] = bi.GoVersion
+	if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		out["version"] = bi.Main.Version
+	}
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			out["revision"] = kv.Value
+		case "vcs.time":
+			out["build_time"] = kv.Value
+		}
+	}
+	return out
+})
+
+// handleHealth is the liveness probe, enriched with build identity, uptime
+// and the ingestion counters a fleet health checker wants in one read.
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	snap := s.eng.Snapshot()
 	s.writeJSON(w, map[string]any{
-		"status":    "ok",
-		"time":      time.Now().UTC().Format(time.RFC3339),
-		"events":    snap.Events,
-		"tickets":   snap.Tickets,
-		"machines":  snap.Machines,
-		"watermark": snap.Watermark,
+		"status":          "ok",
+		"time":            time.Now().UTC().Format(time.RFC3339),
+		"build":           buildVersion(),
+		"uptime_seconds":  time.Since(s.started).Seconds(),
+		"events":          snap.Events,
+		"events_ingested": s.obs.Metrics().Counter("serve.events_ingested").Value(),
+		"requests":        s.obs.Metrics().Counter("serve.requests").Value(),
+		"tickets":         snap.Tickets,
+		"machines":        snap.Machines,
+		"watermark":       snap.Watermark,
 	})
 }

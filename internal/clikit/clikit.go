@@ -12,21 +12,28 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"failscope/internal/mempool"
 	"failscope/internal/obs"
+	"failscope/internal/telemetry"
 )
 
 // Flags is the shared observability flag set. Register it with AddFlags
 // before flag.Parse.
 type Flags struct {
-	Verbose    bool
-	TraceOut   string
-	DebugAddr  string
-	LogLevel   string
-	LogFormat  string
-	CPUProfile string
-	MemProfile string
+	Verbose     bool
+	TraceOut    string
+	DebugAddr   string
+	LogLevel    string
+	LogFormat   string
+	CPUProfile  string
+	MemProfile  string
+	HistoryTick time.Duration
+
+	// DebugBound is the address the -debug-addr server actually bound
+	// (useful when the flag asked for an ephemeral port). Set by Observer.
+	DebugBound string
 }
 
 // AddFlags registers the shared observability flags on fs.
@@ -39,6 +46,7 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.LogFormat, "log-format", obs.FormatText, "structured log format: text or json")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile for the whole run to this file")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile (after a final GC) to this file at shutdown")
+	fs.DurationVar(&f.HistoryTick, "history-interval", 5*time.Second, "with -debug-addr: snapshot cadence for /v1/metrics/history")
 	return f
 }
 
@@ -74,14 +82,25 @@ func (f *Flags) Observer(cmd string) (*obs.Observer, func(), error) {
 	}
 	shutdown := stopProfiles
 	if f.DebugAddr != "" {
-		bound, stop, err := obs.ServeDebug(f.DebugAddr)
+		// The debug server carries the live-telemetry surface too: the
+		// Prometheus exposition of the observer registry and the
+		// self-monitoring history ring, sampled on -history-interval.
+		hist := telemetry.NewHistory(o.Metrics().Snapshot, f.HistoryTick, 0)
+		hist.Start()
+		bound, stop, err := obs.ServeDebug(f.DebugAddr,
+			obs.Route{Pattern: "/metrics", Handler: telemetry.Handler(o.Metrics(), nil)},
+			obs.Route{Pattern: "/v1/metrics/history", Handler: hist.Handler()},
+		)
 		if err != nil {
+			hist.Stop()
 			return nil, shutdown, err
 		}
 		shutdown = func() {
 			stop()
+			hist.Stop()
 			stopProfiles()
 		}
+		f.DebugBound = bound
 		o.Publish("failscope")
 		fmt.Fprintf(os.Stderr, "%s: debug server on http://%s/debug/pprof/\n", cmd, bound)
 	}

@@ -1,0 +1,79 @@
+package clikit
+
+import (
+	"flag"
+	"math"
+	"net/http"
+	"testing"
+	"time"
+
+	"failscope/internal/telemetry"
+)
+
+// TestDebugServerServesTelemetry: with -debug-addr set, the shared debug
+// server carries /metrics (conformant Prometheus exposition of the
+// observer registry) and /v1/metrics/history (the self-monitoring ring on
+// the -history-interval cadence) alongside pprof.
+func TestDebugServerServesTelemetry(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := AddFlags(fs)
+	if err := fs.Parse([]string{"-debug-addr", "127.0.0.1:0", "-history-interval", "5ms"}); err != nil {
+		t.Fatal(err)
+	}
+
+	o, shutdown, err := f.Observer("clikit-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	if o == nil || f.DebugBound == "" {
+		t.Fatalf("observer %v bound %q, want live observer and address", o, f.DebugBound)
+	}
+	o.Metrics().Add("study.runs", 3)
+
+	res, err := http.Get("http://" + f.DebugBound + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := telemetry.ParseMetrics(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatalf("/metrics not conformant: %v", err)
+	}
+	if got := fams.Value("study_runs_total"); got != 3 {
+		t.Errorf("study_runs_total = %v, want 3", got)
+	}
+	if v := fams.Value("go_goroutines"); math.IsNaN(v) || v <= 0 {
+		t.Errorf("go_goroutines = %v, want > 0", v)
+	}
+
+	// The history sampler records on its 5ms cadence.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		res, err := http.Get("http://" + f.DebugBound + "/v1/metrics/history")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf [1 << 16]byte
+		n, _ := res.Body.Read(buf[:])
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("/v1/metrics/history status = %d", res.StatusCode)
+		}
+		if countOccurrences(string(buf[:n]), `"time"`) >= 2 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("history never accumulated 2 snapshots")
+}
+
+func countOccurrences(s, sub string) int {
+	n := 0
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			n++
+		}
+	}
+	return n
+}

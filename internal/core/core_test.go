@@ -9,7 +9,7 @@ import (
 )
 
 var (
-	t0  = time.Date(2012, 7, 1, 0, 0, 0, 0, time.UTC)
+	t0     = time.Date(2012, 7, 1, 0, 0, 0, 0, time.UTC)
 	obsWin = model.Window{Start: t0, End: t0.AddDate(1, 0, 0)} // 52+ weeks
 )
 

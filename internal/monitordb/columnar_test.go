@@ -105,10 +105,10 @@ func checkAgainstRef(t *testing.T, db *DB, ref *refStore, id model.MachineID) {
 	if s := ref.samples(full); len(s) > 0 {
 		first, last := s[0].Time, s[len(s)-1].Time
 		windows = append(windows,
-			model.Window{Start: first, End: last},                     // excludes the last sample
-			model.Window{Start: first, End: last.Add(1)},              // includes it
-			model.Window{Start: first.Add(1), End: last.Add(1)},       // excludes the first
-			model.Window{Start: first.Add(-time.Hour), End: first},    // empty: ends at first
+			model.Window{Start: first, End: last},                      // excludes the last sample
+			model.Window{Start: first, End: last.Add(1)},               // includes it
+			model.Window{Start: first.Add(1), End: last.Add(1)},        // excludes the first
+			model.Window{Start: first.Add(-time.Hour), End: first},     // empty: ends at first
 			model.Window{Start: last.Add(1), End: last.Add(time.Hour)}, // past the end
 			model.Window{ // interior span with grid-aligned edges
 				Start: first.Add(15 * time.Minute),

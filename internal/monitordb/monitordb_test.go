@@ -10,8 +10,8 @@ import (
 )
 
 var (
-	epoch = time.Date(2011, 7, 1, 0, 0, 0, 0, time.UTC)
-	obsWin   = model.Window{
+	epoch  = time.Date(2011, 7, 1, 0, 0, 0, 0, time.UTC)
+	obsWin = model.Window{
 		Start: time.Date(2012, 7, 1, 0, 0, 0, 0, time.UTC),
 		End:   time.Date(2013, 7, 1, 0, 0, 0, 0, time.UTC),
 	}

@@ -9,18 +9,33 @@ import (
 	"time"
 )
 
+// Route is an extra handler mounted on the debug server — the hook that
+// lets higher layers (which obs cannot import without a cycle) attach
+// endpoints like the Prometheus exposition or the metrics-history window
+// to every -debug-addr listener.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // ServeDebug starts the opt-in profiling endpoint on addr (e.g.
 // "localhost:6060", or ":0" to pick a free port): net/http/pprof under
-// /debug/pprof/ and expvar under /debug/vars, on a private mux so
-// importing this package never pollutes http.DefaultServeMux routing.
-// It returns the bound address and a shutdown function; the server runs
-// until the process exits or close is called.
-func ServeDebug(addr string) (boundAddr string, close func(), err error) {
+// /debug/pprof/ and expvar under /debug/vars, plus any extra routes, on a
+// private mux so importing this package never pollutes
+// http.DefaultServeMux routing. It returns the bound address and a
+// shutdown function; the server runs until the process exits or close is
+// called.
+func ServeDebug(addr string, extra ...Route) (boundAddr string, close func(), err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("obs: listen debug addr %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
+	for _, rt := range extra {
+		if rt.Pattern != "" && rt.Handler != nil {
+			mux.Handle(rt.Pattern, rt.Handler)
+		}
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -118,6 +118,26 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.n)
 }
 
+// export copies the histogram's typed state for exposition encoders. A
+// histogram that never observed a sample returns nil, mirroring snapshot's
+// empty-histogram suppression.
+func (h *Histogram) export() *HistogramData {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return nil
+	}
+	return &HistogramData{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]int64(nil), h.counts...),
+		Count:  h.n,
+		Sum:    h.sum,
+		P50:    h.q.Query(0.5),
+		P95:    h.q.Query(0.95),
+		P99:    h.q.Query(0.99),
+	}
+}
+
 // snapshot flattens the histogram into metric entries under its name. A
 // histogram that never observed a sample emits nothing: zero-valued
 // count/sum/bucket/quantile entries would only pollute RunReport diffs.
@@ -233,6 +253,61 @@ func (r *Registry) Snapshot() map[string]float64 {
 	for name, h := range r.hists {
 		h.snapshot(name, out)
 	}
+	return out
+}
+
+// MetricKind distinguishes the registry's three metric shapes in Export.
+type MetricKind int
+
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
+)
+
+// HistogramData is a histogram's typed export: per-bucket (non-cumulative)
+// counts aligned with the sorted upper Bounds plus one overflow bucket,
+// exact Count/Sum, and the sketch-backed quantile estimates.
+type HistogramData struct {
+	Bounds        []float64 // sorted upper bounds; Counts has len(Bounds)+1
+	Counts        []int64
+	Count         int64
+	Sum           float64
+	P50, P95, P99 float64
+}
+
+// Metric is one registry entry in typed form. Value carries the counter or
+// gauge reading; Hist is set only for KindHistogram.
+type Metric struct {
+	Name  string
+	Kind  MetricKind
+	Value float64
+	Hist  *HistogramData
+}
+
+// Export returns every metric in typed form, sorted by name — the feed for
+// exposition encoders that need bucket structure the flat Snapshot loses.
+// Histograms that never observed a sample are suppressed, matching
+// Snapshot. Nil slice on a nil registry.
+func (r *Registry) Export() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Kind: KindCounter, Value: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{Name: name, Kind: KindGauge, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		if hd := h.export(); hd != nil {
+			out = append(out, Metric{Name: name, Kind: KindHistogram, Hist: hd})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 

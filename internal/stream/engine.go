@@ -215,12 +215,7 @@ func (e *Engine) Apply(events []Event) error {
 		}
 	}
 	e.advanceLocked()
-	m := e.cfg.Observer.Metrics()
-	m.Set("stream.events", float64(e.events))
-	m.Set("stream.tickets", float64(e.tickets))
-	m.Set("stream.crash_tickets", float64(e.crashTickets))
-	m.Set("stream.predict_distances", float64(e.predScratch.Distances))
-	m.Set("stream.predict_distances_pruned", float64(e.predScratch.Pruned))
+	e.flushMetricsLocked(e.cfg.Observer.Metrics())
 	return nil
 }
 
@@ -241,16 +236,24 @@ func (e *Engine) ApplyJSONL(r io.Reader) (int, error) {
 	return n, nil
 }
 
-// applyReq is one caller's batch waiting in the group-commit queue.
+// applyReq is one caller's batch waiting in the group-commit queue. The
+// leader records how long the engine spent inside applyBatchLocked for the
+// batch (applied) so the request's trace can show engine time separately
+// from queue wait.
 type applyReq struct {
-	events []Event
-	done   chan error
+	events  []Event
+	applied time.Duration
+	done    chan error
 }
 
 var applyReqPool = mempool.New("stream.applyreq", 64,
 	func() *applyReq { return &applyReq{done: make(chan error, 1)} },
-	func(r *applyReq) *applyReq { r.events = nil; return r },
+	func(r *applyReq) *applyReq { r.events = nil; r.applied = 0; return r },
 )
+
+// applyBucketsMS are the engine-apply latency histogram bounds, in
+// milliseconds.
+var applyBucketsMS = []float64{0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000}
 
 // applyBatchLocked applies one batch under e.mu with Apply's exact event
 // semantics and error format.
@@ -272,6 +275,17 @@ func (e *Engine) applyBatchLocked(events []Event) error {
 // caller it degenerates to Apply. Statistics are identical either way —
 // applyLocked runs per event in arrival order regardless of grouping.
 func (e *Engine) ApplyGrouped(events []Event) error {
+	_, err := e.ApplyGroupedTimed(events)
+	return err
+}
+
+// ApplyGroupedTimed is ApplyGrouped returning, in addition, the wall time
+// the engine spent inside applyBatchLocked for this caller's batch —
+// engine-apply cost with the group-commit queue wait excluded, the third
+// leg of the request trace's decode → group-commit → engine-apply span
+// chain. The timing feeds metrics and traces only; statistics are
+// untouched.
+func (e *Engine) ApplyGroupedTimed(events []Event) (time.Duration, error) {
 	req := applyReqPool.Get()
 	e.qmu.Lock()
 	if e.leading {
@@ -279,15 +293,21 @@ func (e *Engine) ApplyGrouped(events []Event) error {
 		e.queue = append(e.queue, req)
 		e.qmu.Unlock()
 		err := <-req.done
+		applied := req.applied
 		applyReqPool.Put(req)
-		return err
+		return applied, err
 	}
 	e.leading = true
 	e.qmu.Unlock()
 	applyReqPool.Put(req) // the leader never parks, it doesn't need one
 
+	m := e.cfg.Observer.Metrics()
+	applyHist := m.Histogram("stream.apply_ms", applyBucketsMS...)
 	e.mu.Lock()
+	t0 := time.Now()
 	err := e.applyBatchLocked(events)
+	own := time.Since(t0)
+	applyHist.Observe(float64(own) / float64(time.Millisecond))
 	batches := 1
 	for {
 		e.qmu.Lock()
@@ -302,21 +322,37 @@ func (e *Engine) ApplyGrouped(events []Event) error {
 		}
 		e.qmu.Unlock()
 		for _, r := range pending {
-			r.done <- e.applyBatchLocked(r.events)
+			t0 = time.Now()
+			rerr := e.applyBatchLocked(r.events)
+			r.applied = time.Since(t0)
+			applyHist.Observe(float64(r.applied) / float64(time.Millisecond))
+			r.done <- rerr
 			batches++
 		}
 	}
 	e.advanceLocked()
-	m := e.cfg.Observer.Metrics()
-	m.Set("stream.events", float64(e.events))
-	m.Set("stream.tickets", float64(e.tickets))
-	m.Set("stream.crash_tickets", float64(e.crashTickets))
-	m.Set("stream.predict_distances", float64(e.predScratch.Distances))
-	m.Set("stream.predict_distances_pruned", float64(e.predScratch.Pruned))
+	e.flushMetricsLocked(m)
 	m.Add("stream.apply_groups", 1)
 	m.Add("stream.apply_grouped_batches", int64(batches))
 	e.mu.Unlock()
-	return err
+	return own, err
+}
+
+// flushMetricsLocked publishes the engine's headline gauges. Called under
+// e.mu after every apply/advance; pure observation.
+func (e *Engine) flushMetricsLocked(m *obs.Registry) {
+	m.Set("stream.events", float64(e.events))
+	m.Set("stream.tickets", float64(e.tickets))
+	m.Set("stream.crash_tickets", float64(e.crashTickets))
+	m.Set("stream.machines", float64(len(e.machines)))
+	m.Set("stream.incidents", float64(e.incidents))
+	m.Set("stream.monitor_samples", float64(e.monitorSamples))
+	m.Set("stream.dropped_out_of_window", float64(e.droppedOutOfWindow))
+	m.Set("stream.predict_distances", float64(e.predScratch.Distances))
+	m.Set("stream.predict_distances_pruned", float64(e.predScratch.Pruned))
+	if !e.watermark.IsZero() {
+		m.Set("stream.watermark_unix_seconds", float64(e.watermark.UnixNano())/1e9)
+	}
 }
 
 // monitorAdvanceStep is how far ahead of a record's timestamp the engine

@@ -28,7 +28,7 @@ type Snapshot struct {
 	MonitorSamples     int64     `json:"monitorSamples"`
 	Watermark          time.Time `json:"watermark"`
 
-	Report     *core.Report            `json:"report"`
+	Report     *core.Report             `json:"report"`
 	Classifier *ingest.ClassifierReport `json:"classifier,omitempty"`
 }
 

@@ -1,0 +1,437 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Series is one parsed sample: the full sample name (family name plus any
+// _bucket/_sum/_count suffix), its label set and the value.
+type Series struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Label returns the value of the named label ("" when absent).
+func (s *Series) Label(name string) string {
+	for _, l := range s.Labels {
+		if l.Name == name {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// Family is one parsed metric family: its TYPE, HELP and every sample that
+// belongs to it.
+type Family struct {
+	Name   string
+	Type   string
+	Help   string
+	Series []Series
+}
+
+// Gauge returns the value of the family's series matching the given label
+// pairs exactly as a subset (kv alternates name, value). NaN when no
+// series matches.
+func (f *Family) Gauge(kv ...string) float64 {
+	for i := range f.Series {
+		s := &f.Series[i]
+		ok := true
+		for j := 0; j+1 < len(kv); j += 2 {
+			if s.Label(kv[j]) != kv[j+1] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s.Value
+		}
+	}
+	return math.NaN()
+}
+
+// Families is a parsed exposition page with name-indexed lookup.
+type Families map[string]*Family
+
+// Get returns the named family (nil when absent).
+func (fs Families) Get(name string) *Family { return fs[name] }
+
+// Value returns the first sample value of the named family whose labels
+// match the given pairs (see Family.Gauge). NaN when the family or series
+// is absent.
+func (fs Families) Value(name string, kv ...string) float64 {
+	f := fs[name]
+	if f == nil {
+		return math.NaN()
+	}
+	return f.Gauge(kv...)
+}
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+// ParseMetrics parses and validates a Prometheus text-exposition page.
+// Beyond syntax, it enforces the conformance rules the test suite and the
+// CI scrape-smoke lean on:
+//
+//   - metric and label names match the exposition identifier grammar
+//   - a family's TYPE line precedes its samples and appears exactly once
+//   - no duplicate series (same sample name and label set)
+//   - counters are finite and non-negative
+//   - histogram buckets are cumulative (non-decreasing in le order), the
+//     +Inf bucket exists and equals _count
+func ParseMetrics(r io.Reader) (Families, error) {
+	fams := Families{}
+	typed := map[string]string{}
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if err := parseComment(text, fams, typed, lineNo); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if !validMetricName(name) {
+			return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+		}
+		for _, l := range labels {
+			if !validLabelName(l.Name) {
+				return nil, fmt.Errorf("line %d: invalid label name %q", lineNo, l.Name)
+			}
+		}
+		famName := familyOf(name, typed)
+		fam := fams[famName]
+		if fam == nil {
+			// Samples without a preceding TYPE are allowed by the format
+			// (untyped), but our encoder always types its families.
+			fam = &Family{Name: famName, Type: "untyped"}
+			fams[famName] = fam
+		}
+		key := name + labelString(labels)
+		if seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+		if fam.Type == "counter" && (math.IsNaN(value) || value < 0) {
+			return nil, fmt.Errorf("line %d: counter %s has non-monotonic value %v", lineNo, name, value)
+		}
+		fam.Series = append(fam.Series, Series{Name: name, Labels: labels, Value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, fam := range fams {
+		if fam.Type == "histogram" {
+			if err := validateHistogram(fam); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// parseComment handles # HELP and # TYPE lines (other comments are
+// ignored, per the format).
+func parseComment(text string, fams Families, typed map[string]string, lineNo int) error {
+	fields := strings.SplitN(text, " ", 4)
+	if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return nil // free-form comment
+	}
+	name := fields[2]
+	if !validMetricName(name) {
+		return fmt.Errorf("line %d: invalid family name %q in %s", lineNo, name, fields[1])
+	}
+	rest := ""
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	switch fields[1] {
+	case "HELP":
+		fam := fams[name]
+		if fam == nil {
+			fam = &Family{Name: name, Type: "untyped"}
+			fams[name] = fam
+		}
+		fam.Help = unescapeHelp(rest)
+	case "TYPE":
+		if !validTypes[rest] {
+			return fmt.Errorf("line %d: unknown TYPE %q for %s", lineNo, rest, name)
+		}
+		if prev, dup := typed[name]; dup {
+			return fmt.Errorf("line %d: duplicate TYPE for %s (already %s)", lineNo, name, prev)
+		}
+		typed[name] = rest
+		fam := fams[name]
+		if fam == nil {
+			fam = &Family{Name: name}
+			fams[name] = fam
+		}
+		if len(fam.Series) > 0 {
+			return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+		}
+		fam.Type = rest
+	}
+	return nil
+}
+
+// familyOf maps a sample name to its family: histogram (and summary)
+// samples use the _bucket/_sum/_count suffixes of a typed family name.
+func familyOf(name string, typed map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if t, ok := typed[base]; ok && (t == "histogram" || t == "summary") {
+			return base
+		}
+	}
+	return name
+}
+
+// parseSample splits "name{labels} value [timestamp]".
+func parseSample(text string) (name string, labels []Label, value float64, err error) {
+	rest := text
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		rest = rest[i+1:]
+		labels, rest, err = parseLabels(rest)
+		if err != nil {
+			return "", nil, 0, err
+		}
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("sample %q has no value", text)
+		}
+		name = rest[:sp]
+		rest = rest[sp:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("sample %q: want value [timestamp], got %q", text, rest)
+	}
+	value, err = parseValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("sample %q: bad value: %w", text, err)
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", nil, 0, fmt.Errorf("sample %q: bad timestamp %q", text, fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels consumes a label body up to and including the closing brace,
+// returning the remainder of the line.
+func parseLabels(body string) ([]Label, string, error) {
+	var labels []Label
+	for {
+		body = strings.TrimLeft(body, " \t")
+		if strings.HasPrefix(body, "}") {
+			return labels, body[1:], nil
+		}
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '=' near %q", body)
+		}
+		lname := strings.TrimSpace(body[:eq])
+		body = body[eq+1:]
+		if !strings.HasPrefix(body, `"`) {
+			return nil, "", fmt.Errorf("label %s value is not quoted", lname)
+		}
+		body = body[1:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(body); i++ {
+			c := body[i]
+			if c == '\\' {
+				if i+1 >= len(body) {
+					return nil, "", fmt.Errorf("label %s: dangling escape", lname)
+				}
+				switch body[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("label %s: invalid escape \\%c", lname, body[i+1])
+				}
+				i++
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(body) {
+			return nil, "", fmt.Errorf("label %s: unterminated value", lname)
+		}
+		labels = append(labels, Label{Name: lname, Value: val.String()})
+		body = body[i+1:]
+		body = strings.TrimLeft(body, " \t")
+		if strings.HasPrefix(body, ",") {
+			body = body[1:]
+			continue
+		}
+		if strings.HasPrefix(body, "}") {
+			return labels, body[1:], nil
+		}
+		return nil, "", fmt.Errorf("expected ',' or '}' near %q", body)
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func unescapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	return strings.ReplaceAll(s, `\\`, `\`)
+}
+
+// validateHistogram checks each label set's bucket ladder: cumulative
+// counts non-decreasing in ascending le order, +Inf present, and equal to
+// the _count sample for the same label set.
+func validateHistogram(fam *Family) error {
+	type group struct {
+		les    []float64
+		counts []float64
+		inf    float64
+		hasInf bool
+		count  float64
+		hasCnt bool
+	}
+	groups := map[string]*group{}
+	keyOf := func(s *Series) string {
+		kvs := make([]string, 0, len(s.Labels))
+		for _, l := range s.Labels {
+			if l.Name == "le" {
+				continue
+			}
+			kvs = append(kvs, l.Name+"="+l.Value)
+		}
+		sort.Strings(kvs)
+		return strings.Join(kvs, ",")
+	}
+	for i := range fam.Series {
+		s := &fam.Series[i]
+		g := groups[keyOf(s)]
+		if g == nil {
+			g = &group{}
+			groups[keyOf(s)] = g
+		}
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			le := s.Label("le")
+			if le == "+Inf" {
+				g.inf, g.hasInf = s.Value, true
+				continue
+			}
+			v, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("histogram %s: bad le %q", fam.Name, le)
+			}
+			g.les = append(g.les, v)
+			g.counts = append(g.counts, s.Value)
+		case strings.HasSuffix(s.Name, "_count"):
+			g.count, g.hasCnt = s.Value, true
+		}
+	}
+	for key, g := range groups {
+		if !g.hasInf {
+			return fmt.Errorf("histogram %s{%s}: missing +Inf bucket", fam.Name, key)
+		}
+		if !g.hasCnt {
+			return fmt.Errorf("histogram %s{%s}: missing _count", fam.Name, key)
+		}
+		if g.inf != g.count {
+			return fmt.Errorf("histogram %s{%s}: +Inf bucket %v != count %v", fam.Name, key, g.inf, g.count)
+		}
+		order := make([]int, len(g.les))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return g.les[order[a]] < g.les[order[b]] })
+		prev := math.Inf(-1)
+		prevCount := 0.0
+		for _, i := range order {
+			if g.les[i] == prev {
+				return fmt.Errorf("histogram %s{%s}: duplicate le %v", fam.Name, key, prev)
+			}
+			prev = g.les[i]
+			if g.counts[i] < prevCount {
+				return fmt.Errorf("histogram %s{%s}: bucket le=%v count %v below previous %v (not cumulative)",
+					fam.Name, key, g.les[i], g.counts[i], prevCount)
+			}
+			prevCount = g.counts[i]
+		}
+		if g.inf < prevCount {
+			return fmt.Errorf("histogram %s{%s}: +Inf bucket %v below last bucket %v", fam.Name, key, g.inf, prevCount)
+		}
+	}
+	return nil
+}

@@ -121,13 +121,13 @@ func TestAppendTokensMatchesTokenize(t *testing.T) {
 		"a",
 		"Disk DISK disk",
 		"RAID-5 controller failed; replaced the array at 03:15!",
-		"the a an and of is",                     // all stopwords
-		"x1 Y2 zz ... __ 42 a1b2c3",              // short tokens and digits
+		"the a an and of is",        // all stopwords
+		"x1 Y2 zz ... __ 42 a1b2c3", // short tokens and digits
 		"  leading and trailing   whitespace  ",
 		"CPU%util=97.5,mem@host-42",
-		"über café naïve — non-ASCII résumé",     // slow path
-		"mixed ascii und später Ümlaute DISK",    // slow path with upper ASCII
-		"ticket Please TEAM issue per",           // stopwords in upper case
+		"über café naïve — non-ASCII résumé",  // slow path
+		"mixed ascii und später Ümlaute DISK", // slow path with upper ASCII
+		"ticket Please TEAM issue per",        // stopwords in upper case
 		strings.Repeat("kernel panic deadlock ", 50),
 	}
 	for _, text := range cases {

@@ -5,20 +5,34 @@ import (
 	"io"
 	"runtime"
 	"testing"
+	"time"
 
 	"failscope/internal/obs"
+	"failscope/internal/telemetry"
 )
 
 // observedStudyFingerprint runs the trimmed small study with an observer
 // attached (or nil) at the given worker count, returning the same
 // byte-exact fingerprint as the parallel determinism test plus the
-// observer used.
+// observer used. With an observer, the live-telemetry layer runs too: a
+// history sampler snapshots the registry concurrently with the pipeline,
+// and the final registry is pushed through the Prometheus encoder and its
+// conformance parser — all pure observation, so the fingerprint must not
+// move.
 func observedStudyFingerprint(t *testing.T, parallelism int, o *Observer) string {
 	t.Helper()
 	study := SmallStudy().WithParallelism(parallelism).WithObserver(o)
 	study.Collect.Clusters = 32
 	study.Collect.MaxIter = 20
+	var hist *telemetry.History
+	if o != nil {
+		hist = telemetry.NewHistory(o.Metrics().Snapshot, time.Millisecond, 256)
+		hist.Start()
+	}
 	res, err := study.Run()
+	if hist != nil {
+		hist.Stop()
+	}
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,6 +41,17 @@ func observedStudyFingerprint(t *testing.T, parallelism int, o *Observer) string
 	if o != nil {
 		if sb := ScoreFidelity(res, o); sb == nil || len(sb.Bands) == 0 {
 			t.Fatal("fidelity scoreboard empty on an observed run")
+		}
+		hist.Record(time.Now())
+		if hist.Len() < 1 {
+			t.Fatal("history sampler recorded nothing during the observed run")
+		}
+		var page bytes.Buffer
+		if err := telemetry.WriteMetrics(&page, o.Metrics(), nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := telemetry.ParseMetrics(bytes.NewReader(page.Bytes())); err != nil {
+			t.Fatalf("observed-run /metrics page failed conformance: %v\n%s", err, page.String())
 		}
 	}
 	var buf bytes.Buffer
@@ -52,7 +77,7 @@ func TestObservedStudyByteIdentical(t *testing.T) {
 		t.Skip("runs the small study several times")
 	}
 	ref := observedStudyFingerprint(t, 1, nil)
-	workerCounts := []int{1, runtime.GOMAXPROCS(0)}
+	workerCounts := []int{1, 2, runtime.GOMAXPROCS(0)}
 	for _, p := range workerCounts {
 		log, err := NewLogger(io.Discard, "debug", "json")
 		if err != nil {

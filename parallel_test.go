@@ -124,6 +124,7 @@ func TestPooledStudyByteIdentical(t *testing.T) {
 		t.Skip("runs the small study four times")
 	}
 	ref := smallStudyFingerprint(t, 1)
+	obsRef := observedStudyFingerprint(t, 1, nil) // pools on, unobserved
 
 	prev := mempool.SetEnabled(false)
 	defer mempool.SetEnabled(prev)
@@ -131,5 +132,14 @@ func TestPooledStudyByteIdentical(t *testing.T) {
 		if got := smallStudyFingerprint(t, p); got != ref {
 			t.Fatalf("pooling disabled at parallelism %d diverges from the pooled sequential reference", p)
 		}
+	}
+
+	// Pools off AND the telemetry layer attached (observer + history
+	// sampler + exposition encode, via observedStudyFingerprint): still the
+	// same bytes. This crosses the two orthogonal invariants — allocation
+	// discipline and live telemetry are both semantics-free, together.
+	o := NewObserver("pooled-telemetry-study")
+	if got := observedStudyFingerprint(t, 2, o); got != obsRef {
+		t.Fatal("pooling disabled with telemetry attached diverges from the pooled unobserved reference")
 	}
 }
