@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"failscope"
 	"failscope/internal/clikit"
@@ -30,10 +31,13 @@ func main() {
 }
 
 // renderContext is what a -section renderer sees: the analysis report plus
-// the fidelity scoreboard (nil unless fidelity output was requested).
+// the fidelity scoreboard (nil unless fidelity output was requested) and
+// the detection snapshot/scoreboard (nil unless detection was requested).
 type renderContext struct {
-	report   *failscope.AnalysisReport
-	fidelity *failscope.FidelityScoreboard
+	report      *failscope.AnalysisReport
+	fidelity    *failscope.FidelityScoreboard
+	detectSnap  *failscope.DetectionSnapshot
+	detectBands *failscope.FidelityScoreboard
 }
 
 // sections maps -section names to their renderers, in paper order; the
@@ -63,6 +67,7 @@ var sections = []struct {
 	{"hazard", func(ctx *renderContext) string { return report.Hazard(ctx.report.AgeHazard) }},
 	{"figs7-10", func(ctx *renderContext) string { return renderBinnedRateFigs(ctx.report) }},
 	{"fidelity", func(ctx *renderContext) string { return report.Fidelity(ctx.fidelity) }},
+	{"detection", func(ctx *renderContext) string { return report.Detection(ctx.detectSnap, ctx.detectBands) }},
 }
 
 // renderBinnedRateFigs prints the Figs. 7–10 capacity/usage/consolidation/
@@ -96,16 +101,18 @@ func sectionNames() []string {
 
 func run() error {
 	var (
-		seed      = flag.Uint64("seed", 0, "generator seed (0 keeps the calibrated default)")
-		scale     = flag.String("scale", "paper", "dataset scale: paper, small or fleet")
-		classify  = flag.Bool("classify", false, "also run the k-means ticket classification (slower)")
-		section   = flag.String("section", "", "print only one section: "+strings.Join(sectionNames(), "|"))
-		inputPath = flag.String("input", "", "analyze an existing dataset (JSONL from dcgen) instead of generating")
-		monPath   = flag.String("monitor", "", "monitoring database (JSONL) to join when -input is used")
-		csvDir    = flag.String("csv", "", "also export every figure panel as CSV into this directory")
-		profile   = flag.Int("profile", 0, "print the operator profile of one subsystem (1-5) instead of the report")
-		parallel  = flag.Int("parallelism", 0, "worker count for the study pipeline (0 = all CPUs, 1 = sequential; the report is identical)")
-		gate      = flag.Bool("fidelity-gate", false, "exit non-zero when any fidelity band fails its paper-expected range (CI mode)")
+		seed       = flag.Uint64("seed", 0, "generator seed (0 keeps the calibrated default)")
+		scale      = flag.String("scale", "paper", "dataset scale: paper, small or fleet")
+		classify   = flag.Bool("classify", false, "also run the k-means ticket classification (slower)")
+		section    = flag.String("section", "", "print only one section: "+strings.Join(sectionNames(), "|"))
+		inputPath  = flag.String("input", "", "analyze an existing dataset (JSONL from dcgen) instead of generating")
+		monPath    = flag.String("monitor", "", "monitoring database (JSONL) to join when -input is used")
+		csvDir     = flag.String("csv", "", "also export every figure panel as CSV into this directory")
+		profile    = flag.Int("profile", 0, "print the operator profile of one subsystem (1-5) instead of the report")
+		parallel   = flag.Int("parallelism", 0, "worker count for the study pipeline (0 = all CPUs, 1 = sequential; the report is identical)")
+		gate       = flag.Bool("fidelity-gate", false, "exit non-zero when any fidelity band fails its paper-expected range (CI mode)")
+		detectGate = flag.Bool("detect-gate", false, "replay the study through the online detector and exit non-zero when a detection band fails (CI mode)")
+		detHorizon = flag.Duration("detect-horizon", 0, "alert confirmation horizon for the detection replay (0 = calibrated default)")
 	)
 	ofl := clikit.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -145,7 +152,7 @@ func run() error {
 		o = failscope.NewObserver("failanalyze")
 	}
 	o.SetMeta(study.Generator.Seed, *parallel,
-		fmt.Sprintf("scale=%s classify=%v", *scale, *classify))
+		fmt.Sprintf("scale=%s classify=%v detect=%v", *scale, *classify, *detectGate))
 	study = study.WithObserver(o)
 
 	var res *failscope.Result
@@ -161,6 +168,21 @@ func run() error {
 	var scoreboard *failscope.FidelityScoreboard
 	if needFidelity {
 		scoreboard = failscope.ScoreFidelity(res, o)
+	}
+
+	// The detection scoreboard replays the generated study through the
+	// streaming engine with the online detector attached and grades the
+	// alerts against ground truth.
+	var detSnap *failscope.DetectionSnapshot
+	var detBands *failscope.FidelityScoreboard
+	if *detectGate || *section == "detection" {
+		if *inputPath != "" {
+			return fmt.Errorf("detection replay needs a generated study; drop -input")
+		}
+		detSnap, detBands, err = runDetection(study, *detHorizon, o)
+		if err != nil {
+			return err
+		}
 	}
 	if err := ofl.Emit("failanalyze", o, func(rep *failscope.RunReport) {
 		if scoreboard != nil {
@@ -191,16 +213,75 @@ func run() error {
 		in := failscope.AnalysisInput{Data: res.Collection.Data, Attrs: res.Collection.Attrs}
 		p := failscope.ProfileSystem(in, failscope.System(*profile), 5)
 		fmt.Print(report.Profile(p))
-		return fidelityGate(*gate, scoreboard)
+		if err := fidelityGate(*gate, scoreboard); err != nil {
+			return err
+		}
+		return detectionGate(*detectGate, detBands)
 	}
 
-	ctx := &renderContext{report: res.Report, fidelity: scoreboard}
+	ctx := &renderContext{report: res.Report, fidelity: scoreboard, detectSnap: detSnap, detectBands: detBands}
 	if *section == "" {
 		fmt.Print(res.RenderReport())
 	} else {
 		fmt.Print(sectionByName(*section)(ctx))
 	}
-	return fidelityGate(*gate, scoreboard)
+	if err := fidelityGate(*gate, scoreboard); err != nil {
+		return err
+	}
+	return detectionGate(*detectGate, detBands)
+}
+
+// runDetection replays the study's event stream (inventory first, then
+// every timed record in arrival order, closed by an advance to the
+// observation end so in-flight alerts censor exactly like the batch
+// recurrence analysis) through a stream engine with the online detector
+// attached, and grades the resulting alerts.
+func runDetection(study failscope.Study, horizon time.Duration, o *failscope.Observer) (*failscope.DetectionSnapshot, *failscope.FidelityScoreboard, error) {
+	genSpan := o.Start("detect-generate")
+	gen := study.Generator
+	gen.Observer = o.Under(genSpan)
+	field, err := failscope.Generate(gen)
+	genSpan.End()
+	if err != nil {
+		return nil, nil, err
+	}
+	det := failscope.NewDetector(failscope.DetectorConfig{Horizon: horizon})
+	eng, err := failscope.NewStreamEngine(failscope.StreamConfig{
+		Observation: study.Generator.Observation,
+		Detector:    det,
+		Observer:    o,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// The span covers flattening the field into the event stream too —
+	// it dominates the replay's allocations and should be gated with it.
+	repSpan := o.Start("detect-replay")
+	events := failscope.StreamEventsFromField(field)
+	end := study.Generator.Observation.End
+	events = append(events, failscope.StreamEvent{Type: "advance", Time: &end})
+	err = eng.Apply(events)
+	repSpan.AddItems(len(events))
+	repSpan.End()
+	if err != nil {
+		return nil, nil, err
+	}
+	snap := det.Snapshot()
+	return snap, failscope.ScoreDetection(snap), nil
+}
+
+// detectionGate maps the detection scoreboard to the process exit status
+// under -detect-gate: any failed band becomes a non-zero exit.
+func detectionGate(enabled bool, sb *failscope.FidelityScoreboard) error {
+	if !enabled || sb == nil {
+		return nil
+	}
+	if err := sb.Err(); err != nil {
+		return fmt.Errorf("detection %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "failanalyze: detection gate clean (%d bands pass, %d warn, %d skipped)\n",
+		sb.Passed, sb.Warned, sb.Skipped)
+	return nil
 }
 
 // fidelityGate maps the scoreboard to the process exit status under

@@ -22,7 +22,7 @@ func TestSectionNamesSorted(t *testing.T) {
 		}
 		seen[n] = true
 	}
-	for _, want := range []string{"fidelity", "tableII", "figs7-10"} {
+	for _, want := range []string{"fidelity", "tableII", "figs7-10", "detection"} {
 		if !seen[want] {
 			t.Errorf("section %q missing from %v", want, names)
 		}
@@ -68,5 +68,35 @@ func TestFidelityGate(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "pm_weekly_rate") {
 		t.Errorf("gate error %q does not name the failed band", err)
+	}
+}
+
+// TestDetectionGate mirrors the fidelity gate test: disabled and
+// scoreboard-less invocations are clean, a failed band trips the gate with
+// an error naming it and the detection prefix.
+func TestDetectionGate(t *testing.T) {
+	if err := detectionGate(false, nil); err != nil {
+		t.Errorf("disabled gate returned %v", err)
+	}
+	if err := detectionGate(true, nil); err != nil {
+		t.Errorf("gate without a scoreboard returned %v", err)
+	}
+	clean := &failscope.FidelityScoreboard{
+		Bands:  []failscope.FidelityBand{{Name: "detect_precision", Verdict: failscope.FidelityPass}},
+		Passed: 1,
+	}
+	if err := detectionGate(true, clean); err != nil {
+		t.Errorf("clean gate returned %v", err)
+	}
+	broken := &failscope.FidelityScoreboard{
+		Bands:  []failscope.FidelityBand{{Name: "detect_resolved", Verdict: failscope.FidelityFail}},
+		Failed: 1,
+	}
+	err := detectionGate(true, broken)
+	if err == nil {
+		t.Fatal("gate passed a scoreboard with a failed band")
+	}
+	if !strings.Contains(err.Error(), "detect_resolved") || !strings.Contains(err.Error(), "detection") {
+		t.Errorf("gate error %q does not name the failed band and layer", err)
 	}
 }

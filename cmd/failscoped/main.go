@@ -7,6 +7,7 @@
 //	GET  /v1/report            full snapshot: counters + the streaming core.Report
 //	GET  /v1/rates             the Fig. 2 weekly failure rates only
 //	GET  /v1/fidelity          the paper-band scoreboard for the current snapshot
+//	GET  /v1/alerts            online-detection state: active alerts + cleared ring
 //	GET  /healthz              liveness + build identity + ingestion counters
 //	GET  /metrics              Prometheus text exposition of the live registry
 //	GET  /v1/metrics/history   windowed JSON over the self-monitoring ring
@@ -61,6 +62,8 @@ func run() error {
 		replayBatch = flag.Int("replay-batch", 5000, "events per replay ingestion batch")
 		replayWire  = flag.Bool("replay-wire", false, "with -replay: push the events through the JSONL wire codec (encode once, then pooled decode + grouped ingest under decode/ingest spans) instead of applying in-process slices")
 		classify    = flag.Bool("classify", false, "with -replay: train the two-stage ticket classifier on the generated tickets and score the stream online")
+		detectOn    = flag.Bool("detect", true, "run the online failure detector (serves /v1/alerts and detect.* metrics)")
+		detHorizon  = flag.Duration("detect-horizon", 0, "alert confirmation horizon (0 = calibrated default)")
 		histSize    = flag.Int("history-size", 720, "snapshots retained in the metrics history ring")
 		traceSlow   = flag.Duration("trace-slow", 100*time.Millisecond, "requests at or above this duration are kept in /debug/requests (0 keeps every request)")
 		traceBuffer = flag.Int("trace-buffer", 128, "slow/errored requests retained for /debug/requests")
@@ -134,6 +137,14 @@ func run() error {
 		}
 		events = stream.EventsFromField(field.Data, field.Tickets, field.Monitor)
 		fmt.Fprintf(os.Stderr, "failscoped: replaying %d events (%s scale)\n", len(events), *scale)
+	}
+	if *detectOn {
+		// Created after classifier training so raised alerts carry the
+		// frozen model's cause attribution when -classify is on.
+		cfg.Detector = failscope.NewDetector(failscope.DetectorConfig{
+			Horizon:    *detHorizon,
+			Classifier: cfg.Classifier,
+		})
 	}
 
 	eng, err := stream.NewEngine(cfg)

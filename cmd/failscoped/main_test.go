@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"failscope/internal/detect"
 	"failscope/internal/fidelity"
 	"failscope/internal/model"
 	"failscope/internal/obs"
@@ -585,5 +586,101 @@ func TestHealthzEnrichment(t *testing.T) {
 	}
 	if health.Watermark.IsZero() {
 		t.Errorf("watermark missing from healthz")
+	}
+}
+
+// TestAlertsEndpointAndSeq: a crash burst raises an alert served at
+// /v1/alerts, the snapshot-sequence header rides on every read endpoint
+// with the same monotonic value, and a detector-less daemon 404s.
+func TestAlertsEndpointAndSeq(t *testing.T) {
+	det := detect.New(detect.Config{})
+	eng, err := stream.NewEngine(stream.Config{Observation: testWindow, Detector: det})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(eng, obs.NewObserver("failscoped-test"), serverOptions{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// One machine, four crash tickets a week apart: inside the 30-day
+	// recurrence window, so the fourth raises an alert.
+	events := []stream.Event{
+		{Type: "machine", Machine: &model.Machine{ID: "pm-burst", Kind: model.PM, System: model.SysI}},
+	}
+	at := testWindow.Start.Add(30 * 24 * time.Hour)
+	for i := 0; i < 4; i++ {
+		opened := at.Add(time.Duration(i) * 7 * 24 * time.Hour)
+		events = append(events, stream.Event{Type: "ticket", Ticket: &model.Ticket{
+			ID: fmt.Sprintf("t%d", i), ServerID: "pm-burst", System: model.SysI,
+			Opened: opened, Closed: opened.Add(2 * time.Hour),
+			IsCrash: true, Class: model.ClassSoftware,
+		}})
+	}
+	var sb strings.Builder
+	if err := stream.EncodeJSONL(&sb, events); err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Post(ts.URL+"/v1/events", "application/jsonl", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", res.StatusCode)
+	}
+
+	res, err = http.Get(ts.URL + "/v1/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Header.Get("X-Failscope-Seq") != "5" {
+		t.Errorf("alerts X-Failscope-Seq = %q, want 5", res.Header.Get("X-Failscope-Seq"))
+	}
+	var alerts struct {
+		Seq       int64           `json:"seq"`
+		Detection detect.Snapshot `json:"detection"`
+	}
+	err = json.NewDecoder(res.Body).Decode(&alerts)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alerts.Seq != 5 {
+		t.Errorf("alerts body seq = %d, want 5", alerts.Seq)
+	}
+	if alerts.Detection.Raised != 1 || alerts.Detection.ActiveCount != 1 {
+		t.Fatalf("detection snapshot = %+v", alerts.Detection)
+	}
+	a := alerts.Detection.Active[0]
+	if a.Machine != "pm-burst" || a.Source != detect.SourceRecurrence || a.Crashes != 4 {
+		t.Errorf("alert = %+v", a)
+	}
+
+	// The same sequence value correlates the other read surfaces.
+	for _, path := range []string{"/healthz", "/v1/report", "/metrics"} {
+		res, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, res.Body)
+		res.Body.Close()
+		if got := res.Header.Get("X-Failscope-Seq"); got != "5" {
+			t.Errorf("%s X-Failscope-Seq = %q, want 5", path, got)
+		}
+	}
+
+	// Detector-less daemon: /v1/alerts is a 404, not an empty snapshot.
+	plain, _ := testServer(t)
+	ts2 := httptest.NewServer(plain)
+	defer ts2.Close()
+	res, err = http.Get(ts2.URL + "/v1/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusNotFound {
+		t.Errorf("alerts without a detector: status %d, want 404", res.StatusCode)
 	}
 }

@@ -27,6 +27,14 @@ var metricHelp = map[string]string{
 	"stream.events":                 "events applied by the streaming engine",
 	"stream.apply_ms":               "engine batch-apply latency in milliseconds",
 	"stream.watermark_unix_seconds": "engine event-time watermark as a unix timestamp",
+	"detect.alerts_active":          "failure alerts currently raised by the online detector",
+	"detect.alerts_raised":          "failure alerts raised since start, any source",
+	"detect.alerts_cleared":         "failure alerts cleared since start (confirmed or expired)",
+	"detect.alerts_confirmed":       "alerts confirmed by a crash ticket inside the horizon",
+	"detect.alerts_expired":         "alerts expired without a crash (false alarms)",
+	"detect.alerts_raised_anomaly":  "alerts raised by the CUSUM usage-anomaly detector",
+	"detect.machines":               "machines the online detector is tracking",
+	"detect.lead_time_ms":           "milliseconds from alert raise to the confirming crash ticket",
 }
 
 // serverOptions sizes the telemetry attached to the HTTP surface. The zero
@@ -73,6 +81,7 @@ func newServer(eng *stream.Engine, o *obs.Observer, opts serverOptions) *server 
 	handle("/v1/report", s.handleReport)
 	handle("/v1/rates", s.handleRates)
 	handle("/v1/fidelity", s.handleFidelity)
+	handle("/v1/alerts", s.handleAlerts)
 	handle("/healthz", s.handleHealth)
 	handle("/metrics", s.handleMetrics)
 	handle("/v1/metrics/history", s.history.Handler().ServeHTTP)
@@ -143,12 +152,45 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, map[string]int{"applied": n})
 }
 
+// seqHeader stamps the response with the engine's apply generation so
+// scrapes of /metrics, /v1/alerts, /v1/report and /healthz can be
+// correlated: two responses with the same X-Failscope-Seq observed the
+// same applied-event prefix of the stream.
+func (s *server) seqHeader(w http.ResponseWriter) int64 {
+	seq := s.eng.Seq()
+	w.Header().Set("X-Failscope-Seq", fmt.Sprint(seq))
+	return seq
+}
+
 func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.fail(w, r, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
 		return
 	}
-	s.writeJSON(w, s.eng.Snapshot())
+	snap := s.eng.Snapshot()
+	w.Header().Set("X-Failscope-Seq", fmt.Sprint(snap.Seq))
+	s.writeJSON(w, snap)
+}
+
+// handleAlerts serves the online detector's live state: active alerts,
+// the recently-cleared ring and the confirmation accounting. 404 when the
+// daemon runs with detection disabled.
+func (s *server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, r, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	det := s.eng.Detector()
+	if det == nil {
+		s.fail(w, r, http.StatusNotFound, fmt.Errorf("detection disabled (-detect=false)"))
+		return
+	}
+	seq := s.seqHeader(w)
+	snap := det.Snapshot()
+	s.writeJSON(w, map[string]any{
+		"seq":       seq,
+		"detection": snap,
+	})
 }
 
 // handleRates serves just the Fig. 2 weekly-rate section — the cheap
@@ -183,6 +225,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	mempool.Publish(s.obs.Metrics())
+	s.seqHeader(w)
 	telemetry.Handler(s.obs.Metrics(), metricHelp).ServeHTTP(w, r)
 }
 
@@ -212,8 +255,10 @@ var buildVersion = sync.OnceValue(func() map[string]string {
 // and the ingestion counters a fleet health checker wants in one read.
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	snap := s.eng.Snapshot()
+	w.Header().Set("X-Failscope-Seq", fmt.Sprint(snap.Seq))
 	s.writeJSON(w, map[string]any{
 		"status":          "ok",
+		"seq":             snap.Seq,
 		"time":            time.Now().UTC().Format(time.RFC3339),
 		"build":           buildVersion(),
 		"uptime_seconds":  time.Since(s.started).Seconds(),

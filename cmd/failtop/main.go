@@ -10,8 +10,11 @@
 //	failtop -addr localhost:8080 -once
 //
 // With -once it scrapes a single page, prints the dashboard without
-// clearing the terminal and exits — non-zero when the page fails
-// conformance, which makes it the CI scrape-smoke checker.
+// clearing the terminal and exits — non-zero when the scrape fails, the
+// page fails conformance, or the exposition is empty, which makes it the
+// CI scrape-smoke checker. When the daemon runs with online detection the
+// dashboard adds an alerts pane: active/raised/cleared alert counts,
+// confirm/expire resolution tallies and the lead-time quantiles.
 package main
 
 import (
@@ -91,6 +94,9 @@ func scrape(c *http.Client, base string) (*sample, error) {
 	fams, err := telemetry.ParseMetrics(res.Body)
 	if err != nil {
 		return nil, fmt.Errorf("/metrics failed exposition conformance: %w", err)
+	}
+	if len(fams) == 0 {
+		return nil, fmt.Errorf("/metrics returned an empty exposition page")
 	}
 	return &sample{at: time.Now(), fams: fams}, nil
 }
@@ -278,6 +284,20 @@ func render(w io.Writer, prev, cur *sample, base string) {
 			fmt.Fprintf(w, "%-22s %10s %10s %7s%%\n", p, fmtNum(hits), fmtNum(misses), fmtNum(pct))
 		}
 		fmt.Fprintln(w)
+	}
+
+	if cur.fams.Get("detect_alerts_active") != nil {
+		fmt.Fprintf(w, "alerts     %12s active   %10s raised (%s/s)   %s cleared   %s machines\n",
+			fmtNum(cur.value("detect_alerts_active")),
+			fmtNum(cur.value("detect_alerts_raised_total")),
+			fmtNum(rate(prev, cur, "detect_alerts_raised_total")),
+			fmtNum(cur.value("detect_alerts_cleared_total")),
+			fmtNum(cur.value("detect_machines")))
+		fmt.Fprintf(w, "           %12s confirmed   %7s expired   lead p50 %s  p95 %s\n\n",
+			fmtNum(cur.value("detect_alerts_confirmed")),
+			fmtNum(cur.value("detect_alerts_expired")),
+			fmtDur(cur.value("detect_lead_time_ms_p50")/1e3),
+			fmtDur(cur.value("detect_lead_time_ms_p95")/1e3))
 	}
 
 	fmt.Fprintf(w, "memory     heap %s   inuse %s   sys %s\n",

@@ -85,6 +85,75 @@ func TestIngestRate(t *testing.T) {
 	}
 }
 
+// TestAlertsPane: a page carrying the detect_* families grows the alerts
+// pane, with lead-time quantiles rendered as durations.
+func TestAlertsPane(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Add("serve.events_ingested", 10)
+	reg.Set("detect.alerts_active", 3)
+	reg.Add("detect.alerts_raised", 7)
+	reg.Add("detect.alerts_cleared", 4)
+	reg.Set("detect.alerts_confirmed", 3)
+	reg.Set("detect.alerts_expired", 1)
+	reg.Set("detect.machines", 120)
+	h := reg.Histogram("detect.lead_time_ms", 3600e3, 86400e3, 864000e3)
+	h.Observe(10 * 86400e3) // one 10-day lead
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.Handler(reg, nil))
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	cur, err := scrape(http.DefaultClient, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	render(&out, nil, cur, ts.URL)
+	page := out.String()
+	for _, want := range []string{
+		"alerts", "3 active", "7 raised", "4 cleared", "120 machines",
+		"3 confirmed", "1 expired", "lead p50",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("alerts pane missing %q:\n%s", want, page)
+		}
+	}
+	if strings.Contains(page, "lead p50 -") {
+		t.Errorf("lead-time quantile did not render from the histogram:\n%s", page)
+	}
+}
+
+// TestRenderWithoutDetection: a page with no detect_* families must not
+// grow an alerts pane — the dashboard degrades to the pre-detection layout.
+func TestRenderWithoutDetection(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", fixturePage(t, 5))
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	cur, err := scrape(http.DefaultClient, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	render(&out, nil, cur, ts.URL)
+	if strings.Contains(out.String(), "alerts") {
+		t.Errorf("alerts pane rendered without detect_* families:\n%s", out.String())
+	}
+}
+
+// TestScrapeRejectsEmptyPage: an exposition page with zero families means
+// the daemon is misconfigured — -once must exit non-zero, not render an
+// empty dashboard.
+func TestScrapeRejectsEmptyPage(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	if _, err := scrape(http.DefaultClient, ts.URL); err == nil {
+		t.Fatal("scrape accepted an empty exposition page")
+	}
+}
+
 // TestScrapeRejectsNonConformantPage: failtop must exit non-zero on a bad
 // page — that's the CI gate.
 func TestScrapeRejectsNonConformantPage(t *testing.T) {

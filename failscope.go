@@ -23,6 +23,7 @@ import (
 
 	"failscope/internal/core"
 	"failscope/internal/dcsim"
+	"failscope/internal/detect"
 	"failscope/internal/dist"
 	"failscope/internal/fidelity"
 	"failscope/internal/ftsim"
@@ -496,7 +497,30 @@ type (
 	// OnlineClassifier is the frozen two-stage crash-ticket model, safe for
 	// concurrent streaming prediction.
 	OnlineClassifier = textmine.OnlineClassifier
+
+	// Detector is the online failure-detection layer: per-machine
+	// recurrence and anomaly detectors over the live stream, raising and
+	// clearing alerts scored against ground truth.
+	Detector = detect.Detector
+	// DetectorConfig parameterizes a Detector; zero fields take the
+	// calibrated defaults.
+	DetectorConfig = detect.Config
+	// Alert is one raised (or recently cleared) detection.
+	Alert = detect.Alert
+	// DetectionSnapshot is the queryable detection state: active alerts,
+	// cleared ring and confirmation accounting.
+	DetectionSnapshot = detect.Snapshot
 )
+
+// NewDetector creates an online failure detector; wire it into a stream
+// engine through StreamConfig.Detector.
+func NewDetector(cfg DetectorConfig) *Detector { return detect.New(cfg) }
+
+// ScoreDetection grades a detection snapshot's precision, lead-time and
+// false-alarm accounting against the calibrated bands, in the same
+// scoreboard shape FidelityScore uses; Err on the result drives the
+// failanalyze -detect-gate exit code.
+func ScoreDetection(s *DetectionSnapshot) *FidelityScoreboard { return detect.Score(s) }
 
 // NewStreamEngine creates a streaming analysis engine.
 func NewStreamEngine(cfg StreamConfig) (*StreamEngine, error) {

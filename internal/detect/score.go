@@ -1,0 +1,139 @@
+package detect
+
+import (
+	"math"
+	"time"
+
+	"failscope/internal/fidelity"
+	"failscope/internal/model"
+)
+
+// riskLocked computes the §IV feature-based risk score for a machine at
+// the moment an alert rises. It reuses the factor *directions* the
+// paper's joined analysis reports — failure probability grows with age
+// (no infant-mortality bathtub), peaks at mid-range utilization
+// (inverted bathtub), grows with spindle count, and falls with
+// consolidation (VMs packed densely on a host fail less) — combined
+// through a logistic squash into [0, 1]. The score annotates alerts for
+// triage; it never gates raising, so miscalibration cannot suppress a
+// detection. Deliberately excluded: crash history, which is already the
+// recurrence rule's evidence.
+func (d *Detector) riskLocked(st *machineState, at time.Time) float64 {
+	var z float64
+
+	// Age: +0.4 per year of machine age (paper §IV.C: failure rate climbs
+	// monotonically with age over the observed range).
+	if !st.created.IsZero() && at.After(st.created) {
+		years := at.Sub(st.created).Hours() / (24 * 365)
+		if years > 6 {
+			years = 6
+		}
+		z += 0.4 * years
+	}
+
+	// Usage: inverted bathtub over mean utilization (§IV.B) — the bump
+	// peaks at 50% and fades toward idle or saturated machines. Uses the
+	// live EWMA level of the three utilization series.
+	var util, nu float64
+	for mi := 0; mi < 3; mi++ {
+		if s := &st.series[mi]; s.n > 0 {
+			util += s.mean
+			nu++
+		}
+	}
+	if nu > 0 {
+		u := util / nu / 100 // series are percentages
+		if u > 1 {
+			u = 1
+		} else if u < 0 {
+			u = 0
+		}
+		z += 1.2 * (1 - 4*(u-0.5)*(u-0.5)) // 1 at u=0.5, 0 at the extremes
+	}
+
+	// Capacity: +0.1 per disk beyond the first (§IV.B: more spindles,
+	// more failures).
+	if st.cap.Disks > 1 {
+		disks := float64(st.cap.Disks - 1)
+		if disks > 10 {
+			disks = 10
+		}
+		z += 0.1 * disks
+	}
+
+	// Consolidation: −0.15 per co-resident VM beyond this one (§IV.D:
+	// densely consolidated VMs fail less often).
+	if st.kind == model.VM && st.host != "" {
+		if n := d.hostVMs[st.host]; n > 1 {
+			co := float64(n - 1)
+			if co > 10 {
+				co = 10
+			}
+			z -= 0.15 * co
+		}
+	}
+
+	return 1 / (1 + math.Exp(-(z - 1.5))) // centered so a typical machine scores near 0.5
+}
+
+// Score grades a detection snapshot the way fidelity.Score grades a
+// report: calibrated bands with pass/warn/fail verdicts, gate-mapped by
+// Scoreboard.Err. Alerts whose horizon extends past the stream watermark
+// are censored — still active, in no band's numerator or denominator —
+// so precision is only over resolved (confirmed or expired) alerts.
+//
+// The detect_resolved floor makes the gate fail closed: a broken
+// detector that never raises has 0 resolved alerts, which skips the
+// ratio bands but fails detect_resolved, so -detect-gate still exits
+// non-zero.
+func Score(s *Snapshot) *fidelity.Scoreboard {
+	resolved := s.Confirmed + s.Expired
+
+	precision := math.NaN()
+	if resolved > 0 {
+		precision = float64(s.Confirmed) / float64(resolved)
+	}
+	recall := math.NaN()
+	if s.CrashTickets > 0 {
+		recall = float64(s.Confirmed) / float64(s.CrashTickets)
+	}
+	faRate := math.NaN()
+	if s.MachineWeeks > 0 {
+		faRate = float64(s.Expired) / s.MachineWeeks
+	}
+
+	bands := []fidelity.Band{
+		fidelity.NewBand("detect_resolved",
+			"ground truth resolves alerts; a silent detector is a broken one",
+			"alerts", fidelity.Range{Lo: 3, Hi: 1e7}, fidelity.Range{Lo: 1, Hi: 1e7},
+			float64(resolved), true, ""),
+		fidelity.NewBand("detect_precision",
+			"§IV.D recurrence: a crash burst predicts the next crash within the horizon",
+			"", fidelity.Range{Lo: 0.70, Hi: 1}, fidelity.Range{Lo: 0.55, Hi: 1},
+			precision, resolved > 0, skipNote(resolved > 0, "no resolved alerts")),
+		fidelity.NewBand("detect_median_lead_days",
+			"alerts must lead the failure, not trail it",
+			"days", fidelity.Range{Lo: 0.25, Hi: 60}, fidelity.Range{Lo: 0.04, Hi: 120},
+			s.LeadDaysP50, s.Confirmed > 0, skipNote(s.Confirmed > 0, "no confirmed alerts")),
+		fidelity.NewBand("detect_recall",
+			"§II.B: most failures are one-offs — burst detection covers only the recurrent heavy tail",
+			"", fidelity.Range{Lo: 0.004, Hi: 0.5}, fidelity.Range{Lo: 0.001, Hi: 0.9},
+			recall, s.CrashTickets > 0, skipNote(s.CrashTickets > 0, "no crash tickets seen")),
+		fidelity.NewBand("detect_false_alarms_per_machine_week",
+			"alert budget: expired alerts per machine-week of observation",
+			"1/machine-week", fidelity.Range{Lo: 0, Hi: 0.001}, fidelity.Range{Lo: 0, Hi: 0.01},
+			faRate, s.MachineWeeks > 0, skipNote(s.MachineWeeks > 0, "no machine-weeks observed")),
+		fidelity.NewBand("detect_anomaly_alerts",
+			"canonical usage series are stationary — the CUSUM must stay silent on them",
+			"alerts", fidelity.Range{Lo: 0, Hi: 0}, fidelity.Range{Lo: 0, Hi: 3},
+			float64(s.RaisedAnomaly), true, ""),
+	}
+	return fidelity.Tally(bands)
+}
+
+func skipNote(ok bool, note string) string {
+	if ok {
+		return ""
+	}
+	return note
+}

@@ -96,38 +96,44 @@ type Input struct {
 	Metrics    map[string]float64
 }
 
-// Score evaluates the full scoreboard: ground-truth quality plus every
-// paper band.
-func Score(in Input) *Scoreboard {
-	sb := &Scoreboard{Quality: ScoreQuality(in)}
-	for _, spec := range paperBands {
-		b := Band{
-			Name:  spec.name,
-			Paper: spec.paper,
-			Unit:  spec.unit,
-			Pass:  spec.pass,
-			Warn:  spec.warn,
-		}
-		v, ok, note := spec.value(in)
-		b.Note = note
+// NewBand grades one measured value against its pass and warn ranges.
+// ok=false marks the band skipped (input unavailable); a NaN value is
+// zeroed so the band serializes cleanly. Scorers outside this package
+// (e.g. the detection scoreboard) build bands through this so their gate
+// semantics stay identical to the paper bands'.
+func NewBand(name, paper, unit string, pass, warn Range, v float64, ok bool, note string) Band {
+	b := Band{
+		Name:  name,
+		Paper: paper,
+		Unit:  unit,
+		Pass:  pass,
+		Warn:  warn,
+		Note:  note,
+	}
+	switch {
+	case !ok:
+		b.Verdict = VerdictSkip
+	default:
+		b.Value = v
 		switch {
-		case !ok:
-			b.Verdict = VerdictSkip
-			b.Value = math.NaN() // replaced below; NaN never serializes
+		case pass.Contains(v):
+			b.Verdict = VerdictPass
+		case warn.Contains(v):
+			b.Verdict = VerdictWarn
 		default:
-			b.Value = v
-			switch {
-			case spec.pass.Contains(v):
-				b.Verdict = VerdictPass
-			case spec.warn.Contains(v):
-				b.Verdict = VerdictWarn
-			default:
-				b.Verdict = VerdictFail
-			}
+			b.Verdict = VerdictFail
 		}
-		if math.IsNaN(b.Value) {
-			b.Value = 0
-		}
+	}
+	if math.IsNaN(b.Value) {
+		b.Value = 0
+	}
+	return b
+}
+
+// Tally assembles graded bands into a scoreboard, counting verdicts.
+func Tally(bands []Band) *Scoreboard {
+	sb := &Scoreboard{Bands: bands}
+	for _, b := range bands {
 		switch b.Verdict {
 		case VerdictPass:
 			sb.Passed++
@@ -138,8 +144,20 @@ func Score(in Input) *Scoreboard {
 		case VerdictSkip:
 			sb.Skipped++
 		}
-		sb.Bands = append(sb.Bands, b)
 	}
+	return sb
+}
+
+// Score evaluates the full scoreboard: ground-truth quality plus every
+// paper band.
+func Score(in Input) *Scoreboard {
+	bands := make([]Band, 0, len(paperBands))
+	for _, spec := range paperBands {
+		v, ok, note := spec.value(in)
+		bands = append(bands, NewBand(spec.name, spec.paper, spec.unit, spec.pass, spec.warn, v, ok, note))
+	}
+	sb := Tally(bands)
+	sb.Quality = ScoreQuality(in)
 	return sb
 }
 

@@ -1,0 +1,124 @@
+package monitordb
+
+// Cadence re-detection backoff tests: a series that defeats grid
+// detection must not re-scan on every append — nextDetect doubles each
+// failed attempt — and a cadence that emerges later is still found on a
+// subsequent attempt.
+
+import "testing"
+
+const hourNs = int64(3600 * 1e9)
+
+// TestBackoffIrregularDeltas: rows with no modal delta fail the stride
+// majority and back off exponentially (nextDetect = 2×rows at each
+// failed attempt), leaving every sample in the row section.
+func TestBackoffIrregularDeltas(t *testing.T) {
+	var s colSeries
+	// Strictly increasing, pairwise-distinct deltas: 1h, 2h, 3h, ... —
+	// every delta is unique so the modal count is 1, never a majority.
+	ts := int64(0)
+	rows := 0
+	addIrregular := func(n int) {
+		for i := 0; i < n; i++ {
+			rows++
+			ts += int64(rows) * hourNs
+			s.add(ts, float64(rows))
+		}
+	}
+	addIrregular(detectAfterRows - 1)
+	if s.nextDetect != detectAfterRows {
+		t.Fatalf("nextDetect=%d before the first attempt, want %d", s.nextDetect, detectAfterRows)
+	}
+	addIrregular(1) // row 16: first detection attempt fails
+	if s.stride != 0 {
+		t.Fatalf("stride=%d inferred from irregular deltas, want 0", s.stride)
+	}
+	if s.nextDetect != 2*detectAfterRows {
+		t.Fatalf("nextDetect=%d after first failed attempt, want %d", s.nextDetect, 2*detectAfterRows)
+	}
+	addIrregular(detectAfterRows) // rows 17..32: second attempt at 32
+	if s.nextDetect != 4*detectAfterRows {
+		t.Fatalf("nextDetect=%d after second failed attempt, want %d", s.nextDetect, 4*detectAfterRows)
+	}
+	if s.stride != 0 || s.nGrid != 0 || len(s.rowT) != rows {
+		t.Errorf("irregular series leaked into the grid: stride=%d nGrid=%d rows=%d/%d",
+			s.stride, s.nGrid, len(s.rowT), rows)
+	}
+}
+
+// TestBackoffWeakResidueMajority: a clear modal delta whose rows split
+// across three residue classes passes the stride vote but fails the
+// residue vote, taking the same exponential backoff.
+func TestBackoffWeakResidueMajority(t *testing.T) {
+	var s colSeries
+	w := 7 * 24 * hourNs
+	third := w / 3
+	// Three five-to-six-row blocks on a weekly cadence, each block phase-
+	// shifted by w/3: 13 of 15 deltas are w (stride majority) but the
+	// residue classes split 5/5/6 (no residue majority).
+	ts := int64(0)
+	n := 0
+	for block := 0; block < 3; block++ {
+		size := 5
+		if block == 2 {
+			size = 6
+		}
+		for i := 0; i < size; i++ {
+			if n > 0 {
+				ts += w
+				if i == 0 {
+					ts += third // phase shift between blocks
+				}
+			}
+			n++
+			s.add(ts, float64(n))
+		}
+	}
+	if n != detectAfterRows {
+		t.Fatalf("test feeds %d rows, want %d", n, detectAfterRows)
+	}
+	if s.stride != 0 {
+		t.Fatalf("stride=%d accepted with a split residue vote, want 0", s.stride)
+	}
+	if s.nextDetect != 2*detectAfterRows {
+		t.Fatalf("nextDetect=%d after the residue-vote failure, want %d", s.nextDetect, 2*detectAfterRows)
+	}
+}
+
+// TestBackoffThenDetect: a series that is irregular for its first rows
+// and then settles onto a weekly grid is detected at a later attempt, and
+// the on-lattice rows migrate into the value column.
+func TestBackoffThenDetect(t *testing.T) {
+	var s colSeries
+	w := 7 * 24 * hourNs
+	ts := int64(0)
+	// 16 irregular rows → first attempt fails, nextDetect = 32.
+	for i := 1; i <= detectAfterRows; i++ {
+		ts += int64(i) * hourNs
+		s.add(ts, float64(i))
+	}
+	if s.stride != 0 || s.nextDetect != 2*detectAfterRows {
+		t.Fatalf("setup: stride=%d nextDetect=%d", s.stride, s.nextDetect)
+	}
+	// Snap to the weekly lattice and stay there. At the second attempt
+	// (32 rows) the 16 lattice deltas are still one short of a majority
+	// against the 15 irregular ones, so it backs off again; at the third
+	// attempt (64 rows) the 47 lattice deltas win the vote.
+	ts = (ts/w + 1) * w
+	for i := 0; i < 3*detectAfterRows; i++ {
+		s.add(ts, float64(100+i))
+		ts += w
+	}
+	if s.stride != w {
+		t.Fatalf("stride=%d after the cadence settled, want %d", s.stride, w)
+	}
+	if s.nGrid < 3*detectAfterRows {
+		t.Errorf("only %d rows migrated to the grid, want >= %d", s.nGrid, 3*detectAfterRows)
+	}
+	// Later on-cadence appends go straight to the grid.
+	before := s.nGrid
+	s.add(ts, 999)
+	if s.nGrid != before+1 {
+		t.Errorf("on-cadence append after detection landed in rows")
+	}
+}

@@ -1,0 +1,56 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"failscope/internal/detect"
+	"failscope/internal/fidelity"
+)
+
+// Detection renders the online-detection scoreboard: the detector's
+// confirmation accounting, the lead-time distribution and the calibrated
+// band verdicts, in the Fidelity table style.
+func Detection(snap *detect.Snapshot, sb *fidelity.Scoreboard) string {
+	if snap == nil {
+		return "Detection scoreboard: not computed\n"
+	}
+	var b strings.Builder
+
+	t := NewTable("Online detection — alerts vs ground truth", "measure", "value")
+	t.AddRow("machines tracked", D(snap.Machines))
+	t.AddRow("crash tickets seen", fmt.Sprintf("%d", snap.CrashTickets))
+	t.AddRow("alerts raised", fmt.Sprintf("%d (%d anomaly)", snap.Raised, snap.RaisedAnomaly))
+	t.AddRow("confirmed (crash within horizon)", fmt.Sprintf("%d", snap.Confirmed))
+	t.AddRow("expired (false alarms)", fmt.Sprintf("%d", snap.Expired))
+	t.AddRow("still active (censored)", D(snap.ActiveCount))
+	t.AddRow("horizon", fmt.Sprintf("%s days", F(snap.HorizonDays)))
+	if snap.Confirmed > 0 {
+		t.AddRow("lead time mean / p50 / p95",
+			fmt.Sprintf("%s / %s / %s days", F(snap.LeadDaysMean), F(snap.LeadDaysP50), F(snap.LeadDaysP95)))
+	}
+	b.WriteString(t.String())
+
+	if sb != nil {
+		bt := NewTable(
+			fmt.Sprintf("Detection — calibrated bands (%d pass, %d warn, %d fail, %d skip)",
+				sb.Passed, sb.Warned, sb.Failed, sb.Skipped),
+			"band", "verdict", "value", "pass range", "expectation")
+		for _, band := range sb.Bands {
+			value := F(band.Value)
+			if band.Unit != "" {
+				value += " " + band.Unit
+			}
+			if band.Verdict == fidelity.VerdictSkip {
+				value = "-"
+				if band.Note != "" {
+					value = band.Note
+				}
+			}
+			bt.AddRow(band.Name, strings.ToUpper(string(band.Verdict)), value,
+				band.Pass.String(), band.Paper)
+		}
+		b.WriteString(bt.String())
+	}
+	return b.String()
+}

@@ -219,6 +219,65 @@ func TestQuantileDeterministic(t *testing.T) {
 	}
 }
 
+// TestQuantileTinySamples pins the exact semantics at 0, 1 and 2
+// observations: empty sketches answer NaN everywhere (including the exact
+// extremes), one observation is returned at every p, and two observations
+// interpolate linearly between their mean-rank positions — matching the
+// closest-ranks convention of the batch summaries, not snapping to a
+// sample value.
+func TestQuantileTinySamples(t *testing.T) {
+	// n = 0: everything NaN, including the separately-tracked extremes.
+	q := NewQuantile(8)
+	if q.N() != 0 {
+		t.Fatalf("fresh sketch N = %d", q.N())
+	}
+	for _, p := range []float64{0, 0.25, 0.5, 1} {
+		if !math.IsNaN(q.Query(p)) {
+			t.Errorf("empty Query(%v) = %v, want NaN", p, q.Query(p))
+		}
+	}
+	if !math.IsNaN(q.Min()) || !math.IsNaN(q.Max()) {
+		t.Errorf("empty extremes = (%v, %v), want NaN", q.Min(), q.Max())
+	}
+
+	// n = 1: the lone value at every p, and as both extremes.
+	q.Add(7)
+	for _, p := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		if got := q.Query(p); got != 7 {
+			t.Errorf("one-sample Query(%v) = %v, want 7", p, got)
+		}
+	}
+	if q.Min() != 7 || q.Max() != 7 {
+		t.Errorf("one-sample extremes = (%v, %v), want (7, 7)", q.Min(), q.Max())
+	}
+
+	// n = 2: exact extremes at p = 0 and 1, linear interpolation between
+	// the two ranks inside — the median of {10, 20} is 15, not 10 or 20.
+	q.Add(17) // {7, 17}
+	if q.Query(0) != 7 || q.Query(1) != 17 {
+		t.Errorf("two-sample extremes via Query = (%v, %v), want (7, 17)", q.Query(0), q.Query(1))
+	}
+	if got := q.Query(0.5); got != 12 {
+		t.Errorf("two-sample median = %v, want 12 (linear interpolation)", got)
+	}
+	if got := q.Query(0.25); got != 9.5 {
+		t.Errorf("two-sample Query(0.25) = %v, want 9.5", got)
+	}
+	if got := q.Query(0.75); got != 14.5 {
+		t.Errorf("two-sample Query(0.75) = %v, want 14.5", got)
+	}
+
+	// Duplicate values at n = 2 collapse the interpolation.
+	dup := NewQuantile(8)
+	dup.Add(5)
+	dup.Add(5)
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := dup.Query(p); got != 5 {
+			t.Errorf("duplicate two-sample Query(%v) = %v, want 5", p, got)
+		}
+	}
+}
+
 func TestQuantileEdgeCases(t *testing.T) {
 	var nilQ *Quantile
 	if nilQ.N() != 0 || !math.IsNaN(nilQ.Query(0.5)) {

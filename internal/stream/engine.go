@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"failscope/internal/detect"
 	"failscope/internal/mempool"
 	"failscope/internal/model"
 	"failscope/internal/monitordb"
@@ -44,6 +45,14 @@ type Config struct {
 	// Observer, when non-nil, counts stream metrics under "stream.*". It
 	// never affects the statistics.
 	Observer *obs.Observer
+
+	// Detector, when non-nil, is the online failure-detection layer: the
+	// engine feeds it machines, effective crash tickets, monitoring
+	// samples, placements and watermark advances as they apply. Like
+	// Observer it is pure observation — snapshots and reports are
+	// byte-identical with detection on or off (enforced by
+	// TestDetectionByteIdentical at the repo root).
+	Detector *detect.Detector
 }
 
 // kindIndex maps PM/VM to the engine's dense array index; -1 otherwise.
@@ -202,6 +211,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 		e.monitor.SetLogger(cfg.Observer.Log())
 		_, e.monitorEnd = e.monitor.Window()
 	}
+	if cfg.Detector != nil {
+		cfg.Detector.Instrument(cfg.Observer.Metrics())
+	}
 	return e, nil
 }
 
@@ -353,6 +365,9 @@ func (e *Engine) flushMetricsLocked(m *obs.Registry) {
 	if !e.watermark.IsZero() {
 		m.Set("stream.watermark_unix_seconds", float64(e.watermark.UnixNano())/1e9)
 	}
+	if e.cfg.Detector != nil {
+		e.cfg.Detector.Publish(m)
+	}
 }
 
 // monitorAdvanceStep is how far ahead of a record's timestamp the engine
@@ -380,6 +395,9 @@ func (e *Engine) ensureMonitorWindowLocked(t time.Time) {
 // resident-bytes gauges so a long-running daemon exposes its live store
 // footprint.
 func (e *Engine) advanceLocked() {
+	if e.cfg.Detector != nil && !e.watermark.IsZero() {
+		e.cfg.Detector.Advance(e.watermark)
+	}
 	if e.monitor == nil || e.watermark.IsZero() {
 		return
 	}
@@ -414,10 +432,15 @@ func (e *Engine) applyLocked(ev *Event) error {
 		e.addIncidentLocked(*ev.Incident)
 		return nil
 	case "sample":
-		if e.monitor != nil && ev.Time != nil {
-			e.ensureMonitorWindowLocked(*ev.Time)
-			e.monitor.Add(ev.ServerID, ev.Metric, monitordb.Sample{Time: *ev.Time, Value: ev.Value})
-			e.monitorSamples++
+		if ev.Time != nil {
+			if e.monitor != nil {
+				e.ensureMonitorWindowLocked(*ev.Time)
+				e.monitor.Add(ev.ServerID, ev.Metric, monitordb.Sample{Time: *ev.Time, Value: ev.Value})
+				e.monitorSamples++
+			}
+			if e.cfg.Detector != nil {
+				e.cfg.Detector.ObserveSample(ev.ServerID, ev.Metric, *ev.Time, ev.Value)
+			}
 		}
 		return nil
 	case "power":
@@ -427,9 +450,14 @@ func (e *Engine) applyLocked(ev *Event) error {
 		}
 		return nil
 	case "placement":
-		if e.monitor != nil && ev.Time != nil && ev.Host != "" {
-			e.ensureMonitorWindowLocked(*ev.Time)
-			e.monitor.SetPlacement(ev.ServerID, ev.Host, *ev.Time)
+		if ev.Time != nil && ev.Host != "" {
+			if e.monitor != nil {
+				e.ensureMonitorWindowLocked(*ev.Time)
+				e.monitor.SetPlacement(ev.ServerID, ev.Host, *ev.Time)
+			}
+			if e.cfg.Detector != nil {
+				e.cfg.Detector.ObservePlacement(ev.ServerID, ev.Host, *ev.Time)
+			}
 		}
 		return nil
 	case "advance":
@@ -449,6 +477,9 @@ func (e *Engine) addMachineLocked(m *model.Machine) error {
 	cp := *m
 	e.machines[cp.ID] = &cp
 	e.machineList = append(e.machineList, &cp)
+	if e.cfg.Detector != nil {
+		e.cfg.Detector.ObserveMachine(&cp)
+	}
 	if k := kindIndex(cp.Kind); k >= 0 {
 		e.serverCount[k][0]++
 		if cp.System >= 1 && cp.System <= model.NumSystems {
@@ -498,6 +529,9 @@ func (e *Engine) addTicketLocked(t model.Ticket) {
 		return
 	}
 	e.crashTickets++
+	if e.cfg.Detector != nil {
+		e.cfg.Detector.ObserveTicket(&t, class)
+	}
 	if t.System >= 1 && t.System <= model.NumSystems {
 		e.sysCrash[t.System]++
 	}
@@ -680,3 +714,18 @@ var (
 // Monitor returns the engine's live monitoring store (nil when monitoring
 // ingestion is disabled).
 func (e *Engine) Monitor() *monitordb.DB { return e.monitor }
+
+// Detector returns the engine's online detection layer (nil when
+// detection is disabled).
+func (e *Engine) Detector() *detect.Detector { return e.cfg.Detector }
+
+// Seq returns the engine's apply generation: the count of events folded
+// in so far. It is deterministic for a given event stream regardless of
+// how callers batched it or how many appliers raced, so scrapes of
+// /metrics, /v1/alerts and /v1/report that report the same Seq observed
+// the same state.
+func (e *Engine) Seq() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.events
+}

@@ -18,6 +18,10 @@ import (
 // capacity studies) stay empty — the fidelity scoreboard skips their bands
 // rather than failing them.
 type Snapshot struct {
+	// Seq is the apply generation (events folded in when the snapshot was
+	// taken) — the same number /healthz and the X-Failscope-Seq response
+	// header report, for correlating scrapes.
+	Seq                int64     `json:"seq"`
 	Events             int64     `json:"events"`
 	Tickets            int64     `json:"tickets"`
 	CrashTickets       int64     `json:"crashTickets"`
@@ -69,6 +73,7 @@ func (e *Engine) Snapshot() *Snapshot {
 	defer e.mu.Unlock()
 
 	s := &Snapshot{
+		Seq:                e.events,
 		Events:             e.events,
 		Tickets:            e.tickets,
 		CrashTickets:       e.crashTickets,
