@@ -18,6 +18,12 @@
 //	failscoped [-addr localhost:8080] [-scale paper|small] [-seed N]
 //	failscoped -replay -scale small -replay-speed 0 [-classify]
 //	failscoped -scale small -v -debug-addr localhost:6060
+//	failscoped -data-dir /var/lib/failscope [-checkpoint-interval 1m]
+//
+// With -data-dir the daemon runs durably: every ingested batch is framed
+// into a write-ahead log before its POST succeeds, periodic checkpoints
+// spill the full engine state, and startup recovers checkpoint + WAL tail
+// before the listener opens (see internal/durable and DESIGN.md §14).
 //
 // With -replay the daemon generates the selected dcsim dataset and streams
 // it into its own engine in arrival order — at full speed by default, or
@@ -39,6 +45,7 @@ import (
 
 	"failscope"
 	"failscope/internal/clikit"
+	"failscope/internal/durable"
 	"failscope/internal/ingest"
 	"failscope/internal/obs"
 	"failscope/internal/stream"
@@ -62,6 +69,8 @@ func run() error {
 		replayBatch = flag.Int("replay-batch", 5000, "events per replay ingestion batch")
 		replayWire  = flag.Bool("replay-wire", false, "with -replay: push the events through the JSONL wire codec (encode once, then pooled decode + grouped ingest under decode/ingest spans) instead of applying in-process slices")
 		classify    = flag.Bool("classify", false, "with -replay: train the two-stage ticket classifier on the generated tickets and score the stream online")
+		dataDir     = flag.String("data-dir", "", "directory for the durable store (WAL + checkpoints); empty runs in-memory only")
+		ckptEvery   = flag.Duration("checkpoint-interval", 5*time.Minute, "with -data-dir: cadence of periodic checkpoints (0 disables the ticker; drain still checkpoints)")
 		detectOn    = flag.Bool("detect", true, "run the online failure detector (serves /v1/alerts and detect.* metrics)")
 		detHorizon  = flag.Duration("detect-horizon", 0, "alert confirmation horizon (0 = calibrated default)")
 		histSize    = flag.Int("history-size", 720, "snapshots retained in the metrics history ring")
@@ -152,6 +161,45 @@ func run() error {
 		return err
 	}
 
+	// Durable mode: recover whatever a previous process persisted, then
+	// attach the store as the engine's journal so every applied batch hits
+	// the WAL before its caller sees success. Recovery runs before the
+	// journal attaches — replayed events must not be re-journaled.
+	var (
+		store    *durable.Store
+		recovery *durable.RecoveryInfo
+	)
+	if *dataDir != "" {
+		store, err = durable.Open(*dataDir, durable.Options{Registry: o.Metrics()})
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		recSpan := o.Start("recover")
+		info, err := store.Recover(eng)
+		recSpan.End()
+		if err != nil {
+			return err
+		}
+		recovery = &info
+		eng.SetJournal(store)
+		fmt.Fprintf(os.Stderr,
+			"failscoped: recovered to seq %d (checkpoint %d, %d WAL records / %d events replayed in %v)\n",
+			info.Seq, info.CheckpointSeq, info.ReplayedRecords, info.ReplayedEvents,
+			info.Duration.Round(time.Millisecond))
+		if *replay && info.Seq > 0 {
+			// The replay dataset is deterministic for a given seed, and the
+			// engine sequence counts applied events, so the recovered seq is
+			// an index into the regenerated event list: resume after it.
+			if skip := info.Seq; skip >= int64(len(events)) {
+				events = nil
+			} else {
+				events = events[skip:]
+			}
+			fmt.Fprintf(os.Stderr, "failscoped: resuming replay with %d events remaining\n", len(events))
+		}
+	}
+
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -163,6 +211,8 @@ func run() error {
 		historySize:     *histSize,
 		traceSlow:       *traceSlow,
 		traceBuffer:     *traceBuffer,
+		store:           store,
+		recovery:        recovery,
 	})
 	defer api.Close()
 	srv := &http.Server{Handler: api}
@@ -178,6 +228,30 @@ func run() error {
 		replayDone <- nil
 	}
 
+	// Periodic checkpoints bound recovery time: each one spills the engine
+	// state to disk and lets the store drop fully-covered WAL segments.
+	stopCkpt := make(chan struct{})
+	ckptDone := make(chan struct{})
+	if store != nil && *ckptEvery > 0 {
+		go func() {
+			defer close(ckptDone)
+			tick := time.NewTicker(*ckptEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopCkpt:
+					return
+				case <-tick.C:
+					if _, err := store.Checkpoint(eng); err != nil {
+						fmt.Fprintf(os.Stderr, "failscoped: checkpoint: %v\n", err)
+					}
+				}
+			}
+		}()
+	} else {
+		close(ckptDone)
+	}
+
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(l) }()
 
@@ -188,10 +262,13 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "failscoped: %v, draining\n", s)
 	case err := <-serveErr:
 		close(stopReplay)
+		close(stopCkpt)
 		<-replayDone
+		<-ckptDone
 		return err
 	}
 	close(stopReplay)
+	close(stopCkpt)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
@@ -202,6 +279,19 @@ func run() error {
 	}
 	if err := <-replayDone; err != nil {
 		return err
+	}
+	<-ckptDone
+	if store != nil {
+		// Graceful drain ends with a final checkpoint so the next boot
+		// replays zero WAL records; Close seals the last segment behind it.
+		seq, err := store.Checkpoint(eng)
+		if err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+		if err := store.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "failscoped: final checkpoint at seq %d\n", seq)
 	}
 	return ofl.Emit("failscoped", o, nil)
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"failscope/internal/durable"
 	"failscope/internal/mempool"
 	"failscope/internal/obs"
 	"failscope/internal/stream"
@@ -16,25 +17,38 @@ import (
 
 // metricHelp maps the daemon's registry names to their /metrics HELP text.
 var metricHelp = map[string]string{
-	"serve.requests":                "HTTP requests accepted by the daemon, any endpoint",
-	"serve.events_ingested":         "events applied to the streaming engine via /v1/events",
-	"serve.batch_events":            "events per ingested batch",
-	"serve.rejected_batches":        "POST /v1/events batches rejected with a 400, by reason",
-	"serve.request_errors":          "requests answered with an error status",
-	"http.requests":                 "requests completed, by endpoint",
-	"http.errors":                   "requests answered >= 400, by endpoint and status code",
-	"http.request_ms":               "request latency in milliseconds, by endpoint",
-	"stream.events":                 "events applied by the streaming engine",
-	"stream.apply_ms":               "engine batch-apply latency in milliseconds",
-	"stream.watermark_unix_seconds": "engine event-time watermark as a unix timestamp",
-	"detect.alerts_active":          "failure alerts currently raised by the online detector",
-	"detect.alerts_raised":          "failure alerts raised since start, any source",
-	"detect.alerts_cleared":         "failure alerts cleared since start (confirmed or expired)",
-	"detect.alerts_confirmed":       "alerts confirmed by a crash ticket inside the horizon",
-	"detect.alerts_expired":         "alerts expired without a crash (false alarms)",
-	"detect.alerts_raised_anomaly":  "alerts raised by the CUSUM usage-anomaly detector",
-	"detect.machines":               "machines the online detector is tracking",
-	"detect.lead_time_ms":           "milliseconds from alert raise to the confirming crash ticket",
+	"serve.requests":                    "HTTP requests accepted by the daemon, any endpoint",
+	"serve.events_ingested":             "events applied to the streaming engine via /v1/events",
+	"serve.batch_events":                "events per ingested batch",
+	"serve.rejected_batches":            "POST /v1/events batches rejected with a 400, by reason",
+	"serve.request_errors":              "requests answered with an error status",
+	"http.requests":                     "requests completed, by endpoint",
+	"http.errors":                       "requests answered >= 400, by endpoint and status code",
+	"http.request_ms":                   "request latency in milliseconds, by endpoint",
+	"stream.events":                     "events applied by the streaming engine",
+	"stream.apply_ms":                   "engine batch-apply latency in milliseconds",
+	"stream.watermark_unix_seconds":     "engine event-time watermark as a unix timestamp",
+	"detect.alerts_active":              "failure alerts currently raised by the online detector",
+	"detect.alerts_raised":              "failure alerts raised since start, any source",
+	"detect.alerts_cleared":             "failure alerts cleared since start (confirmed or expired)",
+	"detect.alerts_confirmed":           "alerts confirmed by a crash ticket inside the horizon",
+	"detect.alerts_expired":             "alerts expired without a crash (false alarms)",
+	"detect.alerts_raised_anomaly":      "alerts raised by the CUSUM usage-anomaly detector",
+	"detect.machines":                   "machines the online detector is tracking",
+	"detect.lead_time_ms":               "milliseconds from alert raise to the confirming crash ticket",
+	"wire.decode_fast":                  "JSONL lines decoded by the zero-copy fast scanner",
+	"wire.decode_fallback":              "JSONL lines that fell back to encoding/json",
+	"durable.wal_bytes":                 "bytes appended to the write-ahead log this process",
+	"durable.wal_records":               "batches appended to the write-ahead log this process",
+	"durable.segments_live":             "WAL segment files currently on disk",
+	"durable.checkpoint_seq":            "engine sequence of the newest completed checkpoint",
+	"durable.fsync_ms":                  "WAL group-commit fsync latency in milliseconds",
+	"durable.checkpoint_ms":             "checkpoint write latency in milliseconds",
+	"durable.checkpoints_invalid":       "checkpoints that failed integrity validation at recovery",
+	"durable.recovery_checkpoint_seq":   "sequence of the checkpoint the last recovery restored",
+	"durable.recovery_replayed_records": "WAL records replayed by the last recovery",
+	"durable.recovery_replayed_events":  "events replayed into the engine by the last recovery",
+	"durable.recovery_replay_ms":        "wall time of the last recovery in milliseconds",
 }
 
 // serverOptions sizes the telemetry attached to the HTTP surface. The zero
@@ -44,6 +58,9 @@ type serverOptions struct {
 	historySize     int           // history ring capacity (snapshots)
 	traceSlow       time.Duration // slow-request retention threshold (0 = keep all)
 	traceBuffer     int           // slow/errored request ring capacity
+
+	store    *durable.Store        // durable mode (nil = in-memory only)
+	recovery *durable.RecoveryInfo // what boot-time recovery reconstructed
 }
 
 // server is the failscoped HTTP surface: an ingestion endpoint feeding the
@@ -53,12 +70,20 @@ type serverOptions struct {
 // observer and the telemetry rings, so the httptest suite can exercise it
 // without a listener.
 type server struct {
-	eng     *stream.Engine
-	obs     *obs.Observer
-	mux     *http.ServeMux
-	tracer  *telemetry.Tracer
-	history *telemetry.History
-	started time.Time
+	eng      *stream.Engine
+	obs      *obs.Observer
+	mux      *http.ServeMux
+	tracer   *telemetry.Tracer
+	history  *telemetry.History
+	started  time.Time
+	store    *durable.Store
+	recovery *durable.RecoveryInfo
+
+	// Last stream.DecodeStats readings already folded into the registry;
+	// handleMetrics publishes the delta so wire.decode_* stay counters.
+	decMu       sync.Mutex
+	pubFast     int64
+	pubFallback int64
 
 	closeOnce sync.Once
 }
@@ -69,7 +94,10 @@ func newServer(eng *stream.Engine, o *obs.Observer, opts serverOptions) *server 
 	if o == nil {
 		o = obs.NewObserver("failscoped")
 	}
-	s := &server{eng: eng, obs: o, mux: http.NewServeMux(), started: time.Now()}
+	s := &server{
+		eng: eng, obs: o, mux: http.NewServeMux(), started: time.Now(),
+		store: opts.store, recovery: opts.recovery,
+	}
 	s.tracer = telemetry.NewTracer(o.Metrics(), opts.traceBuffer, opts.traceSlow)
 	s.history = telemetry.NewHistory(o.Metrics().Snapshot, opts.historyInterval, opts.historySize)
 	s.history.Start()
@@ -225,8 +253,33 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	mempool.Publish(s.obs.Metrics())
+	s.publishDecodeStats()
 	s.seqHeader(w)
 	telemetry.Handler(s.obs.Metrics(), metricHelp).ServeHTTP(w, r)
+}
+
+// publishDecodeStats folds the process-wide JSONL decoder counters into
+// the registry as wire.decode_fast / wire.decode_fallback. The decoder
+// counts cumulatively across every caller (ingest, replay, tests), so the
+// scrape handler publishes deltas against what it last saw, keeping the
+// registry values monotone counters.
+func (s *server) publishDecodeStats() {
+	fast, fallback := stream.DecodeStats()
+	s.decMu.Lock()
+	dFast, dFallback := fast-s.pubFast, fallback-s.pubFallback
+	s.pubFast, s.pubFallback = fast, fallback
+	s.decMu.Unlock()
+	m := s.obs.Metrics()
+	if dFast > 0 {
+		m.Add("wire.decode_fast", dFast)
+	} else {
+		m.Counter("wire.decode_fast") // ensure the family exists on every scrape
+	}
+	if dFallback > 0 {
+		m.Add("wire.decode_fallback", dFallback)
+	} else {
+		m.Counter("wire.decode_fallback")
+	}
 }
 
 // buildVersion reads the module and VCS stamp out of the binary once.
@@ -256,7 +309,7 @@ var buildVersion = sync.OnceValue(func() map[string]string {
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	snap := s.eng.Snapshot()
 	w.Header().Set("X-Failscope-Seq", fmt.Sprint(snap.Seq))
-	s.writeJSON(w, map[string]any{
+	body := map[string]any{
 		"status":          "ok",
 		"seq":             snap.Seq,
 		"time":            time.Now().UTC().Format(time.RFC3339),
@@ -268,5 +321,13 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"tickets":         snap.Tickets,
 		"machines":        snap.Machines,
 		"watermark":       snap.Watermark,
-	})
+	}
+	if s.store != nil {
+		body["durable"] = map[string]any{
+			"enabled":        true,
+			"checkpoint_seq": s.store.CheckpointSeq(),
+			"recovery":       s.recovery,
+		}
+	}
+	s.writeJSON(w, body)
 }

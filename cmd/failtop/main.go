@@ -14,7 +14,9 @@
 // page fails conformance, or the exposition is empty, which makes it the
 // CI scrape-smoke checker. When the daemon runs with online detection the
 // dashboard adds an alerts pane: active/raised/cleared alert counts,
-// confirm/expire resolution tallies and the lead-time quantiles.
+// confirm/expire resolution tallies and the lead-time quantiles. When it
+// runs durably (-data-dir) a durability pane follows: WAL growth, live
+// segment count, newest checkpoint sequence and fsync/checkpoint latency.
 package main
 
 import (
@@ -298,6 +300,21 @@ func render(w io.Writer, prev, cur *sample, base string) {
 			fmtNum(cur.value("detect_alerts_expired")),
 			fmtDur(cur.value("detect_lead_time_ms_p50")/1e3),
 			fmtDur(cur.value("detect_lead_time_ms_p95")/1e3))
+	}
+
+	if cur.fams.Get("durable_wal_bytes") != nil {
+		fmt.Fprintf(w, "durable    %12s WAL (%s/s)   %s records   %s segments   checkpoint seq %s\n",
+			fmtBytes(cur.value("durable_wal_bytes")),
+			fmtBytes(rate(prev, cur, "durable_wal_bytes")),
+			fmtNum(cur.value("durable_wal_records")),
+			fmtNum(cur.value("durable_segments_live")),
+			fmtNum(cur.value("durable_checkpoint_seq")))
+		fmt.Fprintf(w, "           %12s fsyncs   p50 %sms  p99 %sms   %s checkpoints p99 %sms\n\n",
+			fmtNum(histCount(cur, "durable_fsync_ms")),
+			fmtNum(cur.value("durable_fsync_ms_p50")),
+			fmtNum(cur.value("durable_fsync_ms_p99")),
+			fmtNum(histCount(cur, "durable_checkpoint_ms")),
+			fmtNum(cur.value("durable_checkpoint_ms_p99")))
 	}
 
 	fmt.Fprintf(w, "memory     heap %s   inuse %s   sys %s\n",

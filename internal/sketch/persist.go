@@ -1,0 +1,91 @@
+package sketch
+
+// Exact state capture for the durable checkpoint path. A recovered sketch
+// must not merely report the same quantiles — it must behave identically
+// on every future Add, or a crash/recover cycle would diverge from an
+// uninterrupted run and break the engine's crash-recovery equivalence
+// invariant. That means every field matters: the compaction counter's
+// parity decides which ranks the next compaction promotes, and the level
+// buffers must come back with their exact contents (including empty,
+// already-compacted levels).
+
+// MomentsState is the exported, serializable image of a Moments
+// accumulator. All fields are copied exactly; no derived quantity is
+// recomputed on restore.
+type MomentsState struct {
+	N        int64
+	Mean, M2 float64
+	Min, Max float64
+}
+
+// State captures the accumulator exactly.
+func (m *Moments) State() MomentsState {
+	return MomentsState{N: m.n, Mean: m.mean, M2: m.m2, Min: m.minV, Max: m.maxV}
+}
+
+// Restore overwrites the accumulator with a previously captured state.
+func (m *Moments) Restore(s MomentsState) {
+	m.n, m.mean, m.m2, m.minV, m.maxV = s.N, s.Mean, s.M2, s.Min, s.Max
+}
+
+// QuantileState is the exported, serializable image of a Quantile sketch.
+// Levels preserves buffer order and contents level by level; Compactions
+// preserves the alternating promotion offset.
+type QuantileState struct {
+	K           int
+	Levels      [][]float64
+	N           int64
+	Min, Max    float64
+	Compactions int
+}
+
+// State captures the sketch exactly. The level buffers are deep-copied so
+// the state outlives subsequent Adds. Nil receivers (an empty distAcc that
+// never saw a sample) return the zero state, which RestoreQuantile maps
+// back to nil.
+func (q *Quantile) State() QuantileState {
+	if q == nil {
+		return QuantileState{}
+	}
+	s := QuantileState{
+		K:           q.k,
+		N:           q.n,
+		Min:         q.minV,
+		Max:         q.maxV,
+		Compactions: q.compactions,
+	}
+	if len(q.levels) > 0 {
+		s.Levels = make([][]float64, len(q.levels))
+		for i, buf := range q.levels {
+			s.Levels[i] = append([]float64(nil), buf...)
+		}
+	}
+	return s
+}
+
+// RestoreQuantile reconstructs a sketch from a captured state. A zero
+// state (K == 0) returns nil, mirroring a never-used sketch pointer. Level
+// buffers are rebuilt at the sketch's per-level capacity so post-restore
+// compaction timing matches a sketch that never left memory.
+func RestoreQuantile(s QuantileState) *Quantile {
+	if s.K == 0 && s.N == 0 {
+		return nil
+	}
+	q := NewQuantile(s.K)
+	q.n = s.N
+	q.minV, q.maxV = s.Min, s.Max
+	q.compactions = s.Compactions
+	if len(s.Levels) > 0 {
+		q.levels = make([][]float64, len(s.Levels))
+		for i, buf := range s.Levels {
+			capHint := q.k
+			if len(buf) > capHint {
+				capHint = len(buf)
+			}
+			level := make([]float64, len(buf), capHint)
+			copy(level, buf)
+			q.levels[i] = level
+		}
+	}
+	return q
+}

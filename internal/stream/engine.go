@@ -102,12 +102,27 @@ type classSpatialAcc struct {
 	incidents, servers, max int
 }
 
+// Journal is the engine's durability hook. Append is called under the
+// engine's apply lock, immediately before a batch is folded in, with the
+// sequence number the batch's first event will take (the engine's event
+// count plus one); appends therefore land in exactly apply order. Sync is
+// called once per commit group, after every batch in the group has been
+// appended and applied, and before any of the group's callers observe
+// success — a batch whose caller saw a nil error is on stable storage.
+type Journal interface {
+	Append(startSeq int64, events []Event) error
+	Sync() error
+}
+
 // Engine is the incremental analysis engine. All methods are safe for
 // concurrent use; Apply batches are serialized internally.
 type Engine struct {
 	mu  sync.Mutex
 	cfg Config
 	win model.Window
+
+	// journal, when non-nil, receives every applied batch (under mu).
+	journal Journal
 
 	// Group-commit queue (ApplyGrouped): qmu guards the waiter list and
 	// the leader flag; it is never held while e.mu is being acquired.
@@ -217,18 +232,55 @@ func NewEngine(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// SetJournal attaches (or, with nil, detaches) the engine's write-ahead
+// journal. Attach only at a quiescent point — after recovery replay and
+// before serving ingest — so the journal never re-records replayed events.
+func (e *Engine) SetJournal(j Journal) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.journal = j
+}
+
+// journalBatchLocked appends a non-empty batch to the journal (when one is
+// attached) at the sequence its first event will take. A failed append
+// poisons the batch: it is not applied, so the journal never lags behind
+// the applied state.
+func (e *Engine) journalBatchLocked(events []Event) error {
+	if e.journal == nil || len(events) == 0 {
+		return nil
+	}
+	if err := e.journal.Append(e.events+1, events); err != nil {
+		return fmt.Errorf("stream: journal append: %w", err)
+	}
+	return nil
+}
+
+// syncJournalLocked makes the group's appends durable before any caller
+// observes success.
+func (e *Engine) syncJournalLocked() error {
+	if e.journal == nil {
+		return nil
+	}
+	if err := e.journal.Sync(); err != nil {
+		return fmt.Errorf("stream: journal sync: %w", err)
+	}
+	return nil
+}
+
 // Apply folds one ordered event batch into the engine's state.
 func (e *Engine) Apply(events []Event) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	for i := range events {
-		if err := e.applyLocked(&events[i]); err != nil {
-			return fmt.Errorf("stream: event %d: %w", i, err)
-		}
+	err := e.journalBatchLocked(events)
+	if err == nil {
+		err = e.applyBatchLocked(events)
 	}
 	e.advanceLocked()
 	e.flushMetricsLocked(e.cfg.Observer.Metrics())
-	return nil
+	if serr := e.syncJournalLocked(); serr != nil && err == nil {
+		err = serr
+	}
+	return err
 }
 
 // ApplyJSONL decodes a JSONL batch and applies it, returning the number of
@@ -255,12 +307,13 @@ func (e *Engine) ApplyJSONL(r io.Reader) (int, error) {
 type applyReq struct {
 	events  []Event
 	applied time.Duration
+	err     error // leader-stashed result while durability is pending
 	done    chan error
 }
 
 var applyReqPool = mempool.New("stream.applyreq", 64,
 	func() *applyReq { return &applyReq{done: make(chan error, 1)} },
-	func(r *applyReq) *applyReq { r.events = nil; r.applied = 0; return r },
+	func(r *applyReq) *applyReq { r.events = nil; r.applied = 0; r.err = nil; return r },
 )
 
 // applyBucketsMS are the engine-apply latency histogram bounds, in
@@ -317,10 +370,17 @@ func (e *Engine) ApplyGroupedTimed(events []Event) (time.Duration, error) {
 	applyHist := m.Histogram("stream.apply_ms", applyBucketsMS...)
 	e.mu.Lock()
 	t0 := time.Now()
-	err := e.applyBatchLocked(events)
+	err := e.journalBatchLocked(events)
+	if err == nil {
+		err = e.applyBatchLocked(events)
+	}
 	own := time.Since(t0)
 	applyHist.Observe(float64(own) / float64(time.Millisecond))
 	batches := 1
+	// With a journal attached, follower results are withheld until the
+	// group's single Sync lands; without one they release immediately,
+	// keeping the journal-off hot path unchanged.
+	var group []*applyReq
 	for {
 		e.qmu.Lock()
 		pending := e.queue
@@ -335,10 +395,18 @@ func (e *Engine) ApplyGroupedTimed(events []Event) (time.Duration, error) {
 		e.qmu.Unlock()
 		for _, r := range pending {
 			t0 = time.Now()
-			rerr := e.applyBatchLocked(r.events)
+			rerr := e.journalBatchLocked(r.events)
+			if rerr == nil {
+				rerr = e.applyBatchLocked(r.events)
+			}
 			r.applied = time.Since(t0)
 			applyHist.Observe(float64(r.applied) / float64(time.Millisecond))
-			r.done <- rerr
+			if e.journal != nil {
+				r.err = rerr
+				group = append(group, r)
+			} else {
+				r.done <- rerr
+			}
 			batches++
 		}
 	}
@@ -346,6 +414,19 @@ func (e *Engine) ApplyGroupedTimed(events []Event) (time.Duration, error) {
 	e.flushMetricsLocked(m)
 	m.Add("stream.apply_groups", 1)
 	m.Add("stream.apply_grouped_batches", int64(batches))
+	if serr := e.syncJournalLocked(); serr != nil {
+		if err == nil {
+			err = serr
+		}
+		for _, r := range group {
+			if r.err == nil {
+				r.err = serr
+			}
+		}
+	}
+	for _, r := range group {
+		r.done <- r.err
+	}
 	e.mu.Unlock()
 	return own, err
 }

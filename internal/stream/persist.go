@@ -1,0 +1,315 @@
+package stream
+
+// Engine checkpoint persistence — the state image the durable subsystem
+// writes at checkpoint time and the WAL replays on top of after a crash.
+// The blob is self-delimiting so it can be embedded in larger streams:
+//
+//	magic "FSENG001"
+//	gob engineImage      (counters, distributions, machine roster; its
+//	                      HasMonitor/HasDetector fields say what follows)
+//	monitordb binary segment   (iff HasMonitor)
+//	detect gob image           (iff HasDetector)
+//
+// Every statistic-bearing field is captured exactly: the headline
+// invariant is that an engine restored at sequence k and fed events[k:]
+// produces snapshots, reports, alerts and monitor exports DeepEqual to an
+// engine that applied the whole stream uninterrupted. Fields that are
+// pure observation (Observer registry, classifier scratch counters) are
+// not part of the image; they repopulate as the restored engine runs.
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"failscope/internal/model"
+	"failscope/internal/monitordb"
+	"failscope/internal/sketch"
+)
+
+const (
+	engineStateMagic   = "FSENG001"
+	engineStateVersion = 1
+)
+
+type distImage struct {
+	M sketch.MomentsState
+	Q sketch.QuantileState
+}
+
+type recImage struct {
+	Failures                  int
+	UncDay, UncWeek, UncMonth int
+	HitDay, HitWeek, HitMonth int
+}
+
+type spatialImage struct {
+	Incidents, Servers, Max int
+}
+
+type engineImage struct {
+	Version int
+
+	// Win is the observation window the image was produced under; an
+	// engine configured with a different window would recompute every
+	// censored denominator differently, so restore refuses a mismatch.
+	Win model.Window
+
+	Events    int64
+	Watermark time.Time
+
+	Machines    []model.Machine // machineList order (arrival order)
+	ServerCount [2][model.NumSystems + 1]int
+
+	Tickets, CrashTickets int64
+	DroppedOutOfWindow    int64
+	OutOfOrder            int64
+
+	SysAll, SysCrash [model.NumSystems + 1]int
+	SysKindCrash     [2][model.NumSystems + 1]int
+
+	Weekly       [2][model.NumSystems + 1][]int
+	WeeklyFailed [2][model.NumSystems + 1][]map[model.MachineID]bool
+
+	ClassCounts map[model.System]map[model.FailureClass]int
+	ClassTotals map[model.System]int
+
+	LastCrash  map[model.MachineID]time.Time
+	CrashCount map[model.MachineID]int
+
+	Gaps, Repairs [2]distImage
+	KindCrashes   [2]int
+	Reboots       [2]int
+	Failing       [2]int
+	Singles       [2]int
+
+	Rec [2][model.NumSystems + 1]recImage
+
+	Incidents       int
+	IncidentOne     int
+	IncidentTwoPlus int
+	IncidentServers int
+	MaxIncident     int
+	MaxIncidentCls  model.FailureClass
+	PMBuckets       [3]int
+	VMBuckets       [3]int
+	ClassSpatial    map[model.FailureClass]spatialImage
+
+	MonitorSamples int64
+
+	Confusion         map[[2]int]int
+	Scored, ScoredHit int64
+
+	HasMonitor, HasDetector bool
+}
+
+// WriteState serializes the engine's complete statistical state, returning
+// the sequence number (event count) the image captures. Safe to call
+// concurrently with appliers; the image is a consistent cut between
+// commit groups.
+func (e *Engine) WriteState(w io.Writer) (int64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(engineStateMagic); err != nil {
+		return 0, err
+	}
+
+	img := engineImage{
+		Version:            engineStateVersion,
+		Win:                e.win,
+		Events:             e.events,
+		Watermark:          e.watermark,
+		ServerCount:        e.serverCount,
+		Tickets:            e.tickets,
+		CrashTickets:       e.crashTickets,
+		DroppedOutOfWindow: e.droppedOutOfWindow,
+		OutOfOrder:         e.outOfOrder,
+		SysAll:             e.sysAll,
+		SysCrash:           e.sysCrash,
+		SysKindCrash:       e.sysKindCrash,
+		Weekly:             e.weekly,
+		WeeklyFailed:       e.weeklyFailed,
+		ClassCounts:        e.classCounts,
+		ClassTotals:        e.classTotals,
+		LastCrash:          e.lastCrash,
+		CrashCount:         e.crashCount,
+		KindCrashes:        e.kindCrashes,
+		Reboots:            e.reboots,
+		Failing:            e.failing,
+		Singles:            e.singles,
+		Incidents:          e.incidents,
+		IncidentOne:        e.incidentOne,
+		IncidentTwoPlus:    e.incidentTwoPlus,
+		IncidentServers:    e.incidentServers,
+		MaxIncident:        e.maxIncident,
+		MaxIncidentCls:     e.maxIncidentCls,
+		PMBuckets:          e.pmBuckets,
+		VMBuckets:          e.vmBuckets,
+		MonitorSamples:     e.monitorSamples,
+		Confusion:          e.confusion,
+		Scored:             e.scored,
+		ScoredHit:          e.scoredHit,
+		HasMonitor:         e.monitor != nil,
+		HasDetector:        e.cfg.Detector != nil,
+	}
+	img.Machines = make([]model.Machine, len(e.machineList))
+	for i, m := range e.machineList {
+		img.Machines[i] = *m
+	}
+	for k := 0; k < 2; k++ {
+		img.Gaps[k] = distImage{M: e.gaps[k].m.State(), Q: e.gaps[k].q.State()}
+		img.Repairs[k] = distImage{M: e.repairs[k].m.State(), Q: e.repairs[k].q.State()}
+		for s := 0; s <= model.NumSystems; s++ {
+			rc := e.rec[k][s]
+			img.Rec[k][s] = recImage{
+				Failures: rc.failures,
+				UncDay:   rc.uncDay, UncWeek: rc.uncWeek, UncMonth: rc.uncMonth,
+				HitDay: rc.hitDay, HitWeek: rc.hitWeek, HitMonth: rc.hitMonth,
+			}
+		}
+	}
+	img.ClassSpatial = make(map[model.FailureClass]spatialImage, len(e.classSpatial))
+	for cls, cs := range e.classSpatial {
+		img.ClassSpatial[cls] = spatialImage{Incidents: cs.incidents, Servers: cs.servers, Max: cs.max}
+	}
+	if err := gob.NewEncoder(bw).Encode(&img); err != nil {
+		return 0, fmt.Errorf("stream: write state: %w", err)
+	}
+
+	if e.monitor != nil {
+		if err := e.monitor.WriteSegment(bw); err != nil {
+			return 0, err
+		}
+	}
+	if e.cfg.Detector != nil {
+		if err := e.cfg.Detector.WriteState(bw); err != nil {
+			return 0, err
+		}
+	}
+	return e.events, bw.Flush()
+}
+
+// RestoreState overwrites the engine's statistical state with a previously
+// written image. The engine must be freshly configured with the same
+// observation window, monitoring and detection settings as the writer;
+// mismatches are refused rather than silently diverging. The journal, if
+// any, must be attached only after restore (and any WAL replay) completes.
+func (e *Engine) RestoreState(r io.Reader) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<16)
+	}
+	magic := make([]byte, len(engineStateMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("stream: read state magic: %w", err)
+	}
+	if string(magic) != engineStateMagic {
+		return fmt.Errorf("stream: bad state magic %q", magic)
+	}
+	var img engineImage
+	if err := gob.NewDecoder(br).Decode(&img); err != nil {
+		return fmt.Errorf("stream: read state: %w", err)
+	}
+	if img.Version != engineStateVersion {
+		return fmt.Errorf("stream: state version %d, want %d", img.Version, engineStateVersion)
+	}
+	if !img.Win.Start.Equal(e.win.Start) || !img.Win.End.Equal(e.win.End) {
+		return fmt.Errorf("stream: state window %v–%v, engine configured with %v–%v",
+			img.Win.Start, img.Win.End, e.win.Start, e.win.End)
+	}
+	if img.HasMonitor != (e.monitor != nil) {
+		return fmt.Errorf("stream: state monitor=%v, engine monitor=%v", img.HasMonitor, e.monitor != nil)
+	}
+	if img.HasDetector != (e.cfg.Detector != nil) {
+		return fmt.Errorf("stream: state detector=%v, engine detector=%v", img.HasDetector, e.cfg.Detector != nil)
+	}
+
+	e.events = img.Events
+	e.watermark = img.Watermark
+	e.machines = make(map[model.MachineID]*model.Machine, len(img.Machines))
+	e.machineList = make([]*model.Machine, len(img.Machines))
+	for i := range img.Machines {
+		m := img.Machines[i]
+		e.machineList[i] = &m
+		e.machines[m.ID] = &m
+	}
+	e.serverCount = img.ServerCount
+	e.tickets, e.crashTickets = img.Tickets, img.CrashTickets
+	e.droppedOutOfWindow = img.DroppedOutOfWindow
+	e.outOfOrder = img.OutOfOrder
+	e.sysAll, e.sysCrash = img.SysAll, img.SysCrash
+	e.sysKindCrash = img.SysKindCrash
+	e.weekly = img.Weekly
+	e.weeklyFailed = img.WeeklyFailed
+	e.classCounts = img.ClassCounts
+	if e.classCounts == nil {
+		e.classCounts = make(map[model.System]map[model.FailureClass]int)
+	}
+	e.classTotals = img.ClassTotals
+	if e.classTotals == nil {
+		e.classTotals = make(map[model.System]int)
+	}
+	e.lastCrash = img.LastCrash
+	if e.lastCrash == nil {
+		e.lastCrash = make(map[model.MachineID]time.Time)
+	}
+	e.crashCount = img.CrashCount
+	if e.crashCount == nil {
+		e.crashCount = make(map[model.MachineID]int)
+	}
+	for k := 0; k < 2; k++ {
+		e.gaps[k].m.Restore(img.Gaps[k].M)
+		e.gaps[k].q = sketch.RestoreQuantile(img.Gaps[k].Q)
+		e.repairs[k].m.Restore(img.Repairs[k].M)
+		e.repairs[k].q = sketch.RestoreQuantile(img.Repairs[k].Q)
+		for s := 0; s <= model.NumSystems; s++ {
+			ri := img.Rec[k][s]
+			e.rec[k][s] = recCounters{
+				failures: ri.Failures,
+				uncDay:   ri.UncDay, uncWeek: ri.UncWeek, uncMonth: ri.UncMonth,
+				hitDay: ri.HitDay, hitWeek: ri.HitWeek, hitMonth: ri.HitMonth,
+			}
+		}
+	}
+	e.kindCrashes, e.reboots = img.KindCrashes, img.Reboots
+	e.failing, e.singles = img.Failing, img.Singles
+	e.incidents = img.Incidents
+	e.incidentOne, e.incidentTwoPlus = img.IncidentOne, img.IncidentTwoPlus
+	e.incidentServers = img.IncidentServers
+	e.maxIncident, e.maxIncidentCls = img.MaxIncident, img.MaxIncidentCls
+	e.pmBuckets, e.vmBuckets = img.PMBuckets, img.VMBuckets
+	e.classSpatial = make(map[model.FailureClass]*classSpatialAcc, len(img.ClassSpatial))
+	for cls, cs := range img.ClassSpatial {
+		e.classSpatial[cls] = &classSpatialAcc{incidents: cs.Incidents, servers: cs.Servers, max: cs.Max}
+	}
+	e.monitorSamples = img.MonitorSamples
+	e.confusion = img.Confusion
+	if e.confusion == nil {
+		e.confusion = make(map[[2]int]int)
+	}
+	e.scored, e.scoredHit = img.Scored, img.ScoredHit
+
+	if img.HasMonitor {
+		db, err := monitordb.ReadSegment(br)
+		if err != nil {
+			return err
+		}
+		db.Instrument(e.cfg.Observer.Metrics())
+		db.SetLogger(e.cfg.Observer.Log())
+		e.monitor = db
+		_, e.monitorEnd = db.Window()
+	}
+	if img.HasDetector {
+		if err := e.cfg.Detector.RestoreState(br); err != nil {
+			return err
+		}
+	}
+	return nil
+}
