@@ -16,9 +16,14 @@
 // Usage:
 //
 //	failscoped [-addr localhost:8080] [-scale paper|small] [-seed N]
+//	failscoped -shards 4 -scale fleet
 //	failscoped -replay -scale small -replay-speed 0 [-classify]
 //	failscoped -scale small -v -debug-addr localhost:6060
 //	failscoped -data-dir /var/lib/failscope [-checkpoint-interval 1m]
+//
+// With -shards N > 1 the engine splits into N machine-hash shards behind
+// per-shard bounded ingest queues; reads merge the shard snapshots back
+// into the single-engine shape (see internal/shard and DESIGN.md §15).
 //
 // With -data-dir the daemon runs durably: every ingested batch is framed
 // into a write-ahead log before its POST succeeds, periodic checkpoints
@@ -45,9 +50,11 @@ import (
 
 	"failscope"
 	"failscope/internal/clikit"
+	"failscope/internal/detect"
 	"failscope/internal/durable"
 	"failscope/internal/ingest"
 	"failscope/internal/obs"
+	"failscope/internal/shard"
 	"failscope/internal/stream"
 )
 
@@ -70,6 +77,8 @@ func run() error {
 		replayWire  = flag.Bool("replay-wire", false, "with -replay: push the events through the JSONL wire codec (encode once, then pooled decode + grouped ingest under decode/ingest spans) instead of applying in-process slices")
 		classify    = flag.Bool("classify", false, "with -replay: train the two-stage ticket classifier on the generated tickets and score the stream online")
 		dataDir     = flag.String("data-dir", "", "directory for the durable store (WAL + checkpoints); empty runs in-memory only")
+		shards      = flag.Int("shards", 1, "stream-engine shards (machine-hash partitions; each shard is an independent engine behind its own ingest queue)")
+		shardQueue  = flag.Int("shard-queue", shard.DefaultQueueLen, "per-shard ingest queue capacity in batches (full queues block posters)")
 		ckptEvery   = flag.Duration("checkpoint-interval", 5*time.Minute, "with -data-dir: cadence of periodic checkpoints (0 disables the ticker; drain still checkpoints)")
 		detectOn    = flag.Bool("detect", true, "run the online failure detector (serves /v1/alerts and detect.* metrics)")
 		detHorizon  = flag.Duration("detect-horizon", 0, "alert confirmation horizon (0 = calibrated default)")
@@ -101,6 +110,15 @@ func run() error {
 	if *classify && !*replay {
 		return fmt.Errorf("-classify needs -replay (it trains on the generated tickets)")
 	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be >= 1 (got %d)", *shards)
+	}
+	if *dataDir != "" && *shards > 1 {
+		// The durable store journals and checkpoints exactly one engine; a
+		// sharded fleet would need per-shard WALs with a recovery that
+		// replays them against the same hash ownership (DESIGN.md §15).
+		return fmt.Errorf("-data-dir requires -shards 1: durable mode journals a single engine (per-shard WALs are not implemented yet)")
+	}
 
 	o, stopDebug, err := ofl.Observer("failscoped")
 	if err != nil {
@@ -113,7 +131,7 @@ func run() error {
 		o = obs.NewObserver("failscoped")
 	}
 	o.SetMeta(study.Generator.Seed, *parallel,
-		fmt.Sprintf("scale=%s replay=%v speed=%g", *scale, *replay, *replaySpeed))
+		fmt.Sprintf("scale=%s replay=%v speed=%g shards=%d", *scale, *replay, *replaySpeed, *shards))
 
 	// Generate the replay dataset (and optionally train the classifier)
 	// before the server comes up, so the first snapshot already has the
@@ -147,19 +165,44 @@ func run() error {
 		events = stream.EventsFromField(field.Data, field.Tickets, field.Monitor)
 		fmt.Fprintf(os.Stderr, "failscoped: replaying %d events (%s scale)\n", len(events), *scale)
 	}
-	if *detectOn {
-		// Created after classifier training so raised alerts carry the
-		// frozen model's cause attribution when -classify is on.
-		cfg.Detector = failscope.NewDetector(failscope.DetectorConfig{
-			Horizon:    *detHorizon,
-			Classifier: cfg.Classifier,
-		})
+	// One engine per shard, each with its own detector (machines are
+	// disjoint across shards, so detection state never splits). The frozen
+	// classifier model is read-only at predict time and safely shared; a
+	// single-shard daemon gets exactly the pre-sharding configuration — no
+	// gauge labels, no queues.
+	engines := make([]*stream.Engine, *shards)
+	var detectors []*detect.Detector
+	for i := range engines {
+		ecfg := cfg
+		if *shards > 1 {
+			ecfg.GaugeLabel = fmt.Sprint(i)
+		}
+		if *detectOn {
+			// Created after classifier training so raised alerts carry the
+			// frozen model's cause attribution when -classify is on.
+			d := failscope.NewDetector(failscope.DetectorConfig{
+				Horizon:    *detHorizon,
+				Classifier: cfg.Classifier,
+			})
+			detectors = append(detectors, d)
+			ecfg.Detector = d
+		}
+		engines[i], err = stream.NewEngine(ecfg)
+		if err != nil {
+			return err
+		}
 	}
-
-	eng, err := stream.NewEngine(cfg)
+	rt, err := shard.New(shard.Options{
+		Engines:   engines,
+		Detectors: detectors,
+		QueueLen:  *shardQueue,
+		Registry:  o.Metrics(),
+	})
 	if err != nil {
 		return err
 	}
+	defer rt.Close()
+	eng := engines[0] // durable mode (single-shard only) journals this one
 
 	// Durable mode: recover whatever a previous process persisted, then
 	// attach the store as the engine's journal so every applied batch hits
@@ -206,7 +249,7 @@ func run() error {
 	}
 	// -history-interval comes from the shared clikit flag set; it paces the
 	// API server's history ring here and the debug server's when set.
-	api := newServer(eng, o, serverOptions{
+	api := newServer(rt, o, serverOptions{
 		historyInterval: ofl.HistoryTick,
 		historySize:     *histSize,
 		traceSlow:       *traceSlow,
@@ -221,9 +264,9 @@ func run() error {
 	replayDone := make(chan error, 1)
 	stopReplay := make(chan struct{})
 	if *replay && *replayWire {
-		go func() { replayDone <- replayWireEvents(eng, o, events, *replayBatch, stopReplay) }()
+		go func() { replayDone <- replayWireEvents(rt, o, events, *replayBatch, stopReplay) }()
 	} else if *replay {
-		go func() { replayDone <- replayEvents(eng, events, *replayBatch, *replaySpeed, stopReplay) }()
+		go func() { replayDone <- replayEvents(rt, events, *replayBatch, *replaySpeed, stopReplay) }()
 	} else {
 		replayDone <- nil
 	}
@@ -293,7 +336,7 @@ func run() error {
 		}
 		fmt.Fprintf(os.Stderr, "failscoped: final checkpoint at seq %d\n", seq)
 	}
-	return ofl.Emit("failscoped", o, nil)
+	return ofl.Emit("failscoped", o, func(rep *obs.RunReport) { rep.Meta.Shards = *shards })
 }
 
 // replayWireEvents replays through the full wire path so RunReports carry
@@ -301,7 +344,7 @@ func run() error {
 // per *batch events), then every batch goes through a pooled zero-copy
 // decode pass (the "decode" span, pure codec cost) and a decode+group-
 // commit pass (the "ingest" span, the server's end-to-end ingestion cost).
-func replayWireEvents(eng *stream.Engine, o *obs.Observer, events []stream.Event, batch int, stop <-chan struct{}) error {
+func replayWireEvents(rt *shard.Router, o *obs.Observer, events []stream.Event, batch int, stop <-chan struct{}) error {
 	if batch < 1 {
 		batch = 1
 	}
@@ -352,7 +395,7 @@ func replayWireEvents(eng *stream.Engine, o *obs.Observer, events []stream.Event
 		b := stream.GetBatch()
 		n, err := b.DecodeJSONLInto(&rd)
 		if err == nil {
-			err = eng.ApplyGrouped(b.Events)
+			err = rt.Apply(b.Events)
 		}
 		b.Release()
 		if err != nil {
@@ -368,7 +411,7 @@ func replayWireEvents(eng *stream.Engine, o *obs.Observer, events []stream.Event
 // replayEvents streams the dataset into the engine in arrival order.
 // speed > 0 paces the stream: that many simulated seconds pass per wall
 // second, measured batch to batch on the event timestamps.
-func replayEvents(eng *stream.Engine, events []stream.Event, batch int, speed float64, stop <-chan struct{}) error {
+func replayEvents(rt *shard.Router, events []stream.Event, batch int, speed float64, stop <-chan struct{}) error {
 	if batch < 1 {
 		batch = 1
 	}
@@ -396,7 +439,7 @@ func replayEvents(eng *stream.Engine, events []stream.Event, batch int, speed fl
 				prev = at
 			}
 		}
-		if err := eng.Apply(events[lo:hi]); err != nil {
+		if err := rt.Apply(events[lo:hi]); err != nil {
 			return fmt.Errorf("replay: %w", err)
 		}
 	}

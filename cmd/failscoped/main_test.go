@@ -18,6 +18,7 @@ import (
 	"failscope/internal/fidelity"
 	"failscope/internal/model"
 	"failscope/internal/obs"
+	"failscope/internal/shard"
 	"failscope/internal/stream"
 	"failscope/internal/telemetry"
 	"failscope/internal/textmine"
@@ -34,7 +35,7 @@ func testServer(t *testing.T) (*server, *stream.Engine) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(eng, obs.NewObserver("failscoped-test"), serverOptions{})
+	srv := newServer(shard.Single(eng), obs.NewObserver("failscoped-test"), serverOptions{})
 	t.Cleanup(srv.Close)
 	return srv, eng
 }
@@ -306,7 +307,7 @@ func TestReplayEventsPacingAndStop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := replayEvents(eng, events, 2, 0, make(chan struct{})); err != nil {
+	if err := replayEvents(shard.Single(eng), events, 2, 0, make(chan struct{})); err != nil {
 		t.Fatal(err)
 	}
 	if snap := eng.Snapshot(); snap.Events != int64(len(events)) {
@@ -316,7 +317,7 @@ func TestReplayEventsPacingAndStop(t *testing.T) {
 	stopped := make(chan struct{})
 	close(stopped)
 	eng2, _ := stream.NewEngine(stream.Config{Observation: testWindow})
-	if err := replayEvents(eng2, events, 1, 0, stopped); err != nil {
+	if err := replayEvents(shard.Single(eng2), events, 1, 0, stopped); err != nil {
 		t.Fatal(err)
 	}
 	if snap := eng2.Snapshot(); snap.Events != 0 {
@@ -337,7 +338,7 @@ func TestReportWithClassifierSerializes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(eng, obs.NewObserver("failscoped-test"), serverOptions{})
+	srv := newServer(shard.Single(eng), obs.NewObserver("failscoped-test"), serverOptions{})
 	t.Cleanup(srv.Close)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -388,7 +389,7 @@ func TestTelemetryEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(eng, o, serverOptions{ // engine and server share one registry
+	srv := newServer(shard.Single(eng), o, serverOptions{ // engine and server share one registry
 		historyInterval: 5 * time.Millisecond,
 		historySize:     16,
 		traceSlow:       0, // retain every request
@@ -599,7 +600,7 @@ func TestAlertsEndpointAndSeq(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(eng, obs.NewObserver("failscoped-test"), serverOptions{})
+	srv := newServer(shard.Single(eng), obs.NewObserver("failscoped-test"), serverOptions{})
 	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -707,7 +708,7 @@ func TestDurableServerSurface(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng.SetJournal(store)
-	srv := newServer(eng, o, serverOptions{store: store, recovery: &info})
+	srv := newServer(shard.Single(eng), o, serverOptions{store: store, recovery: &info})
 	t.Cleanup(srv.Close)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -806,7 +807,7 @@ func TestDurableServerSurface(t *testing.T) {
 	if info2.Seq != 5 || info2.ReplayedEvents != 5 {
 		t.Fatalf("recovery info = %+v, want seq 5 / 5 events replayed", info2)
 	}
-	srv2 := newServer(eng2, obs.NewObserver("failscoped-durable-test2"), serverOptions{store: store2, recovery: &info2})
+	srv2 := newServer(shard.Single(eng2), obs.NewObserver("failscoped-durable-test2"), serverOptions{store: store2, recovery: &info2})
 	t.Cleanup(srv2.Close)
 	ts2 := httptest.NewServer(srv2)
 	defer ts2.Close()

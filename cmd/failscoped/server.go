@@ -11,6 +11,7 @@ import (
 	"failscope/internal/durable"
 	"failscope/internal/mempool"
 	"failscope/internal/obs"
+	"failscope/internal/shard"
 	"failscope/internal/stream"
 	"failscope/internal/telemetry"
 )
@@ -49,6 +50,9 @@ var metricHelp = map[string]string{
 	"durable.recovery_replayed_records": "WAL records replayed by the last recovery",
 	"durable.recovery_replayed_events":  "events replayed into the engine by the last recovery",
 	"durable.recovery_replay_ms":        "wall time of the last recovery in milliseconds",
+	"shard.events":                      "events applied, by shard",
+	"shard.queue_depth":                 "batches waiting in a shard's ingest queue",
+	"shard.merge_ms":                    "cross-shard snapshot merge latency in milliseconds",
 }
 
 // serverOptions sizes the telemetry attached to the HTTP surface. The zero
@@ -70,7 +74,7 @@ type serverOptions struct {
 // observer and the telemetry rings, so the httptest suite can exercise it
 // without a listener.
 type server struct {
-	eng      *stream.Engine
+	rt       *shard.Router
 	obs      *obs.Observer
 	mux      *http.ServeMux
 	tracer   *telemetry.Tracer
@@ -88,14 +92,14 @@ type server struct {
 	closeOnce sync.Once
 }
 
-func newServer(eng *stream.Engine, o *obs.Observer, opts serverOptions) *server {
+func newServer(rt *shard.Router, o *obs.Observer, opts serverOptions) *server {
 	// The telemetry surface needs a live registry even when the user asked
 	// for no observer output, so the daemon always observes itself.
 	if o == nil {
 		o = obs.NewObserver("failscoped")
 	}
 	s := &server{
-		eng: eng, obs: o, mux: http.NewServeMux(), started: time.Now(),
+		rt: rt, obs: o, mux: http.NewServeMux(), started: time.Now(),
 		store: opts.store, recovery: opts.recovery,
 	}
 	s.tracer = telemetry.NewTracer(o.Metrics(), opts.traceBuffer, opts.traceSlow)
@@ -167,7 +171,7 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	a.SetItems(n)
 	endCommit := a.StartSpan("group-commit")
-	applied, err := s.eng.ApplyGroupedTimed(b.Events)
+	applied, err := s.rt.ApplyTimed(b.Events)
 	endCommit()
 	if err != nil {
 		s.obs.Metrics().Add(telemetry.Labeled("serve.rejected_batches", "reason", "apply"), 1)
@@ -185,7 +189,7 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 // correlated: two responses with the same X-Failscope-Seq observed the
 // same applied-event prefix of the stream.
 func (s *server) seqHeader(w http.ResponseWriter) int64 {
-	seq := s.eng.Seq()
+	seq := s.rt.Seq()
 	w.Header().Set("X-Failscope-Seq", fmt.Sprint(seq))
 	return seq
 }
@@ -195,7 +199,7 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
 		return
 	}
-	snap := s.eng.Snapshot()
+	snap := s.rt.Snapshot()
 	w.Header().Set("X-Failscope-Seq", fmt.Sprint(snap.Seq))
 	s.writeJSON(w, snap)
 }
@@ -208,13 +212,12 @@ func (s *server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
 		return
 	}
-	det := s.eng.Detector()
-	if det == nil {
+	snap := s.rt.Alerts()
+	if snap == nil {
 		s.fail(w, r, http.StatusNotFound, fmt.Errorf("detection disabled (-detect=false)"))
 		return
 	}
 	seq := s.seqHeader(w)
-	snap := det.Snapshot()
 	s.writeJSON(w, map[string]any{
 		"seq":       seq,
 		"detection": snap,
@@ -228,7 +231,7 @@ func (s *server) handleRates(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
 		return
 	}
-	snap := s.eng.Snapshot()
+	snap := s.rt.Snapshot()
 	s.writeJSON(w, map[string]any{
 		"watermark": snap.Watermark,
 		"tickets":   snap.Tickets,
@@ -241,7 +244,7 @@ func (s *server) handleFidelity(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
 		return
 	}
-	s.writeJSON(w, s.eng.Snapshot().Fidelity())
+	s.writeJSON(w, s.rt.Snapshot().Fidelity())
 }
 
 // handleMetrics serves the observer registry (plus Go runtime gauges) in
@@ -254,6 +257,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	mempool.Publish(s.obs.Metrics())
 	s.publishDecodeStats()
+	s.rt.Publish(s.obs.Metrics())
 	s.seqHeader(w)
 	telemetry.Handler(s.obs.Metrics(), metricHelp).ServeHTTP(w, r)
 }
@@ -307,11 +311,12 @@ var buildVersion = sync.OnceValue(func() map[string]string {
 // handleHealth is the liveness probe, enriched with build identity, uptime
 // and the ingestion counters a fleet health checker wants in one read.
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	snap := s.eng.Snapshot()
+	snap := s.rt.Snapshot()
 	w.Header().Set("X-Failscope-Seq", fmt.Sprint(snap.Seq))
 	body := map[string]any{
 		"status":          "ok",
 		"seq":             snap.Seq,
+		"shards":          s.rt.Shards(),
 		"time":            time.Now().UTC().Format(time.RFC3339),
 		"build":           buildVersion(),
 		"uptime_seconds":  time.Since(s.started).Seconds(),

@@ -12,11 +12,14 @@
 // With -once it scrapes a single page, prints the dashboard without
 // clearing the terminal and exits — non-zero when the scrape fails, the
 // page fails conformance, or the exposition is empty, which makes it the
-// CI scrape-smoke checker. When the daemon runs with online detection the
-// dashboard adds an alerts pane: active/raised/cleared alert counts,
-// confirm/expire resolution tallies and the lead-time quantiles. When it
-// runs durably (-data-dir) a durability pane follows: WAL growth, live
-// segment count, newest checkpoint sequence and fsync/checkpoint latency.
+// CI scrape-smoke checker. When the daemon runs sharded (-shards N) a
+// shards pane appears: per-shard event totals and rates, ingest queue
+// depths and the snapshot-merge latency quantiles. When the daemon runs
+// with online detection the dashboard adds an alerts pane: active/raised/
+// cleared alert counts, confirm/expire resolution tallies and the
+// lead-time quantiles. When it runs durably (-data-dir) a durability pane
+// follows: WAL growth, live segment count, newest checkpoint sequence and
+// fsync/checkpoint latency.
 package main
 
 import (
@@ -220,6 +223,48 @@ func errorsFor(s *sample, endpoint string) float64 {
 	return sum
 }
 
+// shardIDs lists the shard labels seen in the shard_events_total family,
+// sorted numerically by the usual string trick (ids are small ints).
+func shardIDs(s *sample) []string {
+	f := s.fams.Get("shard_events_total")
+	if f == nil {
+		return nil
+	}
+	set := map[string]bool{}
+	for _, sr := range f.Series {
+		if id := sr.Label("shard"); id != "" {
+			set[id] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// labeledRate is rate for one labeled series.
+func labeledRate(prev, cur *sample, family, key, val string) float64 {
+	if prev == nil {
+		return math.NaN()
+	}
+	dt := cur.at.Sub(prev.at).Seconds()
+	if dt <= 0 {
+		return math.NaN()
+	}
+	p, c := prev.fams.Value(family, key, val), cur.fams.Value(family, key, val)
+	if math.IsNaN(p) || math.IsNaN(c) {
+		return math.NaN()
+	}
+	return (c - p) / dt
+}
+
 // pools lists the buffer pools seen in the mempool_* gauges, sorted.
 func pools(s *sample) []string {
 	set := map[string]bool{}
@@ -286,6 +331,21 @@ func render(w io.Writer, prev, cur *sample, base string) {
 			fmt.Fprintf(w, "%-22s %10s %10s %7s%%\n", p, fmtNum(hits), fmtNum(misses), fmtNum(pct))
 		}
 		fmt.Fprintln(w)
+	}
+
+	if ids := shardIDs(cur); len(ids) > 0 {
+		fmt.Fprintf(w, "%-22s %10s %10s %10s\n", "shard", "events", "ev/s", "queue")
+		for _, id := range ids {
+			fmt.Fprintf(w, "%-22s %10s %10s %10s\n", id,
+				fmtNum(cur.fams.Value("shard_events_total", "shard", id)),
+				fmtNum(labeledRate(prev, cur, "shard_events_total", "shard", id)),
+				fmtNum(cur.fams.Value("shard_queue_depth", "shard", id)))
+		}
+		fmt.Fprintf(w, "merge      %12s merges   p50 %sms  p95 %sms  p99 %sms\n\n",
+			fmtNum(histCount(cur, "shard_merge_ms")),
+			fmtNum(cur.value("shard_merge_ms_p50")),
+			fmtNum(cur.value("shard_merge_ms_p95")),
+			fmtNum(cur.value("shard_merge_ms_p99")))
 	}
 
 	if cur.fams.Get("detect_alerts_active") != nil {

@@ -74,14 +74,22 @@ type Result struct {
 func (r *Result) Regressed() bool { return r.Regressions > 0 }
 
 // MetaComparable decides whether wall times from the two runs may be
-// compared: same core count, same GOMAXPROCS, and — when both report it —
-// physical memory within a factor of two.
+// compared: same core count, same GOMAXPROCS, same stream-engine shard
+// count (0 normalizes to 1 — old reports predate the field), and — when
+// both report it — physical memory within a factor of two. Shard count is
+// a parallelism knob exactly like GOMAXPROCS: a 4-shard daemon spreads
+// apply work across four queues, so its wall times say nothing about a
+// 1-shard baseline. Allocation gates do not go through this check — a
+// per-event allocation regression is real at any shard count.
 func MetaComparable(base, cur obs.RunMeta) (bool, string) {
 	if base.NumCPU != cur.NumCPU {
 		return false, fmt.Sprintf("num_cpu differs: baseline %d vs current %d", base.NumCPU, cur.NumCPU)
 	}
 	if base.GOMAXPROCS != cur.GOMAXPROCS {
 		return false, fmt.Sprintf("gomaxprocs differs: baseline %d vs current %d", base.GOMAXPROCS, cur.GOMAXPROCS)
+	}
+	if bs, cs := normShards(base.Shards), normShards(cur.Shards); bs != cs {
+		return false, fmt.Sprintf("shard count differs: baseline %d vs current %d", bs, cs)
 	}
 	if base.MemoryMB > 0 && cur.MemoryMB > 0 {
 		lo, hi := base.MemoryMB, cur.MemoryMB
@@ -93,6 +101,15 @@ func MetaComparable(base, cur obs.RunMeta) (bool, string) {
 		}
 	}
 	return true, ""
+}
+
+// normShards folds the zero value onto 1: reports written before the
+// shards field existed all came from single-engine runs.
+func normShards(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return n
 }
 
 type spanAt struct {

@@ -145,3 +145,41 @@ func TestCompareAllocsGateWithoutComparableMeta(t *testing.T) {
 		t.Fatalf("alloc regression must gate across machines: %s", Format(res))
 	}
 }
+
+func TestShardCountComparability(t *testing.T) {
+	// Shard count is a parallelism boundary like GOMAXPROCS: wall-time
+	// verdicts across differing counts are refused outright.
+	m1, m4 := meta(8, 8, 64_000), meta(8, 8, 64_000)
+	m1.Shards, m4.Shards = 1, 4
+	if ok, reason := MetaComparable(m1, m4); ok || !strings.Contains(reason, "shard") {
+		t.Fatalf("1-vs-4 shards comparable = %v (%q), want refusal naming shards", ok, reason)
+	}
+	// Zero normalizes to one: reports that predate the field are
+	// single-engine runs and stay comparable with explicit -shards 1.
+	m0 := meta(8, 8, 64_000)
+	if ok, reason := MetaComparable(m0, m1); !ok {
+		t.Fatalf("0-vs-1 shards not comparable: %s", reason)
+	}
+	if ok, reason := MetaComparable(m4, m4); !ok {
+		t.Fatalf("4-vs-4 shards not comparable: %s", reason)
+	}
+}
+
+func TestShardMismatchSkipsTimeKeepsAllocGate(t *testing.T) {
+	m1, m4 := meta(8, 8, 64_000), meta(8, 8, 64_000)
+	m1.Shards, m4.Shards = 1, 4
+	base := report(m1, span("run", 1000, 100_000, 8))
+	// Current run is 3x faster on 4 shards — no wall-time verdict either
+	// way — but allocates 3x more, which must still be flagged.
+	cur := report(m4, span("run", 333, 300_000, 8))
+	res := Compare(base, cur, DefaultOptions())
+	if res.Comparable {
+		t.Fatal("runs with differing shard counts judged comparable")
+	}
+	if res.Rows[0].TimeChecked {
+		t.Fatal("wall time judged across differing shard counts")
+	}
+	if !res.Rows[0].AllocRegressed {
+		t.Fatalf("alloc regression not flagged across shard counts: %s", Format(res))
+	}
+}

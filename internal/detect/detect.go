@@ -203,6 +203,11 @@ type Detector struct {
 
 	machines map[model.MachineID]*machineState
 	hostVMs  map[model.MachineID]int
+	// refHosts tracks the host assignments of replica VMs — machines a
+	// shard router owns elsewhere — so hostVMs counts consolidation over
+	// the whole fleet while the machine inventory (and every per-machine
+	// statistic) stays shard-disjoint.
+	refHosts map[model.MachineID]model.MachineID
 
 	firstEvent time.Time
 	watermark  time.Time
@@ -288,6 +293,7 @@ func (d *Detector) noteTimeLocked(t time.Time) {
 func (d *Detector) ObserveMachine(m *model.Machine) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.dropRefHostLocked(m.ID)
 	st := d.stateLocked(m.ID)
 	st.kind = m.Kind
 	st.system = m.System
@@ -299,12 +305,73 @@ func (d *Detector) ObserveMachine(m *model.Machine) {
 	}
 }
 
+// ObserveMachineRef records a replica machine's host assignment: the
+// machine lives on another shard, but its contribution to the host's
+// consolidation count must still be visible to this shard's risk scorer.
+// No machine state is created — replicas stay out of the inventory, the
+// machine-weeks denominator and every per-machine rule.
+func (d *Detector) ObserveMachineRef(m *model.Machine) {
+	if m.HostID == "" {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if prev, ok := d.refHosts[m.ID]; ok {
+		if prev == m.HostID {
+			return
+		}
+		d.hostVMs[prev]--
+	}
+	if d.refHosts == nil {
+		d.refHosts = make(map[model.MachineID]model.MachineID)
+	}
+	d.refHosts[m.ID] = m.HostID
+	d.hostVMs[m.HostID]++
+}
+
+// ObservePlacementRef is ObservePlacement for a replica VM: it applies the
+// same host transition to hostVMs through the refHosts ledger instead of
+// the machine's own state.
+func (d *Detector) ObservePlacementRef(vm, host model.MachineID, at time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.noteTimeLocked(at)
+	if prev, ok := d.refHosts[vm]; ok {
+		if prev == host {
+			return
+		}
+		if prev != "" {
+			d.hostVMs[prev]--
+		}
+	}
+	if d.refHosts == nil {
+		d.refHosts = make(map[model.MachineID]model.MachineID)
+	}
+	d.refHosts[vm] = host
+	if host != "" {
+		d.hostVMs[host]++
+	}
+}
+
+// dropRefHostLocked clears any replica-side host accounting for a machine
+// the detector is about to observe as a primary — the promotion case a
+// direct (router-less) user can produce.
+func (d *Detector) dropRefHostLocked(id model.MachineID) {
+	if prev, ok := d.refHosts[id]; ok {
+		if prev != "" {
+			d.hostVMs[prev]--
+		}
+		delete(d.refHosts, id)
+	}
+}
+
 // ObservePlacement tracks a VM's current host so the risk scorer can read
 // the live consolidation level.
 func (d *Detector) ObservePlacement(vm, host model.MachineID, at time.Time) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.noteTimeLocked(at)
+	d.dropRefHostLocked(vm)
 	st := d.stateLocked(vm)
 	if st.host == host {
 		return

@@ -73,6 +73,10 @@ type RunMeta struct {
 	Seed        uint64 `json:"seed,omitempty"`
 	Parallelism int    `json:"parallelism,omitempty"`
 	Config      string `json:"config,omitempty"`
+	// Shards is the stream-engine shard count the run drove (0 = unsharded,
+	// equivalent to 1). Like GOMAXPROCS it is a comparability boundary:
+	// wall-time verdicts across differing shard counts are meaningless.
+	Shards int `json:"shards,omitempty"`
 }
 
 // RunReport is the machine-readable record of one pipeline run — the

@@ -1,0 +1,156 @@
+package sketch
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"failscope/internal/xrand"
+)
+
+// These property tests pin the contract the shard merge path leans on:
+// splitting one value stream across S shard-local sketches and merging
+// them must land on the whole-stream sketch within the same tolerances
+// the engine-vs-batch suite enforces — exact N and extremes, 1e-9
+// relative moments, 5% quantiles against the exact order statistics.
+// Splits are randomized (fixed seeds, so failures replay) across shard
+// counts, skewed assignments and heavy-tailed values.
+
+// randomValues draws n heavy-tailed positive values (exp of a normal-ish
+// sum), the shape of repair times and inter-failure gaps.
+func randomValues(rng *xrand.RNG, n int) []float64 {
+	vals := make([]float64, n)
+	for i := range vals {
+		s := 0.0
+		for k := 0; k < 6; k++ {
+			s += rng.Float64() - 0.5
+		}
+		vals[i] = math.Exp(2*s) * (1 + 99*rng.Float64())
+	}
+	return vals
+}
+
+// splitAssign deals each value to one of s shards. A skew parameter
+// biases the deal so one shard sees most of the stream — the hash router
+// never splits evenly either.
+func splitAssign(rng *xrand.RNG, n, s int, skew float64) []int {
+	owner := make([]int, n)
+	for i := range owner {
+		if rng.Float64() < skew {
+			owner[i] = 0
+		} else {
+			owner[i] = rng.Intn(s)
+		}
+	}
+	return owner
+}
+
+func TestMomentsMergeRandomSplits(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		shards int
+		n      int
+		skew   float64
+		seed   uint64
+	}{
+		{"2-even", 2, 1000, 0, 1},
+		{"3-skewed", 3, 777, 0.8, 2},
+		{"8-even", 8, 5000, 0, 3},
+		{"8-one-heavy", 8, 5000, 0.95, 4},
+		{"8-tiny", 8, 9, 0, 5}, // more shards than values: most stay empty
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := xrand.Derive(tc.seed, 0x3e57)
+			vals := randomValues(rng, tc.n)
+			owner := splitAssign(rng, tc.n, tc.shards, tc.skew)
+
+			var whole Moments
+			parts := make([]Moments, tc.shards)
+			for i, v := range vals {
+				whole.Add(v)
+				parts[owner[i]].Add(v)
+			}
+			var merged Moments
+			for _, p := range parts {
+				merged.Merge(p)
+			}
+
+			if merged.N() != whole.N() {
+				t.Fatalf("N = %d, want %d", merged.N(), whole.N())
+			}
+			if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+				t.Errorf("extremes = [%g, %g], want [%g, %g]",
+					merged.Min(), merged.Max(), whole.Min(), whole.Max())
+			}
+			if rel := math.Abs(merged.Mean()-whole.Mean()) / math.Abs(whole.Mean()); rel > 1e-9 {
+				t.Errorf("mean off by %g relative (merged %g, whole %g)", rel, merged.Mean(), whole.Mean())
+			}
+			if whole.N() > 1 {
+				if rel := math.Abs(merged.StdDev()-whole.StdDev()) / whole.StdDev(); rel > 1e-9 {
+					t.Errorf("stddev off by %g relative (merged %g, whole %g)", rel, merged.StdDev(), whole.StdDev())
+				}
+			}
+		})
+	}
+}
+
+func TestQuantileMergeRandomSplits(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		shards int
+		n      int
+		skew   float64
+		seed   uint64
+	}{
+		{"2-even", 2, 2000, 0, 11},
+		{"3-skewed", 3, 1500, 0.7, 12},
+		{"8-even", 8, 8000, 0, 13},
+		{"8-one-heavy", 8, 8000, 0.9, 14},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := xrand.Derive(tc.seed, 0x9a17)
+			vals := randomValues(rng, tc.n)
+			owner := splitAssign(rng, tc.n, tc.shards, tc.skew)
+
+			whole := NewQuantile(DefaultK)
+			parts := make([]*Quantile, tc.shards)
+			for s := range parts {
+				parts[s] = NewQuantile(DefaultK)
+			}
+			for i, v := range vals {
+				whole.Add(v)
+				parts[owner[i]].Add(v)
+			}
+			merged := NewQuantile(DefaultK)
+			for _, p := range parts {
+				merged.Merge(p)
+			}
+
+			if merged.N() != whole.N() {
+				t.Fatalf("N = %d, want %d", merged.N(), whole.N())
+			}
+			if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+				t.Errorf("extremes = [%g, %g], want [%g, %g]",
+					merged.Min(), merged.Max(), whole.Min(), whole.Max())
+			}
+			sorted := append([]float64(nil), vals...)
+			sort.Float64s(sorted)
+			for _, p := range []float64{0.25, 0.5, 0.75, 0.95} {
+				exact := exactQuantile(sorted, p)
+				got := merged.Query(p)
+				// 5% relative on the value, like the engine convergence
+				// suite; rank drift on a heavy tail can exceed a strict
+				// value bound, so also accept a ±3% rank-window match.
+				if math.Abs(got-exact) <= 0.05*math.Abs(exact) {
+					continue
+				}
+				lo := exactQuantile(sorted, math.Max(0, p-0.03))
+				hi := exactQuantile(sorted, math.Min(1, p+0.03))
+				if got < lo || got > hi {
+					t.Errorf("p%.0f = %g, want %g ±5%% (rank window [%g, %g])",
+						p*100, got, exact, lo, hi)
+				}
+			}
+		})
+	}
+}

@@ -597,7 +597,7 @@ func (p *fastParser) skipValue() bool {
 // is not an exact match but case-folds to a known one would be assigned by
 // encoding/json, so the fast path delegates.
 var (
-	eventKeys    = []string{"type", "machine", "ticket", "incident", "serverID", "metric", "time", "value", "on", "host"}
+	eventKeys    = []string{"type", "machine", "ticket", "incident", "serverID", "metric", "time", "value", "on", "host", "ref"}
 	machineKeys  = []string{"id", "kind", "system", "capacity", "hostID", "created"}
 	ticketKeys   = []string{"id", "serverID", "incidentID", "system", "opened", "closed", "description", "resolution", "isCrash", "class"}
 	incidentKeys = []string{"id", "class", "time", "servers"}
@@ -922,6 +922,13 @@ func (b *Batch) fastParseEvent(line []byte, ev *Event) bool {
 			} else {
 				*ev.On = v
 			}
+			ok = true
+		case "ref":
+			v, null, bok := p.parseBool()
+			if !bok || null {
+				return false
+			}
+			ev.Ref = v
 			ok = true
 		default:
 			ok = p.unknownKey(key, eventKeys)

@@ -12,6 +12,7 @@ import (
 	"failscope/internal/monitordb"
 	"failscope/internal/obs"
 	"failscope/internal/sketch"
+	"failscope/internal/telemetry"
 	"failscope/internal/textmine"
 )
 
@@ -53,6 +54,16 @@ type Config struct {
 	// byte-identical with detection on or off (enforced by
 	// TestDetectionByteIdentical at the repo root).
 	Detector *detect.Detector
+
+	// GaugeLabel, when non-empty, makes the engine publish its stream.*
+	// gauges under a {shard="<label>"} Prometheus label and leave the
+	// unlabeled families, the monitordb footprint gauges and the detect.*
+	// families to the coordinator — N shard engines can then share one
+	// registry without stomping each other's point-in-time values, while
+	// counters and histograms (which aggregate by addition) stay shared and
+	// unlabeled. Empty (the default, every single-engine deployment) keeps
+	// the metric surface exactly as before.
+	GaugeLabel string
 }
 
 // kindIndex maps PM/VM to the engine's dense array index; -1 otherwise.
@@ -135,6 +146,11 @@ type Engine struct {
 
 	machines    map[model.MachineID]*model.Machine
 	machineList []*model.Machine
+	// refMachines marks entries of e.machines that are replicas of machines
+	// owned by another shard (Event.Ref): registered for incident kind
+	// lookups but excluded from every count, so per-shard counters sum to
+	// the single-engine numbers. Always empty outside sharded deployments.
+	refMachines map[model.MachineID]bool
 	// serverCount[kind][sys] with sys index 0 = all systems, 1..5 = Sys I–V.
 	serverCount [2][model.NumSystems + 1]int
 
@@ -192,6 +208,38 @@ type Engine struct {
 	scored      int64
 	scoredHit   int64
 	predScratch textmine.PredictScratch
+
+	// gauges caches the (possibly shard-labeled) metric names so the
+	// per-batch flush never rebuilds labeled strings.
+	gauges gaugeNames
+}
+
+// gaugeNames holds the engine's gauge family names, pre-labeled with
+// Config.GaugeLabel when one is set.
+type gaugeNames struct {
+	events, tickets, crashTickets, machines, incidents    string
+	monitorSamples, dropped, distances, pruned, watermark string
+}
+
+func buildGaugeNames(label string) gaugeNames {
+	name := func(base string) string {
+		if label == "" {
+			return base
+		}
+		return telemetry.Labeled(base, "shard", label)
+	}
+	return gaugeNames{
+		events:         name("stream.events"),
+		tickets:        name("stream.tickets"),
+		crashTickets:   name("stream.crash_tickets"),
+		machines:       name("stream.machines"),
+		incidents:      name("stream.incidents"),
+		monitorSamples: name("stream.monitor_samples"),
+		dropped:        name("stream.dropped_out_of_window"),
+		distances:      name("stream.predict_distances"),
+		pruned:         name("stream.predict_distances_pruned"),
+		watermark:      name("stream.watermark_unix_seconds"),
+	}
 }
 
 // NewEngine creates an engine for the given configuration.
@@ -212,6 +260,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		crashCount:   make(map[model.MachineID]int),
 		classSpatial: make(map[model.FailureClass]*classSpatialAcc),
 		confusion:    make(map[[2]int]int),
+		gauges:       buildGaugeNames(cfg.GaugeLabel),
 	}
 	weeks := cfg.Observation.NumWeeks()
 	for k := 0; k < 2; k++ {
@@ -434,22 +483,28 @@ func (e *Engine) ApplyGroupedTimed(events []Event) (time.Duration, error) {
 // flushMetricsLocked publishes the engine's headline gauges. Called under
 // e.mu after every apply/advance; pure observation.
 func (e *Engine) flushMetricsLocked(m *obs.Registry) {
-	m.Set("stream.events", float64(e.events))
-	m.Set("stream.tickets", float64(e.tickets))
-	m.Set("stream.crash_tickets", float64(e.crashTickets))
-	m.Set("stream.machines", float64(len(e.machines)))
-	m.Set("stream.incidents", float64(e.incidents))
-	m.Set("stream.monitor_samples", float64(e.monitorSamples))
-	m.Set("stream.dropped_out_of_window", float64(e.droppedOutOfWindow))
-	m.Set("stream.predict_distances", float64(e.predScratch.Distances))
-	m.Set("stream.predict_distances_pruned", float64(e.predScratch.Pruned))
+	m.Set(e.gauges.events, float64(e.events))
+	m.Set(e.gauges.tickets, float64(e.tickets))
+	m.Set(e.gauges.crashTickets, float64(e.crashTickets))
+	m.Set(e.gauges.machines, float64(e.ownedLocked()))
+	m.Set(e.gauges.incidents, float64(e.incidents))
+	m.Set(e.gauges.monitorSamples, float64(e.monitorSamples))
+	m.Set(e.gauges.dropped, float64(e.droppedOutOfWindow))
+	m.Set(e.gauges.distances, float64(e.predScratch.Distances))
+	m.Set(e.gauges.pruned, float64(e.predScratch.Pruned))
 	if !e.watermark.IsZero() {
-		m.Set("stream.watermark_unix_seconds", float64(e.watermark.UnixNano())/1e9)
+		m.Set(e.gauges.watermark, float64(e.watermark.UnixNano())/1e9)
 	}
-	if e.cfg.Detector != nil {
+	// Sharded engines leave the detect.* families to the coordinator, which
+	// publishes fleet-wide aggregates at scrape time.
+	if e.cfg.Detector != nil && e.cfg.GaugeLabel == "" {
 		e.cfg.Detector.Publish(m)
 	}
 }
+
+// ownedLocked is the count of machines this engine owns: inventory entries
+// minus replicas of other shards' machines.
+func (e *Engine) ownedLocked() int { return len(e.machines) - len(e.refMachines) }
 
 // monitorAdvanceStep is how far ahead of a record's timestamp the engine
 // moves the monitor acceptance window. Advancing in week-granular steps
@@ -486,11 +541,24 @@ func (e *Engine) advanceLocked() {
 		e.cfg.Observer.Metrics().Add("stream.monitor_evicted", int64(n))
 	}
 	_, e.monitorEnd = e.monitor.Window()
-	e.monitor.RecordFootprint()
+	// Shard engines share one registry; the monitordb footprint gauges are
+	// point-in-time values, so the coordinator publishes the fleet sum at
+	// scrape time instead of letting N engines stomp each other's writes.
+	if e.cfg.GaugeLabel == "" {
+		e.monitor.RecordFootprint()
+	}
 }
 
 func (e *Engine) applyLocked(ev *Event) error {
-	e.events++
+	if ev.Ref && ev.Type != "machine" && ev.Type != "advance" && ev.Type != "placement" {
+		return fmt.Errorf("ref event with type %q (only machine, advance and placement replicas are defined)", ev.Type)
+	}
+	if !ev.Ref {
+		// Replicas are uncounted: their primary copy is counted on the
+		// owning shard, so per-shard event counts sum to the single-engine
+		// sequence number.
+		e.events++
+	}
 	if t := ev.When(); t.After(e.watermark) {
 		e.watermark = t
 	}
@@ -499,7 +567,7 @@ func (e *Engine) applyLocked(ev *Event) error {
 		if ev.Machine == nil {
 			return fmt.Errorf("machine event without machine")
 		}
-		return e.addMachineLocked(ev.Machine)
+		return e.addMachineLocked(ev.Machine, ev.Ref)
 	case "ticket":
 		if ev.Ticket == nil {
 			return fmt.Errorf("ticket event without ticket")
@@ -532,6 +600,14 @@ func (e *Engine) applyLocked(ev *Event) error {
 		return nil
 	case "placement":
 		if ev.Time != nil && ev.Host != "" {
+			if ev.Ref {
+				// A replica placement only feeds the detector's fleet-wide
+				// consolidation count; the owning shard stores it.
+				if e.cfg.Detector != nil {
+					e.cfg.Detector.ObservePlacementRef(ev.ServerID, ev.Host, *ev.Time)
+				}
+				return nil
+			}
 			if e.monitor != nil {
 				e.ensureMonitorWindowLocked(*ev.Time)
 				e.monitor.SetPlacement(ev.ServerID, ev.Host, *ev.Time)
@@ -548,18 +624,45 @@ func (e *Engine) applyLocked(ev *Event) error {
 	}
 }
 
-func (e *Engine) addMachineLocked(m *model.Machine) error {
+func (e *Engine) addMachineLocked(m *model.Machine, ref bool) error {
 	if m.ID == "" {
 		return fmt.Errorf("machine with empty ID")
 	}
-	if _, dup := e.machines[m.ID]; dup {
+	if prev, dup := e.machines[m.ID]; dup {
+		if !ref && e.refMachines[m.ID] {
+			// The primary copy reached an engine that had only seen the
+			// replica (never happens under the router's deterministic
+			// ownership, handled for direct users): promote and count it.
+			delete(e.refMachines, m.ID)
+			e.machineList = append(e.machineList, prev)
+			e.countMachineLocked(prev)
+		}
 		return nil // idempotent re-registration
 	}
 	cp := *m
 	e.machines[cp.ID] = &cp
+	if ref {
+		if e.refMachines == nil {
+			e.refMachines = make(map[model.MachineID]bool)
+		}
+		e.refMachines[cp.ID] = true
+		if e.cfg.Detector != nil {
+			// A replica VM still occupies a slot on its host: the
+			// detector's consolidation count must see the whole fleet.
+			e.cfg.Detector.ObserveMachineRef(&cp)
+		}
+		return nil
+	}
 	e.machineList = append(e.machineList, &cp)
+	e.countMachineLocked(&cp)
+	return nil
+}
+
+// countMachineLocked folds an owned machine into the inventory counters
+// and the detection layer. Replicas never reach it.
+func (e *Engine) countMachineLocked(cp *model.Machine) {
 	if e.cfg.Detector != nil {
-		e.cfg.Detector.ObserveMachine(&cp)
+		e.cfg.Detector.ObserveMachine(cp)
 	}
 	if k := kindIndex(cp.Kind); k >= 0 {
 		e.serverCount[k][0]++
@@ -567,7 +670,6 @@ func (e *Engine) addMachineLocked(m *model.Machine) error {
 			e.serverCount[k][int(cp.System)]++
 		}
 	}
-	return nil
 }
 
 // labelOf mirrors the batch pipeline's classification label: 0 for
@@ -809,4 +911,38 @@ func (e *Engine) Seq() int64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.events
+}
+
+// Totals is a cheap counter snapshot for cross-shard aggregation: the
+// values the coordinator sums (or maxes, for the watermark) to publish
+// fleet-wide gauges without assembling a full Snapshot.
+type Totals struct {
+	Events             int64
+	Tickets            int64
+	CrashTickets       int64
+	MonitorSamples     int64
+	DroppedOutOfWindow int64
+	PredictDistances   int64
+	PredictPruned      int64
+	Machines           int
+	Incidents          int
+	Watermark          time.Time
+}
+
+// Totals returns the engine's headline counters under the apply lock.
+func (e *Engine) Totals() Totals {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Totals{
+		Events:             e.events,
+		Tickets:            e.tickets,
+		CrashTickets:       e.crashTickets,
+		MonitorSamples:     e.monitorSamples,
+		DroppedOutOfWindow: e.droppedOutOfWindow,
+		PredictDistances:   int64(e.predScratch.Distances),
+		PredictPruned:      int64(e.predScratch.Pruned),
+		Machines:           e.ownedLocked(),
+		Incidents:          e.incidents,
+		Watermark:          e.watermark,
+	}
 }

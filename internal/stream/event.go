@@ -48,6 +48,17 @@ type Event struct {
 	Value    float64          `json:"value,omitempty"`
 	On       *bool            `json:"on,omitempty"`
 	Host     model.MachineID  `json:"host,omitempty"`
+
+	// Ref marks a replica of an event whose primary copy lives on another
+	// shard: the receiving engine applies its side effects (machine refs
+	// register for incident kind lookups, advance refs move the watermark,
+	// placement refs feed the detector's fleet-wide consolidation count)
+	// but counts nothing — not the event itself, not the machine, not the
+	// detector's inventory — so summing per-shard counters over a sharded
+	// fleet equals the single-engine numbers. The shard router sets it when
+	// broadcasting machine, advance and placement events; it never crosses
+	// the wire.
+	Ref bool `json:"ref,omitempty"`
 }
 
 // When returns the event's timestamp: ticket open, incident time, sample /

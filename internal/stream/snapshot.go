@@ -71,7 +71,14 @@ var kinds = [2]model.MachineKind{model.PM, model.VM}
 func (e *Engine) Snapshot() *Snapshot {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.snapshotLocked()
+}
 
+// snapshotLocked is the assembly body, shared between Snapshot and the
+// cross-shard merge (which assembles from a scratch engine holding the
+// combined accumulators, so every derived float comes from the exact same
+// expressions).
+func (e *Engine) snapshotLocked() *Snapshot {
 	s := &Snapshot{
 		Seq:                e.events,
 		Events:             e.events,
@@ -79,7 +86,7 @@ func (e *Engine) Snapshot() *Snapshot {
 		CrashTickets:       e.crashTickets,
 		DroppedOutOfWindow: e.droppedOutOfWindow,
 		OutOfOrder:         e.outOfOrder,
-		Machines:           len(e.machines),
+		Machines:           e.ownedLocked(),
 		Incidents:          e.incidents,
 		MonitorSamples:     e.monitorSamples,
 		Watermark:          e.watermark,
